@@ -1,0 +1,52 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each experiment (T1-T5, F1-F5 in DESIGN.md) lives in its own module,
+produces a plain-text table under ``benchmarks/results/`` and registers at
+least one pytest-benchmark measurement.  The tables are the
+paper-vs-measured records that EXPERIMENTS.md references.
+
+Timing experiments that need real cryptographic costs run on BN254; shape
+experiments (rounds, storage, message counts, bias rates) run on the toy
+backend where group operations are negligible.
+"""
+
+import pathlib
+import random
+
+import pytest
+
+from repro.bench.tables import Table
+from repro.groups import get_group
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    def _save(table: Table, name: str) -> str:
+        text = table.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+    return _save
+
+
+@pytest.fixture(scope="session")
+def toy_group():
+    return get_group("toy")
+
+
+@pytest.fixture(scope="session")
+def bn254_group():
+    return get_group("bn254")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBEEF)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Adaptive-adversary experiments: the bias attack and the security game.
+
+Two demonstrations straight out of the paper's discussion:
+
+1. **Pedersen DKG bias** — a rushing adversary corrupting c players makes
+   a balanced predicate of the public key true with probability about
+   1 - 2^(-2^c) instead of 1/2, by conditionally withholding its
+   dealings.  The GJKR new-DKG resists (contributions get reconstructed).
+2. **Why the paper can live with the bias** — the Definition 1 adaptive
+   chosen-message game is run against the DKG-generated (biasable) keys;
+   every below-threshold strategy still loses.
+
+    python examples/adaptive_adversary_demo.py --trials 100
+"""
+
+import argparse
+import random
+
+from repro import LJYThresholdScheme, ThresholdParams, get_group
+from repro.security.attacks import (
+    gjkr_bias_experiment, honest_pedersen_baseline,
+    pedersen_bias_experiment,
+)
+from repro.security.games import (
+    AdaptiveChosenMessageGame, BelowThresholdAdversary,
+    LagrangeForgeryAdversary, MauledSignatureAdversary,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args()
+
+    group = get_group("toy")
+    rng = random.Random(args.seed)
+    t, n = 1, 4
+
+    print(f"=== 1. Public-key bias on Pedersen's DKG "
+          f"(t={t}, n={n}, {args.trials} trials) ===")
+    honest = honest_pedersen_baseline(group, t, n, args.trials, rng=rng)
+    print(f"honest protocol:            predicate rate "
+          f"{honest.success_rate:5.1%}   (expected ~50.0%)")
+    for corrupted in (1, 2):
+        result = pedersen_bias_experiment(
+            group, t, n, args.trials, num_corrupted=corrupted, rng=rng)
+        expected = 1 - 0.5 ** (2 ** corrupted)
+        print(f"rushing attack, c={corrupted}:        predicate rate "
+              f"{result.success_rate:5.1%}   (expected ~{expected:.1%})")
+    gjkr = gjkr_bias_experiment(group, t, n, args.trials,
+                                num_corrupted=2, rng=rng)
+    print(f"GJKR new-DKG, c=2 dropout:  predicate rate "
+          f"{gjkr.success_rate:5.1%}   (expected ~50.0% — immune)")
+
+    print("\n=== 2. Definition 1 game on DKG-generated keys ===")
+    params = ThresholdParams.generate(group, t=2, n=5)
+    scheme = LJYThresholdScheme(params)
+    strategies = [
+        ("interpolate from t corruptions", BelowThresholdAdversary()),
+        ("t signing queries on M* itself", LagrangeForgeryAdversary()),
+        ("replay signature on another M", MauledSignatureAdversary()),
+    ]
+    for name, adversary in strategies:
+        game = AdaptiveChosenMessageGame(scheme, rng=rng, use_dkg=True)
+        result = game.play(adversary)
+        verdict = "WON (bug!)" if result.won else f"lost ({result.reason})"
+        print(f"{name:35s} -> {verdict}")
+        assert not result.won
+
+    print("\nConclusion: the DKG's key distribution is biasable, and the "
+          "scheme is adaptively\nsecure anyway — exactly the paper's "
+          "headline result (Theorem 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Proactively secure distributed-storage authorization (OceanStore-like).
+
+The paper cites global-scale storage systems as a motivating application
+of threshold signatures.  This example runs a storage cluster whose write
+capabilities are authorized by a (2, 5) threshold committee, across three
+epochs:
+
+* each epoch, clients obtain threshold-signed write capabilities;
+* between epochs the committee proactively refreshes its shares
+  (Section 3.3) — the public key never changes, so old capabilities stay
+  verifiable;
+* a *mobile* adversary corrupts two different servers per epoch (six
+  corruptions total, far above the threshold), yet its collection of
+  stale shares never lets it forge a capability.
+
+    python examples/proactive_storage.py
+"""
+
+import argparse
+import itertools
+
+from repro import (
+    LJYThresholdScheme, ThresholdParams, get_group, run_refresh,
+)
+from repro.core.scheme import reconstruct_master_key
+
+
+def authorize(scheme, pk, shares, vks, capability: bytes):
+    signers = list(shares)[: scheme.params.t + 1]
+    partials = [scheme.share_sign(shares[i], capability) for i in signers]
+    return scheme.combine(pk, vks, capability, partials)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="toy",
+                        choices=["toy", "bn254"])
+    parser.add_argument("--epochs", type=int, default=3)
+    args = parser.parse_args()
+
+    group = get_group(args.backend)
+    t, n = 2, 5
+    params = ThresholdParams.generate(group, t=t, n=n)
+    scheme = LJYThresholdScheme(params)
+    pk, shares, vks = scheme.dealer_keygen()
+    true_master = reconstruct_master_key(
+        list(shares.values()), group.order, t)
+
+    print(f"[setup] storage authorization committee: t={t}, n={n}")
+    stolen = []
+    victims_cycle = itertools.cycle([(1, 2), (3, 4), (5, 2)])
+    capabilities = []
+
+    for epoch in range(1, args.epochs + 1):
+        print(f"\n=== epoch {epoch} ===")
+        capability = f"WRITE block-{epoch:04d} by client-7".encode()
+        signature = authorize(scheme, pk, shares, vks, capability)
+        assert scheme.verify(pk, capability, signature)
+        capabilities.append((capability, signature))
+        print(f"[authorize] {capability.decode()!r}: capability issued "
+              f"({signature.size_bits} bits)")
+
+        victims = next(victims_cycle)
+        stolen.extend(shares[v] for v in victims)
+        print(f"[attack]    mobile adversary corrupts servers {victims} "
+              f"(erasure-free: full state captured; "
+              f"{len(stolen)} shares total)")
+
+        recovered = False
+        for subset in itertools.combinations(stolen, t + 1):
+            if len({s.index for s in subset}) < t + 1:
+                continue
+            if reconstruct_master_key(
+                    list(subset), group.order, t) == true_master:
+                recovered = True
+        print(f"[attack]    master key recovered from stolen shares: "
+              f"{recovered}")
+        assert not recovered, "proactive security failed!"
+
+        shares, vks, network = run_refresh(
+            group, params.g_z, params.g_r, t, n, shares, vks)
+        print(f"[refresh]   shares re-randomized in "
+              f"{network.metrics.communication_rounds} round(s); "
+              f"public key unchanged")
+
+    print("\n[audit] all historical capabilities still verify:")
+    for capability, signature in capabilities:
+        assert scheme.verify(pk, capability, signature)
+        print(f"        {capability.decode()!r}: OK")
+    print("\nThe adversary held", len(stolen),
+          "shares overall (>> t), never more than", t,
+          "fresh ones per epoch — the key survived.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Baseline threshold signature schemes the paper compares against.
+
+* :mod:`repro.baselines.bls_threshold` — Boldyreva's threshold BLS
+  (PKC'03): non-interactive and short, but only *statically* secure; the
+  paper's Section 3 scheme is its adaptively-secure counterpart.
+* :mod:`repro.baselines.rsa_threshold` — Shoup's "Practical Threshold
+  Signatures" (Eurocrypt'00): the classic non-interactive threshold RSA
+  with 3072-bit-plus signatures at the 128-bit level (the paper's size
+  comparison target).
+* :mod:`repro.baselines.adn06` — the Almansa-Damgard-Nielsen style
+  additively-shared threshold RSA: adaptively secure, but each player
+  stores Theta(n) values and missing contributions need an extra repair
+  round — the storage/interaction drawbacks the paper eliminates.
+"""
+
+from repro.baselines.bls_threshold import BoldyrevaThresholdBLS
+from repro.baselines.rsa_threshold import ShoupThresholdRSA
+from repro.baselines.adn06 import ADN06ThresholdRSA
+
+__all__ = [
+    "BoldyrevaThresholdBLS", "ShoupThresholdRSA", "ADN06ThresholdRSA",
+]

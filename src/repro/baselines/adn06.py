@@ -1,0 +1,219 @@
+"""Additively-shared threshold RSA in the style of Almansa-Damgard-Nielsen.
+
+The adaptively-secure comparator whose two drawbacks motivate the paper
+(Section 1):
+
+* **Theta(n) storage** — the private exponent is split additively,
+  ``d = sum_i d_i mod m``, and each additive piece ``d_i`` is then Shamir
+  (t, n)-shared so that player j stores its own ``d_j`` *plus one
+  polynomial share of every other player's piece*: n + 1 values per
+  player versus the O(1) shares of the paper's scheme (experiment T3);
+* **interaction on failure** — when a player's multiplicative
+  contribution ``x^{d_i}`` is missing, the others must run an extra
+  *repair round*, publishing their shares of ``d_i`` in the exponent so
+  the missing contribution can be interpolated (the "only non-interactive
+  when all players are honest" remark).
+
+The repair interpolation uses the same integer-Lagrange-with-Delta trick
+as Shoup's scheme so nobody needs the secret modulus m.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.baselines.rsa_params import SAFE_PRIME_PAIRS
+from repro.baselines.rsa_threshold import (
+    _extended_gcd, integer_lagrange_at_zero,
+)
+from repro.errors import CombineError, ParameterError
+from repro.math.rng import hash_to_int, random_scalar
+from repro.sharing.shamir import validate_threshold
+
+
+@dataclass(frozen=True)
+class ADN06PlayerState:
+    """What one player persists — size grows linearly with n."""
+
+    index: int
+    #: Own additive piece d_i.
+    additive_share: int
+    #: Shamir shares of every player's additive piece: dealer -> f_dealer(i).
+    backup_shares: Dict[int, int]
+
+    def storage_values(self) -> int:
+        """Number of stored Z_m values (the T3 storage metric)."""
+        return 1 + len(self.backup_shares)
+
+    def storage_bytes(self, modulus_bits: int) -> int:
+        return self.storage_values() * ((modulus_bits + 7) // 8)
+
+
+@dataclass(frozen=True)
+class ADN06PublicKey:
+    n_modulus: int
+    e: int
+
+    @property
+    def modulus_bits(self) -> int:
+        return self.n_modulus.bit_length()
+
+
+@dataclass(frozen=True)
+class ADN06Signature:
+    y: int
+    modulus_bits: int
+    #: Number of communication rounds the signing took (1 or 2).
+    rounds: int = 1
+
+    def to_bytes(self) -> bytes:
+        return self.y.to_bytes((self.modulus_bits + 7) // 8, "big")
+
+    @property
+    def size_bits(self) -> int:
+        return len(self.to_bytes()) * 8
+
+
+class ADN06ThresholdRSA:
+    """Additive (n, n) sharing with (t, n) polynomial backup of each piece."""
+
+    def __init__(self, t: int, n: int, modulus_bits: int = 3072,
+                 hash_domain: str = "adn06:H"):
+        validate_threshold(t, n)
+        if modulus_bits not in SAFE_PRIME_PAIRS:
+            raise ParameterError(
+                f"no safe primes embedded for {modulus_bits}-bit moduli")
+        self.t = t
+        self.n = n
+        self.hash_domain = hash_domain
+        p, q = SAFE_PRIME_PAIRS[modulus_bits]
+        self.n_modulus = p * q
+        self.m = ((p - 1) // 2) * ((q - 1) // 2)
+        self.delta = math.factorial(n)
+        self.e = self._prime_above(max(n, 2))
+
+    @staticmethod
+    def _prime_above(lower: int) -> int:
+        candidate = max(3, lower + 1) | 1
+        while True:
+            if all(candidate % f for f in range(3, int(candidate**0.5) + 1, 2)):
+                return candidate
+            candidate += 2
+
+    # -- keys -------------------------------------------------------------
+    def dealer_keygen(self, rng=None
+                      ) -> Tuple[ADN06PublicKey,
+                                 Dict[int, ADN06PlayerState]]:
+        d = pow(self.e, -1, self.m)
+        # Additive split: d = sum d_i mod m.
+        pieces = [random_scalar(self.m, rng) for _ in range(self.n - 1)]
+        pieces.append((d - sum(pieces)) % self.m)
+        additive = {i + 1: pieces[i] for i in range(self.n)}
+        # Each piece is (t, n)-Shamir-shared over Z_m.
+        backup: Dict[int, Dict[int, int]] = {j: {} for j in additive}
+        for dealer, piece in additive.items():
+            coeffs = [piece] + [
+                random_scalar(self.m, rng) for _ in range(self.t)]
+            for i in range(1, self.n + 1):
+                acc = 0
+                for coeff in reversed(coeffs):
+                    acc = (acc * i + coeff) % self.m
+                backup[dealer][i] = acc
+        states = {
+            i: ADN06PlayerState(
+                index=i,
+                additive_share=additive[i],
+                backup_shares={
+                    dealer: backup[dealer][i] for dealer in additive},
+            )
+            for i in range(1, self.n + 1)
+        }
+        return ADN06PublicKey(n_modulus=self.n_modulus, e=self.e), states
+
+    # -- hashing -------------------------------------------------------------
+    def hash_message(self, message: bytes) -> int:
+        """x = H(M)^2 mod N — squaring forces x into Q_N (order | m)."""
+        raw = hash_to_int(self.hash_domain, message, self.n_modulus)
+        return pow(raw, 2, self.n_modulus)
+
+    # -- signing flows -------------------------------------------------------
+    def multiplicative_share(self, state: ADN06PlayerState,
+                             message: bytes) -> int:
+        """Round-1 contribution ``x^{d_i}`` of a live player."""
+        x = self.hash_message(message)
+        return pow(x, state.additive_share, self.n_modulus)
+
+    def repair_share(self, state: ADN06PlayerState, missing: int,
+                     message: bytes) -> int:
+        """Round-2 contribution towards reconstructing player ``missing``:
+        ``x^{f_missing(i)}`` published by helper i."""
+        x = self.hash_message(message)
+        return pow(x, state.backup_shares[missing], self.n_modulus)
+
+    def reconstruct_missing(self, message: bytes, missing: int,
+                            repair_shares: Mapping[int, int]) -> int:
+        """Interpolate ``x^{Delta * d_missing}`` from t+1 repair shares.
+
+        The integer Lagrange coefficients carry one factor of Delta, so the
+        reconstructed exponent is ``Delta * d_missing`` (mod the hidden m).
+        """
+        if len(repair_shares) < self.t + 1:
+            raise CombineError(
+                f"need {self.t + 1} repair shares for player {missing}")
+        subset = dict(list(repair_shares.items())[: self.t + 1])
+        coefficients = integer_lagrange_at_zero(subset.keys(), self.delta)
+        w = 1
+        for index, share in subset.items():
+            w = w * pow(share, coefficients[index], self.n_modulus) \
+                % self.n_modulus
+        return w
+
+    def sign(self, public_key: ADN06PublicKey,
+             states: Mapping[int, ADN06PlayerState], message: bytes,
+             live_players: Optional[Set[int]] = None) -> ADN06Signature:
+        """Run the signing protocol; a second round fires iff anyone is down.
+
+        ``live_players`` simulates crashed/deviating servers: their
+        multiplicative shares are missing and must be reconstructed by the
+        survivors (who must number at least t+1).
+        """
+        nn = self.n_modulus
+        x = self.hash_message(message)
+        live = set(states) if live_players is None else set(live_players)
+        if len(live) < self.t + 1:
+            raise CombineError("fewer than t+1 live players")
+        missing = sorted(set(states) - live)
+        if not missing:
+            # Optimistic single-round path: y = prod x^{d_i} = x^d.
+            y = 1
+            for state in states.values():
+                y = y * self.multiplicative_share(state, message) % nn
+            return ADN06Signature(y=y, modulus_bits=nn.bit_length(),
+                                  rounds=1)
+        # Repair round: everything is scaled to the exponent Delta so the
+        # arithmetic stays integral (the reconstruction below carries one
+        # factor of Delta from the integer Lagrange coefficients).
+        exponent_scale = self.delta
+        w = 1
+        for index in sorted(live):
+            contribution = self.multiplicative_share(states[index], message)
+            w = w * pow(contribution, exponent_scale, nn) % nn
+        for absent in missing:
+            repair = {
+                helper: self.repair_share(states[helper], absent, message)
+                for helper in sorted(live)[: self.t + 1]
+            }
+            w = w * self.reconstruct_missing(message, absent, repair) % nn
+        # w = x^{Delta d}; extract the e-th root a la Shoup.
+        g, a, b = _extended_gcd(exponent_scale, public_key.e)
+        if g != 1:
+            raise CombineError("gcd(Delta, e) != 1")
+        y = pow(w, a, nn) * pow(x, b, nn) % nn
+        return ADN06Signature(y=y, modulus_bits=nn.bit_length(), rounds=2)
+
+    def verify(self, public_key: ADN06PublicKey, message: bytes,
+               signature: ADN06Signature) -> bool:
+        x = self.hash_message(message)
+        return pow(signature.y, public_key.e, public_key.n_modulus) == x

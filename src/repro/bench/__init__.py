@@ -1,0 +1,5 @@
+"""Benchmark-harness helpers: table rendering and operation counting."""
+
+from repro.bench.tables import Table, format_table
+
+__all__ = ["Table", "format_table"]

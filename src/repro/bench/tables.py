@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every benchmark prints its table through this module so the rows in
+EXPERIMENTS.md and the test logs line up; no third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class Table:
+    """An ordered collection of homogeneous rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns: {sorted(missing)}")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Dict[str, object]]) -> str:
+    rendered_rows = [
+        [_cell(row[column]) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(r[k]) for r in rendered_rows))
+        if rendered_rows else len(str(column))
+        for k, column in enumerate(columns)
+    ]
+    lines = [f"== {title} =="]
+    header = " | ".join(
+        str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

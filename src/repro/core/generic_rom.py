@@ -1,0 +1,54 @@
+"""Generic construction: one-time LHSPS + random oracle => full signatures.
+
+Appendix D.1 of the paper: given *any* one-time linearly homomorphic SPS
+``Pi`` for vectors of dimension K+1 and a random oracle
+``H : {0,1}* -> G^{K+1}``, the scheme
+
+    Sign(sk, M)   = Pi.Sign(sk, H(M))
+    Verify(pk, M) = Pi.Verify(pk, H(M), sigma)
+
+is an EUF-CMA-secure ordinary signature under the K-linear assumption
+(K = 1: DDH/SXDH; K = 2: DLIN).  Instantiating Pi with the DP scheme of
+Section 2.3 recovers the centralized version of the paper's main scheme;
+instantiating it with the SDP scheme recovers the Appendix F variant.
+
+This module is written against the :class:`~repro.lhsps.template.OneTimeLHSPS`
+template, so any further LHSPS plugs in unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.groups.api import BilinearGroup
+from repro.lhsps.template import OneTimeLHSPS
+
+
+class GenericROMSignature:
+    """The Appendix D.1 wrapper around a one-time LHSPS."""
+
+    def __init__(self, lhsps: OneTimeLHSPS, k_linear: int,
+                 hash_domain: str = "LJY14:D1:H"):
+        if lhsps.dimension != k_linear + 1:
+            raise ParameterError(
+                "the LHSPS must sign vectors of dimension K + 1")
+        self.lhsps = lhsps
+        self.k_linear = k_linear
+        self.hash_domain = hash_domain
+
+    @property
+    def group(self) -> BilinearGroup:
+        return self.lhsps.group
+
+    def keygen(self, rng=None):
+        """Key pair of the underlying LHSPS (PK = pk, SK = sk)."""
+        return self.lhsps.keygen(rng)
+
+    def hash_message(self, message: bytes):
+        return self.group.hash_to_g1_vector(
+            message, self.k_linear + 1, self.hash_domain)
+
+    def sign(self, sk, message: bytes):
+        return self.lhsps.sign(sk, self.hash_message(message))
+
+    def verify(self, pk, message: bytes, signature) -> bool:
+        return self.lhsps.verify(pk, self.hash_message(message), signature)

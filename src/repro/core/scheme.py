@@ -1,0 +1,223 @@
+"""The main threshold signature scheme (Section 3 of the paper).
+
+The construction hashes a message to a vector ``(H_1, H_2)`` in G^2 and
+signs it with the DP-based one-time LHSPS of Section 2.3.  Because that
+LHSPS is deterministic and key homomorphic, each server can produce its
+partial signature without talking to anyone (Share-Sign), and t+1 partial
+signatures interpolate — "Lagrange in the exponent" — into the unique full
+signature (Combine).
+
+This module implements the five algorithms of the threshold-signature
+syntax (Section 2.1): the interactive ``Dist-Keygen`` lives in
+:mod:`repro.dkg.pedersen_dkg`; here we provide the algorithms plus a
+trusted-dealer keygen used by tests and by centralized callers.
+
+All equations are checked as single products of pairings, so verification
+costs one multi-pairing of four pairs — the paper's "product of four
+pairings" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.core.keys import (
+    KeygenOutput, PartialSignature, PrivateKeyShare, PublicKey, Signature,
+    ThresholdParams, VerificationKey,
+)
+from repro.errors import CombineError, ParameterError
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.math.lagrange import lagrange_coefficients
+from repro.math.polynomial import Polynomial
+from repro.math.rng import random_scalar
+
+
+class LJYThresholdScheme:
+    """Libert-Joye-Yung non-interactive threshold signatures (Section 3)."""
+
+    def __init__(self, params: ThresholdParams):
+        self.params = params
+        self.group = params.group
+
+    # ------------------------------------------------------------------
+    # Key generation
+    # ------------------------------------------------------------------
+    def dealer_keygen(self, rng=None) -> KeygenOutput:
+        """Centralized key generation (for tests and non-distributed use).
+
+        Samples the four degree-t polynomials ``A_1, B_1, A_2, B_2`` a
+        single honest dealer would use; the distributed protocol in
+        :mod:`repro.dkg.pedersen_dkg` produces identically-shaped output.
+        """
+        order = self.group.order
+        t, n = self.params.t, self.params.n
+        polys = {
+            (k, name): Polynomial.random(t, order, rng=rng)
+            for k in (1, 2) for name in ("A", "B")
+        }
+        shares = {
+            i: PrivateKeyShare(
+                index=i,
+                a_1=polys[(1, "A")](i), b_1=polys[(1, "B")](i),
+                a_2=polys[(2, "A")](i), b_2=polys[(2, "B")](i),
+            )
+            for i in range(1, n + 1)
+        }
+        public_key = self.public_key_from_master(
+            a_10=polys[(1, "A")].constant_term,
+            b_10=polys[(1, "B")].constant_term,
+            a_20=polys[(2, "A")].constant_term,
+            b_20=polys[(2, "B")].constant_term,
+        )
+        verification_keys = {
+            i: self.verification_key_for(shares[i]) for i in shares
+        }
+        return public_key, shares, verification_keys
+
+    def public_key_from_master(self, a_10: int, b_10: int, a_20: int,
+                               b_20: int) -> PublicKey:
+        """``g_hat_k = g_z^{A_k(0)} g_r^{B_k(0)}``."""
+        p = self.params
+        return PublicKey(
+            params=p,
+            g_1=(p.g_z ** a_10) * (p.g_r ** b_10),
+            g_2=(p.g_z ** a_20) * (p.g_r ** b_20),
+        )
+
+    def verification_key_for(self, share: PrivateKeyShare) -> VerificationKey:
+        """``VK_i = (g_z^{A_1(i)} g_r^{B_1(i)}, g_z^{A_2(i)} g_r^{B_2(i)})``.
+
+        In the distributed protocol anyone derives VK_i from the broadcast
+        commitments; given the share itself this direct form is equivalent.
+        """
+        p = self.params
+        return VerificationKey(
+            index=share.index,
+            v_1=(p.g_z ** share.a_1) * (p.g_r ** share.b_1),
+            v_2=(p.g_z ** share.a_2) * (p.g_r ** share.b_2),
+        )
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+    def share_sign(self, share: PrivateKeyShare,
+                   message: bytes) -> PartialSignature:
+        """Non-interactive partial signing (Share-Sign).
+
+        ``z_i = H_1^{-A_1(i)} H_2^{-A_2(i)}``,
+        ``r_i = H_1^{-B_1(i)} H_2^{-B_2(i)}``.
+        """
+        h_1, h_2 = self.params.hash_message(message)
+        z = (h_1 ** (-share.a_1)) * (h_2 ** (-share.a_2))
+        r = (h_1 ** (-share.b_1)) * (h_2 ** (-share.b_2))
+        return PartialSignature(index=share.index, z=z, r=r)
+
+    def share_verify(self, public_key: PublicKey,
+                     verification_key: VerificationKey, message: bytes,
+                     partial: PartialSignature) -> bool:
+        """Check ``e(z_i, g_z) e(r_i, g_r) e(H_1, V_1i) e(H_2, V_2i) = 1``."""
+        if partial.index != verification_key.index:
+            return False
+        h_1, h_2 = self.params.hash_message(message)
+        p = self.params
+        return self.group.pairing_product_is_one([
+            (partial.z, p.g_z),
+            (partial.r, p.g_r),
+            (h_1, verification_key.v_1),
+            (h_2, verification_key.v_2),
+        ])
+
+    # ------------------------------------------------------------------
+    # Combining and verification
+    # ------------------------------------------------------------------
+    def combine(self, public_key: PublicKey,
+                verification_keys: Mapping[int, VerificationKey],
+                message: bytes,
+                partials: Iterable[PartialSignature],
+                verify_shares: bool = True) -> Signature:
+        """Interpolate t+1 valid partial signatures into a full signature.
+
+        With ``verify_shares`` (the robust mode) invalid contributions are
+        filtered out via Share-Verify, so the combiner succeeds whenever at
+        least t+1 honest partial signatures are present — robustness against
+        up to t malicious servers.  Raises :class:`CombineError` otherwise.
+        """
+        t = self.params.t
+        usable: Dict[int, PartialSignature] = {}
+        for partial in partials:
+            if partial.index in usable:
+                continue
+            if verify_shares:
+                vk = verification_keys.get(partial.index)
+                if vk is None or not self.share_verify(
+                        public_key, vk, message, partial):
+                    continue
+            usable[partial.index] = partial
+            if len(usable) == t + 1:
+                break
+        if len(usable) < t + 1:
+            raise CombineError(
+                f"need {t + 1} valid partial signatures, got {len(usable)}")
+        coefficients = lagrange_coefficients(usable.keys(), self.group.order)
+        z = r = None
+        for index, partial in usable.items():
+            weight = coefficients[index]
+            z_term = partial.z ** weight
+            r_term = partial.r ** weight
+            z = z_term if z is None else z * z_term
+            r = r_term if r is None else r * r_term
+        return Signature(z=z, r=r)
+
+    def verify(self, public_key: PublicKey, message: bytes,
+               signature: Signature) -> bool:
+        """``e(z, g_z) e(r, g_r) e(H_1, g_1) e(H_2, g_2) = 1`` — one
+        multi-pairing of four pairs."""
+        h_1, h_2 = self.params.hash_message(message)
+        p = self.params
+        return self.group.pairing_product_is_one([
+            (signature.z, p.g_z),
+            (signature.r, p.g_r),
+            (h_1, public_key.g_1),
+            (h_2, public_key.g_2),
+        ])
+
+    # ------------------------------------------------------------------
+    # Centralized signing (used by tests and the security reductions)
+    # ------------------------------------------------------------------
+    def sign_with_master(self, master: Tuple[int, int, int, int],
+                         message: bytes) -> Signature:
+        """Sign directly with the master key ``(A_1(0), B_1(0), A_2(0),
+        B_2(0))`` — what the combined signature must equal."""
+        a_10, b_10, a_20, b_20 = master
+        h_1, h_2 = self.params.hash_message(message)
+        z = (h_1 ** (-a_10)) * (h_2 ** (-a_20))
+        r = (h_1 ** (-b_10)) * (h_2 ** (-b_20))
+        return Signature(z=z, r=r)
+
+
+def random_master_key(group: BilinearGroup,
+                      rng=None) -> Tuple[int, int, int, int]:
+    """A uniformly random master key (for centralized/benchmark use)."""
+    return tuple(random_scalar(group.order, rng) for _ in range(4))
+
+
+def reconstruct_master_key(
+        shares: Sequence[PrivateKeyShare], order: int,
+        t: int) -> Tuple[int, int, int, int]:
+    """Recover ``(A_1(0), B_1(0), A_2(0), B_2(0))`` from t+1 shares.
+
+    Exists for tests and for the storage experiment; the protocol never
+    reconstructs the master key anywhere.
+    """
+    if len(shares) < t + 1:
+        raise ParameterError("not enough shares to reconstruct")
+    subset = list(shares)[: t + 1]
+    coefficients = lagrange_coefficients([s.index for s in subset], order)
+    totals = [0, 0, 0, 0]
+    for share in subset:
+        weight = coefficients[share.index]
+        totals[0] = (totals[0] + weight * share.a_1) % order
+        totals[1] = (totals[1] + weight * share.b_1) % order
+        totals[2] = (totals[2] + weight * share.a_2) % order
+        totals[3] = (totals[3] + weight * share.b_2) % order
+    return tuple(totals)

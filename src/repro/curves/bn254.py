@@ -1,0 +1,42 @@
+"""BN254 ("alt_bn128") curve constants.
+
+The curve equation over F_p is ``y^2 = x^3 + 3``; the sextic D-type twist
+over F_p2 is ``y^2 = x^3 + 3/xi`` with ``xi = 9 + u``.  The generators are
+the standard, widely deployed alt_bn128 generators.  Derived constants (the
+twist coefficient, the G2 cofactor) are computed rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from repro.math.tower import (
+    P, R, BN_X, ATE_LOOP_COUNT, XI, f2_inv, f2_mul_scalar,
+)
+
+#: G1 curve coefficient: y^2 = x^3 + B.
+B = 3
+
+#: G2 (twist) coefficient: 3 / xi in F_p2.
+B2 = f2_mul_scalar(f2_inv(XI), B)
+
+#: G1 generator.
+G1_GENERATOR = (1, 2)
+
+#: G2 generator (standard alt_bn128 point, coordinates as a0 + a1*u).
+G2_GENERATOR_X = (
+    10857046999023057135944570762232829481370756359578518086990519993285655852781,
+    11559732032986387107991004021392285783925812861821192530917403151452391805634,
+)
+G2_GENERATOR_Y = (
+    8495653923123431417604973247489272438418190587263600148770280649306958101930,
+    4082367875863433681332203403145435568316851327593401208105741076214120093531,
+)
+
+#: Cofactors: G1 is the full curve (h = 1); the twist group order is h2 * r.
+G1_COFACTOR = 1
+G2_COFACTOR = 2 * P - R
+
+__all__ = [
+    "P", "R", "B", "B2", "BN_X", "ATE_LOOP_COUNT",
+    "G1_GENERATOR", "G2_GENERATOR_X", "G2_GENERATOR_Y",
+    "G1_COFACTOR", "G2_COFACTOR",
+]

@@ -1,0 +1,88 @@
+"""Hashing arbitrary messages into G1, G1^n and G2.
+
+The paper models ``H : {0,1}* -> G x G`` as a random oracle (Section 3) and
+derives the extra generator ``g_r_hat`` of the public parameters from a
+random oracle as well ("it can simply be derived from a random oracle", so
+nobody knows its discrete logarithm).  We implement the classic
+try-and-increment method with domain separation:
+
+* for G1: hash to an x-coordinate candidate and take the first valid curve
+  point, choosing the y whose parity matches one hashed bit (G1 has cofactor
+  1, so every curve point is in the subgroup);
+* for G2: same over F_p2, followed by cofactor clearing.
+
+Try-and-increment is not constant time, which is irrelevant here: inputs are
+public messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.curves import bn254
+from repro.curves.g1 import G1Point
+from repro.curves.g2 import G2Point
+from repro.math.field import sqrt_mod
+from repro.math.rng import hash_to_int
+from repro.math.tower import f2_neg, f2_sqrt
+
+_P = bn254.P
+
+
+def hash_to_g1(message: bytes, domain: str = "repro:H:G1") -> G1Point:
+    """Try-and-increment hashing onto the G1 curve."""
+    counter = 0
+    while True:
+        tag = f"{domain}:{counter}"
+        x = hash_to_int(tag, message, _P)
+        parity = hash_to_int(tag + ":sign", message, 2)
+        y_squared = (x * x * x + bn254.B) % _P
+        y = sqrt_mod(y_squared, _P)
+        if y is not None:
+            if (y & 1) != parity:
+                y = _P - y
+            return G1Point(x, y)
+        counter += 1
+
+
+def hash_to_g1_vector(message: bytes, dimension: int,
+                      domain: str = "repro:H:G1vec") -> List[G1Point]:
+    """Hash a message to a vector of ``dimension`` independent G1 points.
+
+    This is the paper's ``H : {0,1}* -> G^N`` random oracle (N = 2 for the
+    main scheme, N = 3 for the DLIN variant, N = K + 1 for Appendix D.1).
+    """
+    return [
+        hash_to_g1(message, domain=f"{domain}:{k}") for k in range(dimension)
+    ]
+
+
+def hash_to_g2(message: bytes, domain: str = "repro:H:G2") -> G2Point:
+    """Try-and-increment onto the twist followed by cofactor clearing."""
+    counter = 0
+    while True:
+        tag = f"{domain}:{counter}"
+        x = (
+            hash_to_int(tag + ":x0", message, _P),
+            hash_to_int(tag + ":x1", message, _P),
+        )
+        from repro.curves.g2 import _twist_rhs
+        y = f2_sqrt(_twist_rhs(x))
+        if y is not None:
+            parity = hash_to_int(tag + ":sign", message, 2)
+            if (y[0] & 1) != parity:
+                y = f2_neg(y)
+            point = G2Point(x, y).clear_cofactor()
+            if not point.is_identity():
+                return point
+        counter += 1
+
+
+def derive_generator_g1(label: str) -> G1Point:
+    """Nothing-up-my-sleeve G1 generator with unknown discrete log."""
+    return hash_to_g1(label.encode("utf-8"), domain="repro:params:G1")
+
+
+def derive_generator_g2(label: str) -> G2Point:
+    """Nothing-up-my-sleeve G2 generator (e.g. the paper's g_r_hat)."""
+    return hash_to_g2(label.encode("utf-8"), domain="repro:params:G2")

@@ -1,0 +1,198 @@
+"""Optimal ate pairing e : G1 x G2 -> GT on BN254.
+
+The Miller loop runs over the twist in affine coordinates (F_p2 inversions
+are cheap relative to Python interpretation overhead) and evaluates lines
+directly in the sextic representation of F_p12.  ``multi_pairing`` computes
+a product of pairings with a single shared final exponentiation — this is
+the optimization behind the paper's "product of four pairings" verification
+cost (Section 3.1).
+
+GT elements are wrapped in :class:`GTElement` so the protocol layer can use
+``*``, ``**`` and equality without touching tower internals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.curves import bn254
+from repro.curves.g1 import G1Point
+from repro.curves.g2 import G2Point
+from repro.math import tower
+from repro.math.tower import (
+    ATE_LOOP_COUNT, F12_ONE, Fp12Ele, TWIST_FROB_X, TWIST_FROB_X2,
+    TWIST_FROB_Y, TWIST_FROB_Y2, f2_add, f2_conj, f2_eq, f2_inv, f2_mul,
+    f2_mul_scalar, f2_neg, f2_sqr, f2_sub, f12_conj, f12_cyclotomic_pow,
+    f12_eq, f12_frobenius, f12_inv, f12_is_one, f12_mul, f12_pow, f12_sqr,
+    wvec_to_f12, F2_ZERO,
+)
+
+_P = bn254.P
+_R = bn254.R
+
+#: Hard part of the final exponentiation: (p^4 - p^2 + 1) / r.
+_HARD_EXPONENT = (_P ** 4 - _P ** 2 + 1) // _R
+
+#: Miller loop bits of 6x + 2, most significant first, skipping the leader.
+_LOOP_BITS = [int(bit) for bit in bin(ATE_LOOP_COUNT)[3:]]
+
+#: Global Miller-loop counter (used by the T2 operation-count experiment).
+PAIRING_COUNTERS = {"miller_loops": 0, "final_exps": 0}
+
+
+def _line_eval(t_aff, q_aff, p_aff) -> Tuple[Fp12Ele, tuple]:
+    """Chord/tangent line through twist points T and Q, evaluated at P.
+
+    Returns ``(line_value, T + Q)`` where the line value is the sparse
+    F_p12 element ``y_P - lambda * x_P * w + (lambda * x_T - y_T) * w^3``
+    coming from the untwist map ``(x', y') -> (x' w^2, y' w^3)``.
+    ``t_aff``/``q_aff`` are affine twist points, ``p_aff`` the affine G1
+    point.
+    """
+    xt, yt = t_aff
+    xq, yq = q_aff
+    xp, yp = p_aff
+    if f2_eq(xt, xq) and f2_eq(yt, yq):
+        # Tangent: lambda = 3 x^2 / (2 y).
+        numerator = f2_mul_scalar(f2_sqr(xt), 3)
+        denominator = f2_mul_scalar(yt, 2)
+    elif f2_eq(xt, xq):
+        # Vertical line: value is x_P - x_T * w^2, sum is infinity.
+        line = wvec_to_f12((
+            (xp, 0), F2_ZERO, f2_neg(xt), F2_ZERO, F2_ZERO, F2_ZERO))
+        return line, None
+    else:
+        numerator = f2_sub(yq, yt)
+        denominator = f2_sub(xq, xt)
+    slope = f2_mul(numerator, f2_inv(denominator))
+    x3 = f2_sub(f2_sub(f2_sqr(slope), xt), xq)
+    y3 = f2_sub(f2_mul(slope, f2_sub(xt, x3)), yt)
+    line = wvec_to_f12((
+        (yp, 0),
+        f2_mul_scalar(slope, -xp % _P),
+        F2_ZERO,
+        f2_sub(f2_mul(slope, xt), yt),
+        F2_ZERO,
+        F2_ZERO,
+    ))
+    return line, (x3, y3)
+
+
+def _miller_loop(p_aff, q_aff) -> Fp12Ele:
+    """f_{6x+2, Q}(P) times the two Frobenius line corrections."""
+    PAIRING_COUNTERS["miller_loops"] += 1
+    f = F12_ONE
+    t = q_aff
+    for bit in _LOOP_BITS:
+        line, t = _line_eval(t, t, p_aff)
+        f = f12_mul(f12_sqr(f), line)
+        if bit:
+            line, t = _line_eval(t, q_aff, p_aff)
+            f = f12_mul(f, line)
+    # Q1 = pi_p(Q), Q2 = pi_{p^2}(Q); the loop finishes with the lines
+    # through (T, Q1) and (T + Q1, -Q2).
+    xq, yq = q_aff
+    q1 = (f2_mul(f2_conj(xq), TWIST_FROB_X), f2_mul(f2_conj(yq), TWIST_FROB_Y))
+    q2 = (f2_mul(xq, TWIST_FROB_X2), f2_mul(yq, TWIST_FROB_Y2))
+    q2_neg = (q2[0], f2_neg(q2[1]))
+    line, t = _line_eval(t, q1, p_aff)
+    f = f12_mul(f, line)
+    line, _t = _line_eval(t, q2_neg, p_aff)
+    f = f12_mul(f, line)
+    return f
+
+
+def final_exponentiation(f: Fp12Ele) -> Fp12Ele:
+    """Raise to (p^12 - 1)/r: Frobenius easy part, then the hard part."""
+    PAIRING_COUNTERS["final_exps"] += 1
+    # Easy part: f^(p^6 - 1) then ^(p^2 + 1).
+    f = f12_mul(f12_conj(f), f12_inv(f))
+    f = f12_mul(f12_frobenius(f, 2), f)
+    # Hard part: after the easy part f is cyclotomic, so the NAF
+    # exponentiation with conjugation-as-inversion applies.
+    return f12_cyclotomic_pow(f, _HARD_EXPONENT)
+
+
+class GTElement:
+    """An element of GT = the order-r subgroup of F_p12*."""
+
+    __slots__ = ("value",)
+
+    order = _R
+
+    def __init__(self, value: Fp12Ele):
+        self.value = value
+
+    @classmethod
+    def one(cls) -> "GTElement":
+        return cls(F12_ONE)
+
+    def __mul__(self, other: "GTElement") -> "GTElement":
+        return GTElement(f12_mul(self.value, other.value))
+
+    def __truediv__(self, other: "GTElement") -> "GTElement":
+        return GTElement(f12_mul(self.value, f12_inv(other.value)))
+
+    def __pow__(self, exponent: int) -> "GTElement":
+        exponent %= _R
+        return GTElement(f12_pow(self.value, exponent))
+
+    def inverse(self) -> "GTElement":
+        # GT elements are cyclotomic, so conjugation inverts them.
+        return GTElement(f12_conj(self.value))
+
+    def is_one(self) -> bool:
+        return f12_is_one(self.value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GTElement):
+            return NotImplemented
+        return f12_eq(self.value, other.value)
+
+    def __hash__(self):
+        normalized = tower.f12_to_wvec(self.value)
+        return hash(("GT", tuple(c % _P for pair in normalized for c in pair)))
+
+    def __repr__(self):
+        return "GTElement(1)" if self.is_one() else "GTElement(...)"
+
+
+def pairing(p: G1Point, q: G2Point) -> GTElement:
+    """The optimal ate pairing e(P, Q)."""
+    p_aff = p.affine()
+    q_aff = q.affine()
+    if p_aff is None or q_aff is None:
+        return GTElement.one()
+    return GTElement(final_exponentiation(_miller_loop(p_aff, q_aff)))
+
+
+def multi_pairing(pairs: Iterable[Tuple[G1Point, G2Point]]) -> GTElement:
+    """Product of pairings with one shared final exponentiation.
+
+    ``multi_pairing([(P1, Q1), ..., (Pk, Qk)])`` equals
+    ``prod_i e(Pi, Qi)`` but costs k Miller loops + 1 final exponentiation
+    instead of k of each.  All of the paper's verification equations are
+    products of pairings, so this is the fast path used throughout.
+    """
+    accumulator = F12_ONE
+    any_term = False
+    for p, q in pairs:
+        p_aff = p.affine()
+        q_aff = q.affine()
+        if p_aff is None or q_aff is None:
+            continue
+        accumulator = f12_mul(accumulator, _miller_loop(p_aff, q_aff))
+        any_term = True
+    if not any_term:
+        return GTElement.one()
+    return GTElement(final_exponentiation(accumulator))
+
+
+def pairing_product_is_one(pairs: Sequence[Tuple[G1Point, G2Point]]) -> bool:
+    """Check ``prod_i e(Pi, Qi) == 1`` (the shape of all verify equations)."""
+    return multi_pairing(pairs).is_one()
+
+
+def reset_pairing_counters() -> None:
+    PAIRING_COUNTERS["miller_loops"] = 0
+    PAIRING_COUNTERS["final_exps"] = 0

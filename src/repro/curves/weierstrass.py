@@ -1,0 +1,119 @@
+"""Generic Jacobian-coordinate arithmetic for curves y^2 = x^3 + b (a = 0).
+
+Both BN254 groups use a zero ``a`` coefficient, so one set of formulas,
+parameterized by a :class:`FieldOps` bundle, serves G1 (over F_p) and G2
+(over F_p2).  Points are (X, Y, Z) Jacobian triples; Z equal to the field
+zero encodes the point at infinity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+
+class FieldOps(NamedTuple):
+    """The field operations the curve formulas need."""
+
+    add: Callable
+    sub: Callable
+    mul: Callable
+    sqr: Callable
+    neg: Callable
+    inv: Callable
+    is_zero: Callable
+    eq: Callable
+    zero: object
+    one: object
+
+    def dbl(self, a):
+        return self.add(a, a)
+
+
+def jac_double(ops: FieldOps, point):
+    """Double a Jacobian point on y^2 = x^3 + b (standard a = 0 formulas)."""
+    x, y, z = point
+    if ops.is_zero(z) or ops.is_zero(y):
+        return (ops.one, ops.one, ops.zero)
+    a = ops.sqr(x)
+    b = ops.sqr(y)
+    c = ops.sqr(b)
+    d = ops.sub(ops.sub(ops.sqr(ops.add(x, b)), a), c)
+    d = ops.dbl(d)
+    e = ops.add(ops.dbl(a), a)
+    f = ops.sqr(e)
+    x3 = ops.sub(f, ops.dbl(d))
+    eight_c = ops.dbl(ops.dbl(ops.dbl(c)))
+    y3 = ops.sub(ops.mul(e, ops.sub(d, x3)), eight_c)
+    z3 = ops.dbl(ops.mul(y, z))
+    return (x3, y3, z3)
+
+
+def jac_add(ops: FieldOps, p1, p2):
+    """Add two Jacobian points (handles all degenerate cases)."""
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if ops.is_zero(z1):
+        return p2
+    if ops.is_zero(z2):
+        return p1
+    z1z1 = ops.sqr(z1)
+    z2z2 = ops.sqr(z2)
+    u1 = ops.mul(x1, z2z2)
+    u2 = ops.mul(x2, z1z1)
+    s1 = ops.mul(ops.mul(y1, z2), z2z2)
+    s2 = ops.mul(ops.mul(y2, z1), z1z1)
+    if ops.eq(u1, u2):
+        if ops.eq(s1, s2):
+            return jac_double(ops, p1)
+        return (ops.one, ops.one, ops.zero)
+    h = ops.sub(u2, u1)
+    i = ops.sqr(ops.dbl(h))
+    j = ops.mul(h, i)
+    r = ops.dbl(ops.sub(s2, s1))
+    v = ops.mul(u1, i)
+    x3 = ops.sub(ops.sub(ops.sqr(r), j), ops.dbl(v))
+    y3 = ops.sub(ops.mul(r, ops.sub(v, x3)), ops.dbl(ops.mul(s1, j)))
+    z3 = ops.dbl(ops.mul(ops.mul(z1, z2), h))
+    return (x3, y3, z3)
+
+
+def jac_neg(ops: FieldOps, point):
+    x, y, z = point
+    return (x, ops.neg(y), z)
+
+
+def jac_scalar_mul(ops: FieldOps, point, scalar: int, order: int):
+    """Left-to-right double-and-add; the scalar is reduced modulo ``order``."""
+    scalar %= order
+    if scalar == 0 or ops.is_zero(point[2]):
+        return (ops.one, ops.one, ops.zero)
+    result = (ops.one, ops.one, ops.zero)
+    for bit in bin(scalar)[2:]:
+        result = jac_double(ops, result)
+        if bit == "1":
+            result = jac_add(ops, result, point)
+    return result
+
+
+def jac_normalize(ops: FieldOps, point):
+    """Return the affine (x, y) pair, or None for the point at infinity."""
+    x, y, z = point
+    if ops.is_zero(z):
+        return None
+    z_inv = ops.inv(z)
+    z_inv2 = ops.sqr(z_inv)
+    return (ops.mul(x, z_inv2), ops.mul(ops.mul(y, z_inv), z_inv2))
+
+
+def jac_eq(ops: FieldOps, p1, p2) -> bool:
+    """Projective equality without normalizing (cross-multiplication)."""
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if ops.is_zero(z1) or ops.is_zero(z2):
+        return ops.is_zero(z1) and ops.is_zero(z2)
+    z1z1 = ops.sqr(z1)
+    z2z2 = ops.sqr(z2)
+    if not ops.eq(ops.mul(x1, z2z2), ops.mul(x2, z1z1)):
+        return False
+    return ops.eq(
+        ops.mul(ops.mul(y1, z2), z2z2), ops.mul(ops.mul(y2, z1), z1z1))

@@ -1,0 +1,22 @@
+"""Distributed key generation protocols.
+
+* :mod:`repro.dkg.pedersen_dkg` — the paper's Dist-Keygen (Section 3.1):
+  Pedersen's DKG with two-generator (Pedersen) VSS, complaint handling and
+  disqualification.  One communication round when everyone behaves.
+* :mod:`repro.dkg.gjkr_dkg` — the Gennaro-Jarecki-Krawczyk-Rabin "new-DKG"
+  baseline that guarantees a uniform public key at the cost of an extra
+  extraction phase; used for the DKG cost comparison (experiment T4).
+* :mod:`repro.dkg.refresh` — proactive share refresh (Section 3.3):
+  re-sharing zero and adding the result to current shares.
+"""
+
+from repro.dkg.pedersen_dkg import (
+    PedersenDKGPlayer, DKGResult, run_pedersen_dkg, dkg_result_to_keys,
+)
+from repro.dkg.gjkr_dkg import run_gjkr_dkg
+from repro.dkg.refresh import run_refresh
+
+__all__ = [
+    "PedersenDKGPlayer", "DKGResult", "run_pedersen_dkg",
+    "dkg_result_to_keys", "run_gjkr_dkg", "run_refresh",
+]

@@ -1,0 +1,327 @@
+"""The Gennaro-Jarecki-Krawczyk-Rabin "new-DKG" baseline.
+
+The paper's Section 1 contrasts Pedersen's DKG (one optimistic round, but a
+biasable public key) with the GJKR protocol (uniform public key, extra
+extraction phase).  We implement GJKR to measure that cost difference
+(experiment T4) and to demonstrate that the bias attack of
+:mod:`repro.security.attacks` fails against it.
+
+Structure (single shared scalar a, masking scalar b):
+
+* Rounds 0-2: exactly Pedersen's DKG — deal with Pedersen commitments
+  ``C_l = g_z^{a_l} g_r^{b_l}``, complain, respond.  This fixes the
+  qualified set Q **before** anything about the public key is revealed.
+* Round 3 (extraction): each dealer in Q broadcasts Feldman commitments
+  ``A_l = g_z^{a_l}`` to its a-polynomial alone.
+* Round 4 (extraction complaints): players whose share fails the Feldman
+  check broadcast their (publicly verifiable) share pair as evidence.
+* Round 5 (reconstruction): on a valid extraction complaint against dealer
+  j, every player broadcasts its share of dealer j so that a_j0 can be
+  interpolated publicly.  Dealer j *stays in Q* — its contribution is
+  reconstructed, which is the crucial difference that kills the bias
+  attack (an attacker cannot remove its contribution after seeing others').
+
+The public key is ``y = g_z^{sum_{j in Q} a_j0}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError, ProtocolError
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.math.lagrange import interpolate_at
+from repro.net.adversary import Adversary
+from repro.net.player import Player
+from repro.net.simulator import Message, SyncNetwork, broadcast, private
+from repro.sharing.pedersen_vss import PedersenVSS, commitment_eval
+from repro.sharing.shamir import validate_threshold
+
+NUM_ROUNDS = 6
+
+
+@dataclass
+class GJKRResult:
+    index: int
+    qualified: List[int]
+    share: int                      # x_i = sum_{j in Q} A_j(i)
+    public_key: GroupElement        # y = g_z^{x}
+    verification_keys: Dict[int, GroupElement]
+
+
+class GJKRPlayer(Player):
+    """An honest participant of the GJKR new-DKG."""
+
+    def __init__(self, index: int, group: BilinearGroup,
+                 g_z: GroupElement, g_r: GroupElement, t: int, n: int,
+                 rng=None):
+        super().__init__(index)
+        validate_threshold(t, n)
+        if n < 2 * t + 1:
+            raise ParameterError("GJKR requires n >= 2t + 1")
+        self.group = group
+        self.g_z = g_z
+        self.g_r = g_r
+        self.t = t
+        self.n = n
+        self.rng = rng
+        self.dealing: Optional[PedersenVSS] = None
+        self.received_commitments: Dict[int, List[GroupElement]] = {}
+        self.received_shares: Dict[int, Tuple[int, int]] = {}
+        self.complaints_against: Dict[int, set] = {}
+        self.qualified: List[int] = []
+        self.feldman: Dict[int, List[GroupElement]] = {}
+        self.extraction_complaints: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        self.reconstruction_shares: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        self._result: Optional[GJKRResult] = None
+
+    # -- rounds -----------------------------------------------------------
+    def on_round(self, round_no: int,
+                 inbox: Sequence[Message]) -> List[Message]:
+        if round_no == 0:
+            return self._deal()
+        if round_no == 1:
+            self._ingest_dealings(inbox)
+            return self._complain()
+        if round_no == 2:
+            self._ingest_complaints(inbox)
+            return self._respond()
+        if round_no == 3:
+            self._finalize_qualified(inbox)
+            return self._extract()
+        if round_no == 4:
+            self._ingest_feldman(inbox)
+            return self._extraction_complain()
+        if round_no == 5:
+            self._ingest_extraction_complaints(inbox)
+            return self._reconstruct()
+        return []
+
+    def _deal(self) -> List[Message]:
+        self.dealing = PedersenVSS.deal(
+            self.group, self.g_z, self.g_r, self.t, self.n, rng=self.rng)
+        outbound = [broadcast(self.index, "commitments",
+                              {"commitments": [self.dealing.commitments]})]
+        for j in range(1, self.n + 1):
+            if j != self.index:
+                outbound.append(private(
+                    self.index, j, "shares", [self.dealing.share_for(j)]))
+        self.received_commitments[self.index] = self.dealing.commitments
+        self.received_shares[self.index] = self.dealing.share_for(self.index)
+        return outbound
+
+    def _ingest_dealings(self, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            if message.kind == "commitments":
+                commitments = message.payload["commitments"][0]
+                if len(commitments) == self.t + 1:
+                    self.received_commitments[message.sender] = commitments
+            elif message.kind == "shares" and message.recipient == self.index:
+                pair = message.payload[0]
+                self.received_shares[message.sender] = (
+                    int(pair[0]), int(pair[1]))
+
+    def _complain(self) -> List[Message]:
+        outbound = []
+        for dealer in range(1, self.n + 1):
+            if dealer == self.index:
+                continue
+            if not self._share_ok(dealer):
+                outbound.append(broadcast(
+                    self.index, "complaint", {"accused": dealer}))
+        return outbound
+
+    def _share_ok(self, dealer: int) -> bool:
+        commitments = self.received_commitments.get(dealer)
+        share = self.received_shares.get(dealer)
+        if commitments is None or share is None:
+            return False
+        return PedersenVSS.verify_share(
+            self.group, self.g_z, self.g_r, commitments, self.index, share)
+
+    def _ingest_complaints(self, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            if message.kind == "complaint":
+                accused = message.payload.get("accused")
+                if isinstance(accused, int):
+                    self.complaints_against.setdefault(accused, set()).add(
+                        message.sender)
+
+    def _respond(self) -> List[Message]:
+        complainers = self.complaints_against.get(self.index, set())
+        return [
+            broadcast(self.index, "response", {
+                "complainer": c,
+                "shares": [self.dealing.share_for(c)],
+            })
+            for c in sorted(complainers)
+        ]
+
+    def _finalize_qualified(self, inbox: Sequence[Message]) -> None:
+        responses: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for message in inbox:
+            if message.kind != "response":
+                continue
+            payload = message.payload
+            share = payload["shares"][0]
+            responses.setdefault(message.sender, {})[
+                payload["complainer"]] = (int(share[0]), int(share[1]))
+        for dealer in range(1, self.n + 1):
+            commitments = self.received_commitments.get(dealer)
+            if commitments is None:
+                continue
+            complainers = self.complaints_against.get(dealer, set())
+            if len(complainers) > self.t:
+                continue
+            ok = True
+            for complainer in complainers:
+                published = responses.get(dealer, {}).get(complainer)
+                if published is None or not PedersenVSS.verify_share(
+                        self.group, self.g_z, self.g_r, commitments,
+                        complainer, published):
+                    ok = False
+                    break
+                if complainer == self.index:
+                    self.received_shares[dealer] = published
+            if ok:
+                self.qualified.append(dealer)
+
+    def _extract(self) -> List[Message]:
+        """Broadcast Feldman commitments g_z^{a_l} (extraction phase)."""
+        if self.index not in self.qualified:
+            return []
+        feldman = [
+            self.g_z ** coeff for coeff in self.dealing.poly_a.coeffs]
+        return [broadcast(self.index, "feldman", {"feldman": feldman})]
+
+    def _ingest_feldman(self, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            if message.kind == "feldman":
+                feldman = message.payload["feldman"]
+                if len(feldman) == self.t + 1:
+                    self.feldman[message.sender] = feldman
+
+    def _extraction_complain(self) -> List[Message]:
+        """Publish our share pair against dealers failing the Feldman check."""
+        outbound = []
+        for dealer in self.qualified:
+            if dealer == self.index:
+                continue
+            share = self.received_shares.get(dealer)
+            feldman = self.feldman.get(dealer)
+            bad = (
+                feldman is None
+                or self.g_z ** share[0] != commitment_eval(
+                    self.group, feldman, self.index))
+            if bad:
+                outbound.append(broadcast(
+                    self.index, "x-complaint",
+                    {"accused": dealer, "share": share}))
+        return outbound
+
+    def _ingest_extraction_complaints(self, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            if message.kind != "x-complaint":
+                continue
+            accused = message.payload["accused"]
+            share = message.payload["share"]
+            if accused not in self.qualified:
+                continue
+            commitments = self.received_commitments[accused]
+            # Only *valid* complaints (share matches the Pedersen
+            # commitment but not the Feldman one) trigger reconstruction.
+            share = (int(share[0]), int(share[1]))
+            pedersen_ok = PedersenVSS.verify_share(
+                self.group, self.g_z, self.g_r, commitments,
+                message.sender, share)
+            feldman = self.feldman.get(accused)
+            feldman_ok = feldman is not None and (
+                self.g_z ** share[0] == commitment_eval(
+                    self.group, feldman, message.sender))
+            if pedersen_ok and not feldman_ok:
+                self.extraction_complaints.setdefault(accused, {})[
+                    message.sender] = share
+
+    def _reconstruct(self) -> List[Message]:
+        """Everyone publishes its shares of dealers under reconstruction."""
+        outbound = []
+        for dealer in sorted(self.extraction_complaints):
+            share = self.received_shares.get(dealer)
+            if share is not None:
+                outbound.append(broadcast(
+                    self.index, "reconstruct",
+                    {"dealer": dealer, "share": share}))
+        return outbound
+
+    # -- output --------------------------------------------------------------
+    def finalize(self) -> GJKRResult:
+        if self._result is not None:
+            return self._result
+        # Collect reconstruction shares from the final delivery.
+        for round_messages in self.history:
+            for message in round_messages:
+                if message.kind != "reconstruct":
+                    continue
+                dealer = message.payload["dealer"]
+                share = message.payload["share"]
+                share = (int(share[0]), int(share[1]))
+                if dealer not in self.extraction_complaints:
+                    continue
+                if PedersenVSS.verify_share(
+                        self.group, self.g_z, self.g_r,
+                        self.received_commitments[dealer],
+                        message.sender, share):
+                    self.reconstruction_shares.setdefault(dealer, {})[
+                        message.sender] = share
+        public_key = None
+        for dealer in self.qualified:
+            if dealer in self.extraction_complaints:
+                points = {
+                    sender: pair[0]
+                    for sender, pair in self.reconstruction_shares.get(
+                        dealer, {}).items()
+                }
+                if len(points) < self.t + 1:
+                    raise ProtocolError(
+                        f"cannot reconstruct dealer {dealer}'s contribution")
+                a_0 = interpolate_at(points, self.group.order, x=0)
+                contribution = self.g_z ** a_0
+            else:
+                contribution = self.feldman[dealer][0]
+            public_key = (contribution if public_key is None
+                          else public_key * contribution)
+        share = sum(
+            self.received_shares[j][0] for j in self.qualified
+        ) % self.group.order
+        verification_keys = {}
+        for j in range(1, self.n + 1):
+            vk = None
+            for dealer in self.qualified:
+                feldman = self.feldman.get(dealer)
+                if feldman is None:
+                    continue
+                term = commitment_eval(self.group, feldman, j)
+                vk = term if vk is None else vk * term
+            verification_keys[j] = vk
+        self._result = GJKRResult(
+            index=self.index,
+            qualified=sorted(self.qualified),
+            share=share,
+            public_key=public_key,
+            verification_keys=verification_keys,
+        )
+        return self._result
+
+
+def run_gjkr_dkg(group: BilinearGroup, g_z: GroupElement,
+                 g_r: GroupElement, t: int, n: int,
+                 adversary: Optional[Adversary] = None, rng=None):
+    """Run the GJKR new-DKG; returns (results_by_player, network)."""
+    players = {
+        i: GJKRPlayer(i, group, g_z, g_r, t, n, rng=rng)
+        for i in range(1, n + 1)
+    }
+    network = SyncNetwork(players, adversary=adversary)
+    results = network.run(NUM_ROUNDS)
+    return results, network

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Protocol-level misbehaviour (bad shares, invalid
+signatures, malformed messages) raises specific subclasses, which the
+robustness machinery relies on to distinguish adversarial inputs from bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError):
+    """Invalid scheme or protocol parameters (e.g. t, n out of range)."""
+
+
+class SerializationError(ReproError):
+    """Malformed byte encoding of a group element, share or signature."""
+
+
+class NotOnCurveError(SerializationError):
+    """A decoded point does not lie on the expected curve or subgroup."""
+
+
+class InvalidShareError(ReproError):
+    """A secret share or partial signature failed verification."""
+
+
+class InvalidSignatureError(ReproError):
+    """A full signature failed verification."""
+
+
+class CombineError(ReproError):
+    """Combine was called with an unusable set of partial signatures."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol received a malformed or out-of-order message."""
+
+
+class DisqualifiedError(ProtocolError):
+    """An operation referenced a player disqualified during the protocol."""
+
+
+class SecurityGameError(ReproError):
+    """The security-game harness was driven incorrectly by an adversary."""

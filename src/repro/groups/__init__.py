@@ -1,0 +1,41 @@
+"""Bilinear-group abstraction with interchangeable backends.
+
+The paper writes its schemes multiplicatively over asymmetric groups
+``(G, G_hat, G_T)``.  Protocol code in this library is written against the
+:class:`repro.groups.api.BilinearGroup` interface, so every scheme runs on:
+
+* ``bn254`` — the real BN254 optimal-ate pairing (cryptographically
+  meaningful, pure Python, ~60 ms per pairing);
+* ``toy`` — a discrete-log backend where elements are exponents modulo the
+  same prime order.  The algebra (bilinearity, key homomorphism, Lagrange
+  interpolation in the exponent) is identical, so all protocol logic tests
+  run fast.  It offers **no security whatsoever** and says so loudly.
+* ``toy-symmetric`` — the toy backend with G = G_hat, used by the
+  Appendix D.2 construction which requires a Type-1 pairing.
+
+Use :func:`get_group` to obtain a backend by name.
+"""
+
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.groups.bn254_backend import BN254Group
+from repro.groups.toy_backend import ToyGroup
+
+_CACHE = {}
+
+
+def get_group(name: str = "bn254") -> BilinearGroup:
+    """Return a (cached) bilinear group backend by name."""
+    if name not in _CACHE:
+        if name == "bn254":
+            _CACHE[name] = BN254Group()
+        elif name == "toy":
+            _CACHE[name] = ToyGroup(symmetric=False)
+        elif name == "toy-symmetric":
+            _CACHE[name] = ToyGroup(symmetric=True)
+        else:
+            raise ValueError(f"unknown bilinear group backend: {name!r}")
+    return _CACHE[name]
+
+
+__all__ = ["BilinearGroup", "GroupElement", "BN254Group", "ToyGroup",
+           "get_group"]

@@ -1,0 +1,138 @@
+"""Abstract interface for bilinear groups (multiplicative notation).
+
+Elements follow the paper's multiplicative convention: ``a * b`` is the
+group operation, ``a ** k`` exponentiation by an integer scalar, and
+``a.inverse()`` (or ``a ** -1``) the group inverse.  The neutral element of
+each group is exposed on the group object.
+
+The single most important method for efficiency is
+:meth:`BilinearGroup.pairing_product_is_one`: every verification equation in
+the paper has the shape ``prod_i e(X_i, Y_hat_i) = 1`` and backends can
+evaluate the product with one shared final exponentiation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Sequence, Tuple
+
+
+class GroupElement(ABC):
+    """A multiplicative group element (G, G_hat or G_T)."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def op(self, other: "GroupElement") -> "GroupElement":
+        """The group operation."""
+
+    @abstractmethod
+    def exp(self, scalar: int) -> "GroupElement":
+        """Exponentiation by an integer (reduced modulo the group order)."""
+
+    @abstractmethod
+    def inverse(self) -> "GroupElement":
+        """The group inverse."""
+
+    @abstractmethod
+    def is_identity(self) -> bool:
+        """True for the neutral element."""
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding (used for sizes and hashing)."""
+
+    # -- operator sugar ----------------------------------------------------
+    def __mul__(self, other):
+        return self.op(other)
+
+    def __truediv__(self, other):
+        return self.op(other.inverse())
+
+    def __pow__(self, scalar: int):
+        if scalar < 0:
+            return self.exp(-scalar).inverse()
+        return self.exp(scalar)
+
+    def __bool__(self):
+        return not self.is_identity()
+
+
+class BilinearGroup(ABC):
+    """A bilinear environment (G, G_hat, G_T) of prime order with a pairing."""
+
+    #: Backend name ("bn254", "toy", ...).
+    name: str
+    #: The common prime order of the three groups.
+    order: int
+    #: True when G == G_hat (Type-1 / symmetric pairing).
+    symmetric: bool
+    #: Encoded element sizes in bytes (reported by the size experiments).
+    g1_bytes: int
+    g2_bytes: int
+    gt_bytes: int
+    #: True when the backend provides real cryptographic hardness.
+    secure: bool
+
+    # -- neutral elements and generators ------------------------------------
+    @abstractmethod
+    def g1_identity(self) -> GroupElement: ...
+
+    @abstractmethod
+    def g2_identity(self) -> GroupElement: ...
+
+    @abstractmethod
+    def gt_identity(self) -> GroupElement: ...
+
+    @abstractmethod
+    def g1_generator(self) -> GroupElement: ...
+
+    @abstractmethod
+    def g2_generator(self) -> GroupElement: ...
+
+    # -- random-oracle derivations ------------------------------------------
+    @abstractmethod
+    def derive_g1(self, label: str) -> GroupElement:
+        """Generator of G with unknown discrete log (random-oracle derived)."""
+
+    @abstractmethod
+    def derive_g2(self, label: str) -> GroupElement:
+        """Generator of G_hat with unknown discrete log."""
+
+    @abstractmethod
+    def hash_to_g1_vector(self, data: bytes, dimension: int,
+                          domain: str = "H") -> List[GroupElement]:
+        """The random oracle H : {0,1}* -> G^dimension."""
+
+    # -- pairing -------------------------------------------------------------
+    @abstractmethod
+    def pair(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        """The bilinear map e(a, b) with a in G and b in G_hat."""
+
+    @abstractmethod
+    def pairing_product(
+            self,
+            pairs: Iterable[Tuple[GroupElement, GroupElement]],
+    ) -> GroupElement:
+        """``prod_i e(a_i, b_i)`` (backends share the final exponentiation)."""
+
+    def pairing_product_is_one(
+            self,
+            pairs: Sequence[Tuple[GroupElement, GroupElement]],
+    ) -> bool:
+        """Check the canonical verification shape ``prod e(a_i, b_i) = 1``."""
+        return self.pairing_product(pairs).is_identity()
+
+    # -- scalars / deserialization --------------------------------------------
+    @abstractmethod
+    def random_scalar(self, rng=None) -> int:
+        """Uniform scalar in [0, order)."""
+
+    @abstractmethod
+    def g1_from_bytes(self, data: bytes) -> GroupElement: ...
+
+    @abstractmethod
+    def g2_from_bytes(self, data: bytes) -> GroupElement: ...
+
+    def __repr__(self):
+        return f"<BilinearGroup {self.name}>"

@@ -1,0 +1,24 @@
+"""Groth-Sahai NIWI proofs for linear pairing-product equations (SXDH).
+
+Implements exactly the fragment the paper needs (Appendix A):
+
+* commitments to G-side variables under a two-vector CRS ``(f, f_M)``
+  where ``f_M`` is assembled from the bits of the message being signed
+  (the Malkin et al. technique used in Section 4);
+* NIWI proofs for *linear* equations ``prod_j e(X_j, B_hat_j) * e(P, Q_hat)
+  = 1`` with committed ``X_j`` and public constants;
+* perfect randomizability (Belenkiy et al.), used by Combine;
+* the homomorphic property that commitments and proofs can be combined by
+  Lagrange interpolation in the exponent — the key to non-interactive
+  threshold signing in the standard model.
+"""
+
+from repro.gs.crs import GSParams, MessageCRS
+from repro.gs.proofs import (
+    GSCommitment, GSProof, commit, prove_linear, randomize, verify_linear,
+)
+
+__all__ = [
+    "GSParams", "MessageCRS", "GSCommitment", "GSProof",
+    "commit", "prove_linear", "verify_linear", "randomize",
+]

@@ -1,0 +1,144 @@
+"""Commitments and NIWI proofs for linear pairing-product equations.
+
+Equation shape (all the paper needs):
+
+    prod_j e(X_j, B_hat_j) * e(P, Q_hat) = 1
+
+with G-side variables X_j, public G_hat constants B_hat_j and a public
+"target" pair (P, Q_hat).  Commitments under a CRS (f, f_M):
+
+    C_j = (1, X_j) * f^{nu_{j,1}} * f_M^{nu_{j,2}}      (componentwise)
+
+Proof (two G_hat elements):
+
+    pi_1 = prod_j B_hat_j^{-nu_{j,1}},  pi_2 = prod_j B_hat_j^{-nu_{j,2}}
+
+Verification, componentwise over the two coordinates of G^2:
+
+    coord 0:  prod_j e(C_j[0], B_hat_j) * e(f[0], pi_1) * e(f_M[0], pi_2) = 1
+    coord 1:  prod_j e(C_j[1], B_hat_j) * e(f[1], pi_1) * e(f_M[1], pi_2)
+                                        * e(P, Q_hat) = 1
+
+Everything is linear in the randomness, which gives (a) perfect
+randomizability and (b) Lagrange combinability: raising commitments and
+proofs of the same statement-shape to interpolation coefficients yields a
+valid proof for the interpolated statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.gs.crs import MessageCRS
+from repro.math.rng import random_scalar
+
+
+@dataclass(frozen=True)
+class GSCommitment:
+    """A commitment in G^2 to one G-side variable."""
+
+    c0: GroupElement
+    c1: GroupElement
+
+    def op(self, other: "GSCommitment") -> "GSCommitment":
+        return GSCommitment(self.c0 * other.c0, self.c1 * other.c1)
+
+    def exp(self, scalar: int) -> "GSCommitment":
+        return GSCommitment(self.c0 ** scalar, self.c1 ** scalar)
+
+    def to_bytes(self) -> bytes:
+        return self.c0.to_bytes() + self.c1.to_bytes()
+
+
+@dataclass(frozen=True)
+class GSProof:
+    """The two G_hat proof elements (pi_1, pi_2)."""
+
+    pi1: GroupElement
+    pi2: GroupElement
+
+    def op(self, other: "GSProof") -> "GSProof":
+        return GSProof(self.pi1 * other.pi1, self.pi2 * other.pi2)
+
+    def exp(self, scalar: int) -> "GSProof":
+        return GSProof(self.pi1 ** scalar, self.pi2 ** scalar)
+
+    def to_bytes(self) -> bytes:
+        return self.pi1.to_bytes() + self.pi2.to_bytes()
+
+
+def commit(crs: MessageCRS, value: GroupElement, nu1: int,
+           nu2: int) -> GSCommitment:
+    """``(1, X) * f^{nu1} * f_M^{nu2}``."""
+    f0, f1 = crs.f
+    m0, m1 = crs.f_m
+    return GSCommitment(
+        c0=(f0 ** nu1) * (m0 ** nu2),
+        c1=value * (f1 ** nu1) * (m1 ** nu2),
+    )
+
+
+def prove_linear(constants: Sequence[GroupElement],
+                 randomness: Sequence[Tuple[int, int]]) -> GSProof:
+    """NIWI proof from the constants and the commitment randomness."""
+    if len(constants) != len(randomness):
+        raise ParameterError("one randomness pair per committed variable")
+    pi1 = pi2 = None
+    for b_hat, (nu1, nu2) in zip(constants, randomness):
+        term1 = b_hat ** (-nu1)
+        term2 = b_hat ** (-nu2)
+        pi1 = term1 if pi1 is None else pi1 * term1
+        pi2 = term2 if pi2 is None else pi2 * term2
+    return GSProof(pi1=pi1, pi2=pi2)
+
+
+def verify_linear(group: BilinearGroup, crs: MessageCRS,
+                  commitments: Sequence[GSCommitment],
+                  constants: Sequence[GroupElement],
+                  target: Tuple[GroupElement, GroupElement],
+                  proof: GSProof) -> bool:
+    """Check both coordinate equations (two multi-pairings)."""
+    if len(commitments) != len(constants):
+        return False
+    target_p, target_q = target
+    coord0 = [(c.c0, b_hat) for c, b_hat in zip(commitments, constants)]
+    coord0 += [(crs.f[0], proof.pi1), (crs.f_m[0], proof.pi2)]
+    if not group.pairing_product_is_one(coord0):
+        return False
+    coord1 = [(c.c1, b_hat) for c, b_hat in zip(commitments, constants)]
+    coord1 += [(crs.f[1], proof.pi1), (crs.f_m[1], proof.pi2),
+               (target_p, target_q)]
+    return group.pairing_product_is_one(coord1)
+
+
+def randomize(group: BilinearGroup, crs: MessageCRS,
+              commitments: Sequence[GSCommitment],
+              constants: Sequence[GroupElement],
+              proof: GSProof, rng=None
+              ) -> Tuple[List[GSCommitment], GSProof]:
+    """Perfectly re-randomize commitments and proof (Belenkiy et al.).
+
+    Fresh randomness (delta_{j,1}, delta_{j,2}) is folded into each
+    commitment and the proof is adjusted accordingly; the output is
+    distributed exactly like a freshly generated proof of the same
+    statement.  Combine uses this so a combined signature is
+    indistinguishable from a directly generated one.
+    """
+    order = group.order
+    new_commitments: List[GSCommitment] = []
+    pi1, pi2 = proof.pi1, proof.pi2
+    f0, f1 = crs.f
+    m0, m1 = crs.f_m
+    for commitment, b_hat in zip(commitments, constants):
+        delta1 = random_scalar(order, rng)
+        delta2 = random_scalar(order, rng)
+        new_commitments.append(GSCommitment(
+            c0=commitment.c0 * (f0 ** delta1) * (m0 ** delta2),
+            c1=commitment.c1 * (f1 ** delta1) * (m1 ** delta2),
+        ))
+        pi1 = pi1 * (b_hat ** (-delta1))
+        pi2 = pi2 * (b_hat ** (-delta2))
+    return new_commitments, GSProof(pi1=pi1, pi2=pi2)

@@ -1,0 +1,25 @@
+"""Linearly homomorphic structure-preserving signatures (LHSPS).
+
+The paper's central tool (Section 2.3, Appendix C): signatures on vectors
+of group elements such that anyone can derive a signature on any linear
+combination of signed vectors.  Two concrete one-time schemes are provided:
+
+* :mod:`repro.lhsps.onetime` — the 2-element scheme under the Double
+  Pairing assumption (Section 2.3), used by the main threshold scheme.
+* :mod:`repro.lhsps.sdp_onetime` — the 3-element scheme under the
+  Simultaneous Double Pairing assumption (Appendix F), secure under DLIN.
+
+Both are *key homomorphic*: signatures under sk1 and sk2 multiply into a
+signature under sk1 + sk2 — the property that makes non-interactive
+threshold signing possible (footnote 4 of the paper).
+"""
+
+from repro.lhsps.template import OneTimeLHSPS
+from repro.lhsps.onetime import DPLHSPS, DPKeyPair, DPSignature
+from repro.lhsps.sdp_onetime import SDPLHSPS, SDPKeyPair, SDPSignature
+
+__all__ = [
+    "OneTimeLHSPS",
+    "DPLHSPS", "DPKeyPair", "DPSignature",
+    "SDPLHSPS", "SDPKeyPair", "SDPSignature",
+]

@@ -1,0 +1,160 @@
+"""The one-time LHSPS of Section 2.3 (Double Pairing assumption).
+
+Keys: ``sk = {(chi_k, gamma_k)}_{k=1..N}``,
+``pk = (g_hat_z, g_hat_r, {g_hat_k = g_hat_z^{chi_k} g_hat_r^{gamma_k}})``.
+
+Signature on a vector ``(M_1, ..., M_N)`` of G elements:
+
+    z = prod_k M_k^{-chi_k},   r = prod_k M_k^{-gamma_k}
+
+Verification:
+
+    1 = e(z, g_hat_z) * e(r, g_hat_r) * prod_k e(M_k, g_hat_k)
+
+Two properties of this scheme carry the whole paper:
+
+* it is **key homomorphic** — the private key space is (Z_p^2)^N under
+  addition and signatures multiply accordingly (footnote 4), which makes
+  Share-Sign non-interactive in the threshold scheme;
+* under DP it is infeasible to produce two distinct signatures on the same
+  vector *even knowing the private key*, which is what the adaptive
+  security reduction uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.lhsps.template import OneTimeLHSPS
+from repro.math.rng import random_scalar
+
+
+@dataclass(frozen=True)
+class DPSignature:
+    """A signature (z, r) in G^2."""
+
+    z: GroupElement
+    r: GroupElement
+
+    @property
+    def components(self) -> Tuple[GroupElement, GroupElement]:
+        return (self.z, self.r)
+
+    def to_bytes(self) -> bytes:
+        return self.z.to_bytes() + self.r.to_bytes()
+
+
+@dataclass(frozen=True)
+class DPPublicKey:
+    """``(g_hat_z, g_hat_r, {g_hat_k})`` — all in G_hat."""
+
+    g_z: GroupElement
+    g_r: GroupElement
+    g_ks: Tuple[GroupElement, ...]
+
+    @property
+    def dimension(self) -> int:
+        return len(self.g_ks)
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            e.to_bytes() for e in (self.g_z, self.g_r, *self.g_ks))
+
+
+@dataclass(frozen=True)
+class DPSecretKey:
+    """``{(chi_k, gamma_k)}`` scalar pairs."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+
+    def __add__(self, other: "DPSecretKey") -> "DPSecretKey":
+        """Key homomorphism: componentwise addition of scalar pairs."""
+        if len(self.pairs) != len(other.pairs):
+            raise ParameterError("secret key dimension mismatch")
+        return DPSecretKey(tuple(
+            (a1 + a2, b1 + b2)
+            for (a1, b1), (a2, b2) in zip(self.pairs, other.pairs)))
+
+
+@dataclass(frozen=True)
+class DPKeyPair:
+    pk: DPPublicKey
+    sk: DPSecretKey
+
+
+class DPLHSPS(OneTimeLHSPS):
+    """The Section 2.3 scheme: ns = 2 components, m = 1 equation."""
+
+    ns = 2
+    m = 1
+
+    def __init__(self, group: BilinearGroup, dimension: int,
+                 g_z: GroupElement | None = None,
+                 g_r: GroupElement | None = None):
+        if dimension < 1:
+            raise ParameterError("dimension must be at least 1")
+        super().__init__(group, dimension)
+        self.g_z = g_z if g_z is not None else group.derive_g2("lhsps:g_z")
+        self.g_r = g_r if g_r is not None else group.derive_g2("lhsps:g_r")
+
+    # -- keys ---------------------------------------------------------------
+    def keygen(self, rng=None) -> DPKeyPair:
+        pairs = tuple(
+            (random_scalar(self.group.order, rng),
+             random_scalar(self.group.order, rng))
+            for _ in range(self.dimension))
+        g_ks = tuple(
+            (self.g_z ** chi) * (self.g_r ** gamma) for chi, gamma in pairs)
+        return DPKeyPair(
+            DPPublicKey(self.g_z, self.g_r, g_ks), DPSecretKey(pairs))
+
+    def public_key_for(self, sk: DPSecretKey) -> DPPublicKey:
+        """Recompute the public key matching ``sk`` (key homomorphism)."""
+        g_ks = tuple(
+            (self.g_z ** chi) * (self.g_r ** gamma)
+            for chi, gamma in sk.pairs)
+        return DPPublicKey(self.g_z, self.g_r, g_ks)
+
+    # -- signing --------------------------------------------------------------
+    def sign(self, sk: DPSecretKey,
+             message: Sequence[GroupElement]) -> DPSignature:
+        if len(message) != len(sk.pairs):
+            raise ParameterError("message dimension mismatch")
+        z = r = None
+        for m_k, (chi, gamma) in zip(message, sk.pairs):
+            z_term = m_k ** (-chi)
+            r_term = m_k ** (-gamma)
+            z = z_term if z is None else z * z_term
+            r = r_term if r is None else r * r_term
+        return DPSignature(z, r)
+
+    def verify(self, pk: DPPublicKey, message: Sequence[GroupElement],
+               signature: DPSignature) -> bool:
+        if len(message) != pk.dimension:
+            return False
+        if all(m.is_identity() for m in message):
+            # The all-ones vector is excluded by definition.
+            return False
+        pairs = [(signature.z, pk.g_z), (signature.r, pk.g_r)]
+        pairs += [(m_k, g_k) for m_k, g_k in zip(message, pk.g_ks)]
+        return self.group.pairing_product_is_one(pairs)
+
+    def signature_from_components(
+            self, components: Sequence[GroupElement]) -> DPSignature:
+        z, r = components
+        return DPSignature(z, r)
+
+
+def derive_signature(group: BilinearGroup,
+                     terms: Sequence[Tuple[int, DPSignature]]) -> DPSignature:
+    """Convenience SignDerive for (z, r) signatures without a scheme object."""
+    z = r = None
+    for weight, sig in terms:
+        z_term = sig.z ** weight
+        r_term = sig.r ** weight
+        z = z_term if z is None else z * z_term
+        r = r_term if r is None else r * r_term
+    return DPSignature(z, r)

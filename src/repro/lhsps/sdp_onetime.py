@@ -1,0 +1,147 @@
+"""The 3-element one-time LHSPS under the SDP assumption (Appendix F).
+
+This variant stays secure even when an efficient isomorphism exists between
+the two source groups (DLIN instead of SXDH).  Keys hold triples
+``(a_k, b_k, c_k)``; public keys expose two commitment vectors
+
+    g_hat_k = g_hat_z^{a_k} g_hat_r^{b_k}
+    h_hat_k = h_hat_z^{a_k} h_hat_u^{c_k}
+
+and verification checks two pairing-product equations, one per commitment
+vector.  Like the DP scheme it is key homomorphic, so the same threshold
+machinery applies (Appendix F of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.lhsps.template import OneTimeLHSPS
+from repro.math.rng import random_scalar
+
+
+@dataclass(frozen=True)
+class SDPSignature:
+    """A signature (z, r, u) in G^3."""
+
+    z: GroupElement
+    r: GroupElement
+    u: GroupElement
+
+    @property
+    def components(self) -> Tuple[GroupElement, GroupElement, GroupElement]:
+        return (self.z, self.r, self.u)
+
+    def to_bytes(self) -> bytes:
+        return self.z.to_bytes() + self.r.to_bytes() + self.u.to_bytes()
+
+
+@dataclass(frozen=True)
+class SDPPublicKey:
+    g_z: GroupElement
+    g_r: GroupElement
+    h_z: GroupElement
+    h_u: GroupElement
+    g_ks: Tuple[GroupElement, ...]
+    h_ks: Tuple[GroupElement, ...]
+
+    @property
+    def dimension(self) -> int:
+        return len(self.g_ks)
+
+    def to_bytes(self) -> bytes:
+        elements = (self.g_z, self.g_r, self.h_z, self.h_u,
+                    *self.g_ks, *self.h_ks)
+        return b"".join(e.to_bytes() for e in elements)
+
+
+@dataclass(frozen=True)
+class SDPSecretKey:
+    """``{(a_k, b_k, c_k)}`` scalar triples."""
+
+    triples: Tuple[Tuple[int, int, int], ...]
+
+    def __add__(self, other: "SDPSecretKey") -> "SDPSecretKey":
+        if len(self.triples) != len(other.triples):
+            raise ParameterError("secret key dimension mismatch")
+        return SDPSecretKey(tuple(
+            (a1 + a2, b1 + b2, c1 + c2)
+            for (a1, b1, c1), (a2, b2, c2)
+            in zip(self.triples, other.triples)))
+
+
+@dataclass(frozen=True)
+class SDPKeyPair:
+    pk: SDPPublicKey
+    sk: SDPSecretKey
+
+
+class SDPLHSPS(OneTimeLHSPS):
+    """The Appendix F scheme: ns = 3 components, m = 2 equations."""
+
+    ns = 3
+    m = 2
+
+    def __init__(self, group: BilinearGroup, dimension: int,
+                 g_z=None, g_r=None, h_z=None, h_u=None):
+        if dimension < 1:
+            raise ParameterError("dimension must be at least 1")
+        super().__init__(group, dimension)
+        self.g_z = g_z if g_z is not None else group.derive_g2("sdp:g_z")
+        self.g_r = g_r if g_r is not None else group.derive_g2("sdp:g_r")
+        self.h_z = h_z if h_z is not None else group.derive_g2("sdp:h_z")
+        self.h_u = h_u if h_u is not None else group.derive_g2("sdp:h_u")
+
+    # -- keys ---------------------------------------------------------------
+    def keygen(self, rng=None) -> SDPKeyPair:
+        triples = tuple(
+            (random_scalar(self.group.order, rng),
+             random_scalar(self.group.order, rng),
+             random_scalar(self.group.order, rng))
+            for _ in range(self.dimension))
+        return SDPKeyPair(self.public_key_for(SDPSecretKey(triples)),
+                          SDPSecretKey(triples))
+
+    def public_key_for(self, sk: SDPSecretKey) -> SDPPublicKey:
+        g_ks = tuple(
+            (self.g_z ** a) * (self.g_r ** b) for a, b, _c in sk.triples)
+        h_ks = tuple(
+            (self.h_z ** a) * (self.h_u ** c) for a, _b, c in sk.triples)
+        return SDPPublicKey(self.g_z, self.g_r, self.h_z, self.h_u,
+                            g_ks, h_ks)
+
+    # -- signing --------------------------------------------------------------
+    def sign(self, sk: SDPSecretKey,
+             message: Sequence[GroupElement]) -> SDPSignature:
+        if len(message) != len(sk.triples):
+            raise ParameterError("message dimension mismatch")
+        z = r = u = None
+        for m_k, (a, b, c) in zip(message, sk.triples):
+            z_term = m_k ** (-a)
+            r_term = m_k ** (-b)
+            u_term = m_k ** (-c)
+            z = z_term if z is None else z * z_term
+            r = r_term if r is None else r * r_term
+            u = u_term if u is None else u * u_term
+        return SDPSignature(z, r, u)
+
+    def verify(self, pk: SDPPublicKey, message: Sequence[GroupElement],
+               signature: SDPSignature) -> bool:
+        if len(message) != pk.dimension:
+            return False
+        if all(m.is_identity() for m in message):
+            return False
+        first = [(signature.z, pk.g_z), (signature.r, pk.g_r)]
+        first += [(m_k, g_k) for m_k, g_k in zip(message, pk.g_ks)]
+        second = [(signature.z, pk.h_z), (signature.u, pk.h_u)]
+        second += [(m_k, h_k) for m_k, h_k in zip(message, pk.h_ks)]
+        return (self.group.pairing_product_is_one(first)
+                and self.group.pairing_product_is_one(second))
+
+    def signature_from_components(
+            self, components: Sequence[GroupElement]) -> SDPSignature:
+        z, r, u = components
+        return SDPSignature(z, r, u)

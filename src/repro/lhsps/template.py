@@ -1,0 +1,86 @@
+"""The one-time LHSPS template of Appendix C.
+
+Every one-time LHSPS fits the shape: signatures are tuples
+``(Z_1, ..., Z_ns)`` of G elements, verification is ``m`` pairing-product
+equations
+
+    1 = prod_mu e(Z_mu, F_hat_{j,mu}) * prod_k e(M_k, G_hat_{j,k})
+
+and ``SignDerive`` raises each signature component to the combination
+coefficients.  The abstract base class below captures that template; the
+generic constructions of Appendix D are written against it, so plugging in
+a different one-time LHSPS yields a different signature scheme for free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from repro.groups.api import BilinearGroup, GroupElement
+
+
+class OneTimeLHSPS(ABC):
+    """Abstract one-time linearly homomorphic SPS over a bilinear group.
+
+    Concrete schemes fix the signature length ``ns`` and the number of
+    verification equations ``m`` (Appendix C template constants).
+    """
+
+    #: Number of group elements per signature.
+    ns: int
+    #: Number of pairing-product verification equations.
+    m: int
+
+    def __init__(self, group: BilinearGroup, dimension: int):
+        self.group = group
+        self.dimension = dimension
+
+    # -- key management ------------------------------------------------------
+    @abstractmethod
+    def keygen(self, rng=None):
+        """Return a key pair; ``pk`` embeds the dimension N."""
+
+    # -- signing ---------------------------------------------------------------
+    @abstractmethod
+    def sign(self, sk, message: Sequence[GroupElement]):
+        """Sign a vector of N group elements (deterministic)."""
+
+    @abstractmethod
+    def verify(self, pk, message: Sequence[GroupElement], signature) -> bool:
+        """Check the m pairing-product equations; rejects the all-1 vector."""
+
+    # -- homomorphisms ----------------------------------------------------------
+    def sign_derive(self, pk, terms: Sequence[Tuple[int, object]]):
+        """Signature on ``prod_i M_i^{w_i}`` from signatures on the M_i.
+
+        The template operation: raise each signature component to the
+        coefficient and multiply across terms.
+        """
+        components: List[GroupElement] = []
+        for position in range(self.ns):
+            acc = None
+            for weight, signature in terms:
+                piece = signature.components[position] ** weight
+                acc = piece if acc is None else acc * piece
+            components.append(acc)
+        return self.signature_from_components(components)
+
+    @abstractmethod
+    def signature_from_components(self, components: Sequence[GroupElement]):
+        """Rebuild a signature object from its ns group elements."""
+
+    @staticmethod
+    def combine_messages(group: BilinearGroup,
+                         terms: Sequence[Tuple[int, Sequence[GroupElement]]]
+                         ) -> List[GroupElement]:
+        """``prod_i M_i^{w_i}`` componentwise — the derived message."""
+        dimension = len(terms[0][1])
+        out = []
+        for k in range(dimension):
+            acc = None
+            for weight, message in terms:
+                piece = message[k] ** weight
+                acc = piece if acc is None else acc * piece
+            out.append(acc)
+        return out

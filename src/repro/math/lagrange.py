@@ -1,0 +1,48 @@
+"""Lagrange interpolation over Z_p.
+
+``lagrange_coefficients`` returns the coefficients Δ_{i,S}(x) the paper uses
+for "Lagrange interpolation in the exponent" during Combine: given partial
+signatures from a set S of t+1 servers, the full signature is
+``prod_i sigma_i ** Δ_{i,S}(0)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import ParameterError
+
+
+def lagrange_coefficients(indices: Iterable[int], modulus: int,
+                          x: int = 0) -> Dict[int, int]:
+    """Return {i: Δ_{i,S}(x) mod p} for the index set S = ``indices``.
+
+    Indices must be distinct and non-zero modulo p (player indices are
+    1-based precisely so that x=0 recovers the secret).
+    """
+    points = list(indices)
+    if len(set(p % modulus for p in points)) != len(points):
+        raise ParameterError("duplicate interpolation indices")
+    coeffs: Dict[int, int] = {}
+    for i in points:
+        numerator, denominator = 1, 1
+        for j in points:
+            if j == i:
+                continue
+            numerator = numerator * ((x - j) % modulus) % modulus
+            denominator = denominator * ((i - j) % modulus) % modulus
+        if denominator == 0:
+            raise ParameterError("indices collide modulo p")
+        coeffs[i] = numerator * pow(denominator, -1, modulus) % modulus
+    return coeffs
+
+
+def interpolate_at(shares: Mapping[int, int], modulus: int, x: int = 0) -> int:
+    """Interpolate the polynomial value at ``x`` from {index: share} points."""
+    if not shares:
+        raise ParameterError("no shares to interpolate")
+    coeffs = lagrange_coefficients(shares.keys(), modulus, x)
+    total = 0
+    for i, share in shares.items():
+        total = (total + coeffs[i] * share) % modulus
+    return total

@@ -1,0 +1,88 @@
+"""Polynomials over Z_p used by all secret-sharing layers.
+
+The paper's sharing polynomials ``A_ik[X] = a_ik0 + a_ik1 X + ... + a_ikt X^t``
+live here.  Coefficients are plain integers reduced modulo the group order;
+evaluation uses Horner's rule.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Sequence
+
+from repro.errors import ParameterError
+
+
+class Polynomial:
+    """A polynomial over Z_p, represented by its coefficient list.
+
+    ``coeffs[k]`` is the coefficient of ``X^k``.  The zero polynomial has a
+    single zero coefficient so ``degree`` is well defined for sharing
+    purposes (a degree-t sharing polynomial always carries t+1 coefficients,
+    even when leading coefficients are zero).
+    """
+
+    __slots__ = ("coeffs", "modulus")
+
+    def __init__(self, coeffs: Sequence[int], modulus: int):
+        if not coeffs:
+            raise ParameterError("polynomial needs at least one coefficient")
+        self.modulus = modulus
+        self.coeffs = tuple(c % modulus for c in coeffs)
+
+    @classmethod
+    def random(cls, degree: int, modulus: int, constant: int | None = None,
+               rng=None) -> "Polynomial":
+        """Sample a random polynomial of the given degree.
+
+        When ``constant`` is given, the constant term is fixed to it — this is
+        how a secret is shared (or how zero is shared during proactive
+        refresh).  ``rng`` may be a ``random.Random`` for reproducible tests.
+        """
+        if degree < 0:
+            raise ParameterError("degree must be non-negative")
+        draw = (lambda: secrets.randbelow(modulus)) if rng is None else (
+            lambda: rng.randrange(modulus))
+        coeffs = [draw() for _ in range(degree + 1)]
+        if constant is not None:
+            coeffs[0] = constant % modulus
+        return cls(coeffs, modulus)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    @property
+    def constant_term(self) -> int:
+        return self.coeffs[0]
+
+    def __call__(self, x: int) -> int:
+        """Evaluate at ``x`` by Horner's rule."""
+        acc = 0
+        for coeff in reversed(self.coeffs):
+            acc = (acc * x + coeff) % self.modulus
+        return acc
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if self.modulus != other.modulus:
+            raise ParameterError("modulus mismatch")
+        longest = max(len(self.coeffs), len(other.coeffs))
+        coeffs = [
+            (self.coeffs[k] if k < len(self.coeffs) else 0)
+            + (other.coeffs[k] if k < len(other.coeffs) else 0)
+            for k in range(longest)
+        ]
+        return Polynomial(coeffs, self.modulus)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and self.modulus == other.modulus
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self):
+        return hash((self.coeffs, self.modulus))
+
+    def __repr__(self):
+        return f"Polynomial(degree={self.degree})"

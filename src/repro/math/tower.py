@@ -1,0 +1,397 @@
+"""BN254 extension-field tower: F_p2, F_p6 and F_p12.
+
+The paper instantiates its schemes on Barreto-Naehrig curves at the 128-bit
+level; we use the standard BN254 ("alt_bn128") parameters.  The tower is
+
+* ``F_p2  = F_p[u]  / (u^2 + 1)``
+* ``F_p6  = F_p2[v] / (v^3 - xi)`` with ``xi = 9 + u``
+* ``F_p12 = F_p6[w] / (w^2 - v)`` (equivalently ``F_p2[w] / (w^6 - xi)``)
+
+For speed in pure Python, elements are plain nested tuples of ints and the
+operations are module-level functions:
+
+* F_p2 element:  ``(a0, a1)``              meaning ``a0 + a1*u``
+* F_p6 element:  ``(c0, c1, c2)``          of F_p2, coefficients of 1, v, v^2
+* F_p12 element: ``(d0, d1)``              of F_p6, coefficients of 1, w
+
+Frobenius maps use the sextic representation over F_p2 (powers of ``w``),
+with coefficients computed once at import time so no magic constants are
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+# ---------------------------------------------------------------------------
+# BN254 base field and tower constants
+# ---------------------------------------------------------------------------
+
+#: BN254 base-field prime (the curve order of the twist's base field).
+P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+
+#: BN254 group order r (number of points on G1; prime).
+R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+#: BN parameter x: p and r are the standard BN polynomials evaluated at x.
+BN_X = 4965661367192848881
+
+#: Optimal-ate Miller loop length 6x + 2.
+ATE_LOOP_COUNT = 6 * BN_X + 2
+
+Fp2Ele = Tuple[int, int]
+Fp6Ele = Tuple[Fp2Ele, Fp2Ele, Fp2Ele]
+Fp12Ele = Tuple[Fp6Ele, Fp6Ele]
+
+F2_ZERO: Fp2Ele = (0, 0)
+F2_ONE: Fp2Ele = (1, 0)
+#: The sextic non-residue xi = 9 + u defining the F_p6 (and twist) arithmetic.
+XI: Fp2Ele = (9, 1)
+
+F6_ZERO: Fp6Ele = (F2_ZERO, F2_ZERO, F2_ZERO)
+F6_ONE: Fp6Ele = (F2_ONE, F2_ZERO, F2_ZERO)
+
+F12_ZERO: Fp12Ele = (F6_ZERO, F6_ZERO)
+F12_ONE: Fp12Ele = (F6_ONE, F6_ZERO)
+
+
+# ---------------------------------------------------------------------------
+# F_p2 arithmetic
+# ---------------------------------------------------------------------------
+
+def f2_add(a: Fp2Ele, b: Fp2Ele) -> Fp2Ele:
+    return ((a[0] + b[0]) % P, (a[1] + b[1]) % P)
+
+
+def f2_sub(a: Fp2Ele, b: Fp2Ele) -> Fp2Ele:
+    return ((a[0] - b[0]) % P, (a[1] - b[1]) % P)
+
+
+def f2_neg(a: Fp2Ele) -> Fp2Ele:
+    return (-a[0] % P, -a[1] % P)
+
+
+def f2_conj(a: Fp2Ele) -> Fp2Ele:
+    """Complex conjugation a0 - a1*u; this is the F_p2 Frobenius."""
+    return (a[0], -a[1] % P)
+
+
+def f2_mul(a: Fp2Ele, b: Fp2Ele) -> Fp2Ele:
+    """Karatsuba multiplication in F_p2 (3 base-field multiplications)."""
+    t0 = a[0] * b[0]
+    t1 = a[1] * b[1]
+    t2 = (a[0] + a[1]) * (b[0] + b[1])
+    return ((t0 - t1) % P, (t2 - t0 - t1) % P)
+
+
+def f2_sqr(a: Fp2Ele) -> Fp2Ele:
+    """Complex squaring: (a0+a1)(a0-a1) + 2*a0*a1*u."""
+    t = a[0] * a[1]
+    return ((a[0] + a[1]) * (a[0] - a[1]) % P, (t + t) % P)
+
+
+def f2_mul_scalar(a: Fp2Ele, k: int) -> Fp2Ele:
+    return (a[0] * k % P, a[1] * k % P)
+
+
+def f2_mul_xi(a: Fp2Ele) -> Fp2Ele:
+    """Multiply by xi = 9 + u: (9*a0 - a1) + (a0 + 9*a1)*u."""
+    return ((9 * a[0] - a[1]) % P, (a[0] + 9 * a[1]) % P)
+
+
+def f2_inv(a: Fp2Ele) -> Fp2Ele:
+    """Inversion via the norm: a^-1 = conj(a) / (a0^2 + a1^2)."""
+    norm = (a[0] * a[0] + a[1] * a[1]) % P
+    if norm == 0:
+        raise ZeroDivisionError("inverse of zero in F_p2")
+    inv_norm = pow(norm, -1, P)
+    return (a[0] * inv_norm % P, -a[1] * inv_norm % P)
+
+
+def f2_pow(a: Fp2Ele, e: int) -> Fp2Ele:
+    if e < 0:
+        return f2_pow(f2_inv(a), -e)
+    result = F2_ONE
+    base = a
+    while e:
+        if e & 1:
+            result = f2_mul(result, base)
+        base = f2_sqr(base)
+        e >>= 1
+    return result
+
+
+def f2_is_zero(a: Fp2Ele) -> bool:
+    return a[0] % P == 0 and a[1] % P == 0
+
+
+def f2_eq(a: Fp2Ele, b: Fp2Ele) -> bool:
+    return (a[0] - b[0]) % P == 0 and (a[1] - b[1]) % P == 0
+
+
+def f2_sqrt(a: Fp2Ele) -> Fp2Ele | None:
+    """Square root in F_p2 (complex method); None if ``a`` is a non-square.
+
+    Uses the standard two-step algorithm: candidate ``x = a^((p^2+7)/16)``
+    does not apply here since p^2 % 8 varies; instead we use the formula for
+    p % 4 == 3 base fields: write a = alpha + beta*u and solve via norms.
+    """
+    from repro.math.field import sqrt_mod
+
+    alpha, beta = a[0] % P, a[1] % P
+    if beta == 0:
+        root = sqrt_mod(alpha, P)
+        if root is not None:
+            return (root, 0)
+        # alpha is a non-square in F_p, so alpha = -gamma^2 and
+        # sqrt(alpha) = gamma * u since u^2 = -1.
+        root = sqrt_mod(-alpha % P, P)
+        if root is None:
+            return None
+        return (0, root)
+    # norm = alpha^2 + beta^2 must be a QR in F_p for a to be a square.
+    norm = (alpha * alpha + beta * beta) % P
+    n_root = sqrt_mod(norm, P)
+    if n_root is None:
+        return None
+    # x0^2 = (alpha + n_root) / 2 (try both signs of n_root).
+    inv2 = pow(2, -1, P)
+    for candidate in (n_root, -n_root % P):
+        x0_sq = (alpha + candidate) * inv2 % P
+        x0 = sqrt_mod(x0_sq, P)
+        if x0 is None or x0 == 0:
+            continue
+        x1 = beta * pow(2 * x0, -1, P) % P
+        if f2_eq(f2_sqr((x0, x1)), a):
+            return (x0, x1)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# F_p6 arithmetic (coefficients of 1, v, v^2 over F_p2; v^3 = xi)
+# ---------------------------------------------------------------------------
+
+def f6_add(a: Fp6Ele, b: Fp6Ele) -> Fp6Ele:
+    return (f2_add(a[0], b[0]), f2_add(a[1], b[1]), f2_add(a[2], b[2]))
+
+
+def f6_sub(a: Fp6Ele, b: Fp6Ele) -> Fp6Ele:
+    return (f2_sub(a[0], b[0]), f2_sub(a[1], b[1]), f2_sub(a[2], b[2]))
+
+
+def f6_neg(a: Fp6Ele) -> Fp6Ele:
+    return (f2_neg(a[0]), f2_neg(a[1]), f2_neg(a[2]))
+
+
+def f6_mul(a: Fp6Ele, b: Fp6Ele) -> Fp6Ele:
+    """Karatsuba-style multiplication (6 F_p2 multiplications)."""
+    a0, a1, a2 = a
+    b0, b1, b2 = b
+    t0 = f2_mul(a0, b0)
+    t1 = f2_mul(a1, b1)
+    t2 = f2_mul(a2, b2)
+    # c0 = t0 + xi * ((a1 + a2)(b1 + b2) - t1 - t2)
+    c0 = f2_add(t0, f2_mul_xi(
+        f2_sub(f2_sub(f2_mul(f2_add(a1, a2), f2_add(b1, b2)), t1), t2)))
+    # c1 = (a0 + a1)(b0 + b1) - t0 - t1 + xi * t2
+    c1 = f2_add(
+        f2_sub(f2_sub(f2_mul(f2_add(a0, a1), f2_add(b0, b1)), t0), t1),
+        f2_mul_xi(t2))
+    # c2 = (a0 + a2)(b0 + b2) - t0 - t2 + t1
+    c2 = f2_add(
+        f2_sub(f2_sub(f2_mul(f2_add(a0, a2), f2_add(b0, b2)), t0), t2), t1)
+    return (c0, c1, c2)
+
+
+def f6_sqr(a: Fp6Ele) -> Fp6Ele:
+    """CH-SQR2 squaring (2 squarings + 3 multiplications in F_p2)."""
+    a0, a1, a2 = a
+    s0 = f2_sqr(a0)
+    ab = f2_mul(a0, a1)
+    s1 = f2_add(ab, ab)
+    s2 = f2_sqr(f2_add(f2_sub(a0, a1), a2))
+    bc = f2_mul(a1, a2)
+    s3 = f2_add(bc, bc)
+    s4 = f2_sqr(a2)
+    c0 = f2_add(s0, f2_mul_xi(s3))
+    c1 = f2_add(s1, f2_mul_xi(s4))
+    c2 = f2_sub(f2_add(f2_add(s1, s2), s3), f2_add(s0, s4))
+    return (c0, c1, c2)
+
+
+def f6_mul_by_v(a: Fp6Ele) -> Fp6Ele:
+    """Multiply by v: (c0, c1, c2) -> (xi*c2, c0, c1)."""
+    return (f2_mul_xi(a[2]), a[0], a[1])
+
+
+def f6_mul_fp2(a: Fp6Ele, k: Fp2Ele) -> Fp6Ele:
+    return (f2_mul(a[0], k), f2_mul(a[1], k), f2_mul(a[2], k))
+
+
+def f6_inv(a: Fp6Ele) -> Fp6Ele:
+    """Inversion via the adjugate formula."""
+    a0, a1, a2 = a
+    t0 = f2_sub(f2_sqr(a0), f2_mul_xi(f2_mul(a1, a2)))
+    t1 = f2_sub(f2_mul_xi(f2_sqr(a2)), f2_mul(a0, a1))
+    t2 = f2_sub(f2_sqr(a1), f2_mul(a0, a2))
+    factor = f2_add(
+        f2_mul(a0, t0),
+        f2_mul_xi(f2_add(f2_mul(a2, t1), f2_mul(a1, t2))))
+    inv_factor = f2_inv(factor)
+    return (f2_mul(t0, inv_factor), f2_mul(t1, inv_factor),
+            f2_mul(t2, inv_factor))
+
+
+def f6_is_zero(a: Fp6Ele) -> bool:
+    return all(f2_is_zero(c) for c in a)
+
+
+def f6_eq(a: Fp6Ele, b: Fp6Ele) -> bool:
+    return all(f2_eq(x, y) for x, y in zip(a, b))
+
+
+# ---------------------------------------------------------------------------
+# F_p12 arithmetic (coefficients of 1, w over F_p6; w^2 = v)
+# ---------------------------------------------------------------------------
+
+def f12_add(a: Fp12Ele, b: Fp12Ele) -> Fp12Ele:
+    return (f6_add(a[0], b[0]), f6_add(a[1], b[1]))
+
+
+def f12_mul(a: Fp12Ele, b: Fp12Ele) -> Fp12Ele:
+    """Karatsuba multiplication (3 F_p6 multiplications)."""
+    a0, a1 = a
+    b0, b1 = b
+    t0 = f6_mul(a0, b0)
+    t1 = f6_mul(a1, b1)
+    c0 = f6_add(t0, f6_mul_by_v(t1))
+    c1 = f6_sub(f6_sub(f6_mul(f6_add(a0, a1), f6_add(b0, b1)), t0), t1)
+    return (c0, c1)
+
+
+def f12_sqr(a: Fp12Ele) -> Fp12Ele:
+    """Complex squaring (2 F_p6 multiplications)."""
+    a0, a1 = a
+    t = f6_mul(a0, a1)
+    c0 = f6_sub(
+        f6_mul(f6_add(a0, a1), f6_add(a0, f6_mul_by_v(a1))),
+        f6_add(t, f6_mul_by_v(t)))
+    c1 = f6_add(t, t)
+    return (c0, c1)
+
+
+def f12_conj(a: Fp12Ele) -> Fp12Ele:
+    """Conjugation over F_p6; equals the p^6-power Frobenius."""
+    return (a[0], f6_neg(a[1]))
+
+
+def f12_inv(a: Fp12Ele) -> Fp12Ele:
+    a0, a1 = a
+    factor = f6_inv(f6_sub(f6_sqr(a0), f6_mul_by_v(f6_sqr(a1))))
+    return (f6_mul(a0, factor), f6_neg(f6_mul(a1, factor)))
+
+
+def f12_pow(a: Fp12Ele, e: int) -> Fp12Ele:
+    if e < 0:
+        return f12_pow(f12_inv(a), -e)
+    result = F12_ONE
+    base = a
+    while e:
+        if e & 1:
+            result = f12_mul(result, base)
+        base = f12_sqr(base)
+        e >>= 1
+    return result
+
+
+def f12_is_one(a: Fp12Ele) -> bool:
+    return f6_eq(a[0], F6_ONE) and f6_is_zero(a[1])
+
+
+def f12_eq(a: Fp12Ele, b: Fp12Ele) -> bool:
+    return f6_eq(a[0], b[0]) and f6_eq(a[1], b[1])
+
+
+# ---------------------------------------------------------------------------
+# Sextic representation over F_p2 and Frobenius maps
+# ---------------------------------------------------------------------------
+
+def f12_to_wvec(a: Fp12Ele) -> Tuple[Fp2Ele, ...]:
+    """Rewrite (d0 + d1*w) with d_i over (1, v, v^2) as sum a_k * w^k.
+
+    Since v = w^2 the basis permutation is
+    (c00, c01, c02, c10, c11, c12) -> (a0, a2, a4, a1, a3, a5).
+    """
+    (c00, c01, c02), (c10, c11, c12) = a
+    return (c00, c10, c01, c11, c02, c12)
+
+
+def wvec_to_f12(vec: Tuple[Fp2Ele, ...]) -> Fp12Ele:
+    a0, a1, a2, a3, a4, a5 = vec
+    return ((a0, a2, a4), (a1, a3, a5))
+
+
+def _frobenius_tables():
+    """Precompute xi^(k*(p^m - 1)/6) for m = 1, 2, 3 and k = 0..5."""
+    tables = []
+    for m in (1, 2, 3):
+        exponent = (P ** m - 1) // 6
+        tables.append(tuple(f2_pow(XI, k * exponent) for k in range(6)))
+    return tables
+
+
+_FROB_W1, _FROB_W2, _FROB_W3 = _frobenius_tables()
+
+#: Twist-Frobenius constants used to compute pi_p on G2 points:
+#: pi(x, y) = (conj(x) * TWIST_FROB_X, conj(y) * TWIST_FROB_Y).
+TWIST_FROB_X: Fp2Ele = f2_pow(XI, (P - 1) // 3)
+TWIST_FROB_Y: Fp2Ele = f2_pow(XI, (P - 1) // 2)
+#: And pi^2 constants (no conjugation): both lie in F_p for BN curves.
+TWIST_FROB_X2: Fp2Ele = f2_pow(XI, (P * P - 1) // 3)
+TWIST_FROB_Y2: Fp2Ele = f2_pow(XI, (P * P - 1) // 2)
+
+
+def f12_frobenius(a: Fp12Ele, power: int = 1) -> Fp12Ele:
+    """The p^power Frobenius endomorphism for power in {1, 2, 3, 6}."""
+    if power == 6:
+        return f12_conj(a)
+    vec = f12_to_wvec(a)
+    if power == 1:
+        out = tuple(f2_mul(f2_conj(c), _FROB_W1[k]) for k, c in enumerate(vec))
+    elif power == 2:
+        out = tuple(f2_mul(c, _FROB_W2[k]) for k, c in enumerate(vec))
+    elif power == 3:
+        out = tuple(f2_mul(f2_conj(c), _FROB_W3[k]) for k, c in enumerate(vec))
+    else:
+        raise ValueError("supported Frobenius powers: 1, 2, 3, 6")
+    return wvec_to_f12(out)
+
+
+def f12_cyclotomic_pow(a: Fp12Ele, e: int) -> Fp12Ele:
+    """Exponentiation for elements of the cyclotomic subgroup.
+
+    After the easy part of the final exponentiation, elements satisfy
+    ``conj(a) = a^-1``, so negative digits of a NAF representation cost a
+    conjugation instead of an inversion.
+    """
+    if e < 0:
+        return f12_cyclotomic_pow(f12_conj(a), -e)
+    # Non-adjacent form of the exponent.
+    naf = []
+    while e:
+        if e & 1:
+            digit = 2 - (e % 4)
+            e -= digit
+        else:
+            digit = 0
+        naf.append(digit)
+        e >>= 1
+    result = F12_ONE
+    a_conj = f12_conj(a)
+    for digit in reversed(naf):
+        result = f12_sqr(result)
+        if digit == 1:
+            result = f12_mul(result, a)
+        elif digit == -1:
+            result = f12_mul(result, a_conj)
+    return result

@@ -1,0 +1,27 @@
+"""Synchronous-network substrate for the distributed protocols.
+
+Implements the communication model of Section 2.1 of the paper:
+
+* communication proceeds in synchronized rounds; messages sent in round k
+  are delivered at the beginning of round k+1;
+* all players share a reliable, authenticated broadcast channel the
+  adversary can read but not tamper with;
+* every pair of players shares a private authenticated channel;
+* the adversary is **rushing**: in every round it sees the honest players'
+  messages before choosing the corrupted players' messages;
+* corruption is **erasure-free**: corrupting a player hands the adversary
+  that player's entire history, exactly as the paper requires.
+
+The simulator also keeps per-round message/byte metrics, which is how the
+DKG cost experiments (T4) are measured.
+"""
+
+from repro.net.simulator import Message, SyncNetwork, broadcast, private
+from repro.net.player import Player
+from repro.net.adversary import Adversary, PassiveAdversary
+from repro.net.metrics import NetworkMetrics
+
+__all__ = [
+    "Message", "SyncNetwork", "broadcast", "private",
+    "Player", "Adversary", "PassiveAdversary", "NetworkMetrics",
+]

@@ -1,0 +1,91 @@
+"""Adversary harness for the distributed protocols.
+
+The base :class:`Adversary` supports the paper's threat model:
+
+* **adaptive corruption** at any time, based on the full view so far;
+* **erasure-free state capture**: corruption returns the victim's entire
+  object state and message history;
+* **rushing**: each round, the adversary produces the corrupted players'
+  messages after seeing the honest players' messages;
+* full control of corrupted players afterwards (arbitrary deviation).
+
+Concrete adversaries override :meth:`act`.  :class:`PassiveAdversary` is
+the default no-adversary stand-in; :class:`CrashAdversary` and
+:class:`BadShareAdversary` live with the DKG tests and attacks module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ProtocolError
+from repro.net.simulator import Message
+
+
+class Adversary:
+    """Base adversary: keeps a corruption budget and captured states."""
+
+    def __init__(self, max_corruptions: int | None = None):
+        self.corrupted: set = set()
+        self.max_corruptions = max_corruptions
+        #: index -> captured internal state (at corruption time).
+        self.captured_states: Dict[int, dict] = {}
+        #: Everything the adversary observed, round by round.
+        self.view: List[dict] = []
+        self._network = None
+
+    def attach(self, network) -> None:
+        self._network = network
+
+    # -- corruption ------------------------------------------------------------
+    def corrupt(self, index: int) -> dict:
+        """Adaptively corrupt a player; returns its full internal state."""
+        if index in self.corrupted:
+            return self.captured_states[index]
+        if (self.max_corruptions is not None
+                and len(self.corrupted) >= self.max_corruptions):
+            raise ProtocolError("corruption budget exhausted")
+        state = self._network.corrupt_player(index)
+        self.corrupted.add(index)
+        self.captured_states[index] = state
+        return state
+
+    # -- per-round hook ----------------------------------------------------------
+    def act(self, round_no: int, honest_messages: Sequence[Message],
+            deliveries: Sequence[Message]) -> List[Message]:
+        """Produce the corrupted players' round messages (rushing).
+
+        ``honest_messages`` are the messages honest players are about to
+        send this round; ``deliveries`` are the messages delivered to the
+        adversary (broadcasts + private messages to corrupted players).
+        """
+        self.view.append({
+            "round": round_no,
+            "honest": list(honest_messages),
+            "deliveries": list(deliveries),
+        })
+        return []
+
+    def observe_final(self, deliveries: Sequence[Message]) -> None:
+        self.view.append({"round": "final", "deliveries": list(deliveries)})
+
+
+class PassiveAdversary(Adversary):
+    """Observes broadcasts but corrupts nobody and sends nothing."""
+
+
+class ScriptedAdversary(Adversary):
+    """Runs a user-provided callable each round; useful in tests.
+
+    The callable receives ``(adversary, round_no, honest_messages,
+    deliveries)`` and returns the corrupted players' messages.
+    """
+
+    def __init__(self, script, max_corruptions: int | None = None):
+        super().__init__(max_corruptions)
+        self._script = script
+
+    def act(self, round_no, honest_messages, deliveries):
+        super().act(round_no, honest_messages, deliveries)
+        return list(self._script(self, round_no, honest_messages,
+                                 deliveries) or [])

@@ -1,0 +1,42 @@
+"""Base class for protocol players.
+
+A player is a state machine driven by the synchronous network: each round
+it receives the messages delivered to it (broadcasts plus private messages
+addressed to it) and returns the messages it wants to send.  The entire
+internal state of the player object is what an adaptive corruption hands to
+the adversary — players must therefore keep *everything* they ever computed
+(the erasure-free model: "whenever the adversary corrupts a player, it
+learns the entire history of that player").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.net.simulator import Message
+
+
+class Player(ABC):
+    """A protocol participant with a 1-based index."""
+
+    def __init__(self, index: int):
+        self.index = index
+        #: Full message history, kept for the erasure-free corruption model.
+        self.history: List[Sequence[Message]] = []
+
+    @abstractmethod
+    def on_round(self, round_no: int,
+                 inbox: Sequence[Message]) -> List[Message]:
+        """Process round ``round_no`` deliveries, return outbound messages."""
+
+    def record_round(self, inbox: Sequence[Message]) -> None:
+        self.history.append(tuple(inbox))
+
+    @abstractmethod
+    def finalize(self):
+        """Produce the player's protocol output once all rounds ran."""
+
+    def internal_state(self) -> dict:
+        """Everything the adversary learns upon corruption (erasure-free)."""
+        return dict(self.__dict__)

@@ -1,0 +1,155 @@
+"""The synchronous round-based network simulator.
+
+Execution model per round:
+
+1. Every honest player receives its inbox (messages sent to it in the
+   previous round) and produces its outbound messages.
+2. The adversary — which is *rushing* — is shown the honest messages of the
+   current round, may adaptively corrupt further players (receiving their
+   full internal state), and then supplies the corrupted players' messages
+   for the round.  Corrupting a player mid-round lets the adversary replace
+   that player's not-yet-delivered messages, the strongest scheduling.
+3. All messages are delivered at the start of the next round: broadcasts to
+   everyone (including the adversary), private messages to their recipient
+   (or to the adversary when the recipient is corrupted).
+
+The simulator enforces sender authenticity: a message claiming sender i is
+only accepted from player i or from an adversary controlling i (the
+authenticated-channels assumption of Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.net.metrics import NetworkMetrics, estimate_size
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message; ``recipient is None`` means broadcast."""
+
+    sender: int
+    recipient: Optional[int]
+    kind: str
+    payload: Any
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.recipient is None
+
+    def size_bytes(self) -> int:
+        return estimate_size(self.payload)
+
+
+def broadcast(sender: int, kind: str, payload) -> Message:
+    return Message(sender=sender, recipient=None, kind=kind, payload=payload)
+
+
+def private(sender: int, recipient: int, kind: str, payload) -> Message:
+    return Message(sender=sender, recipient=recipient, kind=kind,
+                   payload=payload)
+
+
+class SyncNetwork:
+    """Runs a set of players (and optionally an adversary) in lockstep."""
+
+    def __init__(self, players: Dict[int, "Player"], adversary=None):
+        from repro.net.adversary import PassiveAdversary
+        self.players = dict(players)
+        self.adversary = adversary or PassiveAdversary()
+        self.adversary.attach(self)
+        self.metrics = NetworkMetrics()
+        self._pending: List[Message] = []
+        self.round_no = 0
+        self.finished = False
+
+    # -- corruption bookkeeping ---------------------------------------------
+    @property
+    def corrupted(self) -> set:
+        return self.adversary.corrupted
+
+    def honest_indices(self) -> List[int]:
+        return [i for i in sorted(self.players) if i not in self.corrupted]
+
+    # -- delivery -------------------------------------------------------------
+    def _inbox_for(self, index: int,
+                   deliveries: Sequence[Message]) -> List[Message]:
+        return [
+            m for m in deliveries
+            if m.is_broadcast or m.recipient == index
+        ]
+
+    def run_round(self) -> None:
+        """Execute one synchronous round."""
+        if self.finished:
+            raise ProtocolError("network already finished")
+        deliveries, self._pending = self._pending, []
+        honest_outbound: List[Message] = []
+        for index in self.honest_indices():
+            player = self.players[index]
+            inbox = self._inbox_for(index, deliveries)
+            player.record_round(inbox)
+            outbound = player.on_round(self.round_no, inbox)
+            for message in outbound:
+                if message.sender != index:
+                    raise ProtocolError(
+                        f"player {index} tried to forge sender "
+                        f"{message.sender}")
+            honest_outbound.extend(outbound)
+        # Rushing adversary: sees honest messages and the deliveries to the
+        # players it controls before answering; may corrupt more players.
+        adversarial_outbound = self.adversary.act(
+            round_no=self.round_no,
+            honest_messages=list(honest_outbound),
+            deliveries=[
+                m for m in deliveries
+                if m.is_broadcast or m.recipient in self.corrupted
+            ],
+        )
+        for message in adversarial_outbound:
+            if message.sender not in self.corrupted:
+                raise ProtocolError(
+                    "adversary can only send as corrupted players")
+        # Corruptions during act() may retract the victim's messages.
+        honest_outbound = [
+            m for m in honest_outbound if m.sender not in self.corrupted
+        ]
+        outbound = honest_outbound + list(adversarial_outbound)
+        for message in outbound:
+            self.metrics.record(self.round_no, message.is_broadcast,
+                                message.size_bytes())
+        self._pending = outbound
+        self.round_no += 1
+
+    def run(self, num_rounds: int) -> Dict[int, Any]:
+        """Run ``num_rounds`` rounds plus a final delivery, then finalize.
+
+        The extra final round lets messages sent in the last active round
+        reach their recipients before ``finalize`` is called.
+        """
+        for _ in range(num_rounds):
+            self.run_round()
+        # Final delivery with no new sends.
+        deliveries = self._pending
+        self._pending = []
+        for index in self.honest_indices():
+            player = self.players[index]
+            player.record_round(self._inbox_for(index, deliveries))
+        self.adversary.observe_final(
+            [m for m in deliveries
+             if m.is_broadcast or m.recipient in self.corrupted])
+        self.finished = True
+        return {
+            index: self.players[index].finalize()
+            for index in self.honest_indices()
+        }
+
+    # -- corruption interface (called through the adversary) -------------------
+    def corrupt_player(self, index: int) -> dict:
+        """Hand player ``index``'s full state to the adversary."""
+        if index not in self.players:
+            raise ProtocolError(f"no player with index {index}")
+        return self.players[index].internal_state()

@@ -1,0 +1,27 @@
+"""Security experiments: the Definition 1 game and concrete attacks.
+
+* :mod:`repro.security.games` — an executable version of the paper's
+  adaptive chosen-message security game (Definition 1), with pluggable
+  adversary strategies.  Used to sanity-check that sub-threshold
+  adversaries cannot win and that the winning condition bookkeeping
+  (the set V = C united with the M*-signing queries) is enforced.
+* :mod:`repro.security.attacks` — implemented attacks: the rushing-
+  adversary bias on Pedersen's DKG public key (the paper's Section 1
+  remark that "even a static adversary can bias the distribution by
+  corrupting only two players"), its failure against the GJKR baseline,
+  and robustness attacks on Combine.
+"""
+
+from repro.security.games import (
+    AdaptiveChosenMessageGame, GameResult, LagrangeForgeryAdversary,
+    BelowThresholdAdversary,
+)
+from repro.security.attacks import (
+    pedersen_bias_experiment, gjkr_bias_experiment, BiasAttackResult,
+)
+
+__all__ = [
+    "AdaptiveChosenMessageGame", "GameResult",
+    "LagrangeForgeryAdversary", "BelowThresholdAdversary",
+    "pedersen_bias_experiment", "gjkr_bias_experiment", "BiasAttackResult",
+]

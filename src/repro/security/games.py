@@ -1,0 +1,227 @@
+"""Executable security game of Definition 1 (adaptive chosen-message).
+
+The challenger plays all honest servers.  The adversary interleaves, in any
+order and adaptively:
+
+* ``corrupt(i)`` — receive SK_i (and the player's full erasure-free state
+  when the corruption happens during the DKG);
+* ``sign_query(i, M)`` — receive Share-Sign(SK_i, M) from an honest server.
+
+It finally outputs a pair (M*, sigma*).  It **wins** iff
+
+* ``|V| < t + 1`` where ``V = C  union  {i : sign query (i, M*)}``, and
+* ``Verify(PK, M*, sigma*) = 1``.
+
+This mirrors the paper's game including its strong twist: partial-signing
+queries *on the forgery message itself* are allowed as long as V stays
+below the threshold.
+
+The harness exists to test the implementation, not to prove security:
+strategies that should lose (below-threshold interpolation, share mauling,
+random guessing) must lose, and the bookkeeping must catch trivial wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.core.keys import PartialSignature, Signature
+from repro.core.scheme import LJYThresholdScheme
+from repro.errors import SecurityGameError
+from repro.math.lagrange import lagrange_coefficients
+
+
+@dataclass
+class GameResult:
+    won: bool
+    reason: str
+    corrupted: Set[int] = field(default_factory=set)
+    signed_forgery_indices: Set[int] = field(default_factory=set)
+
+
+class ChallengerAPI:
+    """The oracle interface handed to adversary strategies."""
+
+    def __init__(self, game: "AdaptiveChosenMessageGame"):
+        self._game = game
+        self.public_key = game.public_key
+        self.verification_keys = game.verification_keys
+        self.t = game.scheme.params.t
+        self.n = game.scheme.params.n
+
+    def corrupt(self, index: int):
+        return self._game._corrupt(index)
+
+    def sign_query(self, index: int, message: bytes) -> PartialSignature:
+        return self._game._sign_query(index, message)
+
+
+class AdaptiveChosenMessageGame:
+    """Challenger for Definition 1 over the Section 3 scheme."""
+
+    def __init__(self, scheme: LJYThresholdScheme, rng=None,
+                 use_dkg: bool = False):
+        self.scheme = scheme
+        self.rng = rng
+        if use_dkg:
+            from repro.dkg.pedersen_dkg import (
+                dkg_result_to_keys, run_pedersen_dkg,
+            )
+            params = scheme.params
+            results, _network = run_pedersen_dkg(
+                params.group, params.g_z, params.g_r, params.t, params.n,
+                rng=rng)
+            shares = {}
+            public_key = verification_keys = None
+            for i, result in results.items():
+                public_key, share, verification_keys = dkg_result_to_keys(
+                    scheme, result)
+                shares[i] = share
+            self.public_key = public_key
+            self.shares = shares
+            self.verification_keys = verification_keys
+        else:
+            self.public_key, self.shares, self.verification_keys = (
+                scheme.dealer_keygen(rng=rng))
+        self.corrupted: Set[int] = set()
+        #: message -> set of honest indices that partially signed it.
+        self.signed_by: Dict[bytes, Set[int]] = {}
+
+    # -- oracles --------------------------------------------------------------
+    def _corrupt(self, index: int):
+        if index not in self.shares:
+            raise SecurityGameError(f"no player {index}")
+        self.corrupted.add(index)
+        return self.shares[index]
+
+    def _sign_query(self, index: int, message: bytes) -> PartialSignature:
+        if index not in self.shares:
+            raise SecurityGameError(f"no player {index}")
+        if index in self.corrupted:
+            raise SecurityGameError(
+                "signing queries are for honest players; the adversary "
+                "already holds this share")
+        self.signed_by.setdefault(message, set()).add(index)
+        return self.scheme.share_sign(self.shares[index], message)
+
+    # -- play -------------------------------------------------------------------
+    def play(self, adversary: Callable[[ChallengerAPI],
+                                       Tuple[bytes, Signature]]
+             ) -> GameResult:
+        api = ChallengerAPI(self)
+        forgery = adversary(api)
+        if forgery is None:
+            return GameResult(False, "adversary aborted", set(self.corrupted))
+        message, signature = forgery
+        signers = self.signed_by.get(message, set())
+        exposed = self.corrupted | signers
+        if len(exposed) >= self.scheme.params.t + 1:
+            return GameResult(
+                False,
+                f"trivial: |V| = {len(exposed)} >= t + 1",
+                set(self.corrupted), set(signers))
+        if self.scheme.verify(self.public_key, message, signature):
+            return GameResult(True, "valid non-trivial forgery",
+                              set(self.corrupted), set(signers))
+        return GameResult(False, "signature rejected",
+                          set(self.corrupted), set(signers))
+
+
+# ---------------------------------------------------------------------------
+# Adversary strategies (all of which must lose against a correct scheme)
+# ---------------------------------------------------------------------------
+
+class BelowThresholdAdversary:
+    """Corrupts t players, queries t partials on M*, interpolates anyway.
+
+    With only t points of a degree-t polynomial the interpolation at 0 is
+    underdetermined; the produced (z, r) satisfies the share equations it
+    saw but not the public-key equation, so Verify must reject.
+    """
+
+    def __init__(self, message: bytes = b"forgery-target"):
+        self.message = message
+
+    def __call__(self, api: ChallengerAPI):
+        t = api.t
+        shares = {i: api.corrupt(i) for i in range(1, t + 1)}
+        # Interpolate pretending index t+1's share is zero.
+        indices = list(range(1, t + 2))
+        order = api.public_key.params.group.order
+        coefficients = lagrange_coefficients(indices, order)
+        h_1, h_2 = api.public_key.params.hash_message(self.message)
+        z = r = None
+        for i in range(1, t + 1):
+            share = shares[i]
+            weight = coefficients[i]
+            z_term = ((h_1 ** (-share.a_1)) * (h_2 ** (-share.a_2))) ** weight
+            r_term = ((h_1 ** (-share.b_1)) * (h_2 ** (-share.b_2))) ** weight
+            z = z_term if z is None else z * z_term
+            r = r_term if r is None else r * r_term
+        # The missing (t+1)-th term is guessed as the identity.
+        return self.message, Signature(z=z, r=r)
+
+
+class LagrangeForgeryAdversary:
+    """Gets t partials on M* plus t' < t corruptions; tries to combine.
+
+    Exercises the strong version of the definition: signing queries on M*
+    are allowed, but t partials plus the identity guess cannot produce the
+    missing degree of freedom.
+    """
+
+    def __init__(self, message: bytes = b"strong-forgery-target"):
+        self.message = message
+
+    def __call__(self, api: ChallengerAPI):
+        t = api.t
+        order = api.public_key.params.group.order
+        partials = [
+            api.sign_query(i, self.message) for i in range(1, t + 1)
+        ]
+        indices = [p.index for p in partials] + [t + 1]
+        coefficients = lagrange_coefficients(indices, order)
+        z = r = None
+        for partial in partials:
+            weight = coefficients[partial.index]
+            z_term = partial.z ** weight
+            r_term = partial.r ** weight
+            z = z_term if z is None else z * z_term
+            r = r_term if r is None else r * r_term
+        return self.message, Signature(z=z, r=r)
+
+
+class MauledSignatureAdversary:
+    """Obtains a full valid signature on M, submits it for M* != M."""
+
+    def __init__(self, signed: bytes = b"benign", target: bytes = b"target"):
+        self.signed = signed
+        self.target = target
+
+    def __call__(self, api: ChallengerAPI):
+        t = api.t
+        partials = [api.sign_query(i, self.signed)
+                    for i in range(1, t + 2)]
+        scheme = LJYThresholdScheme(api.public_key.params)
+        signature = scheme.combine(
+            api.public_key, api.verification_keys, self.signed, partials)
+        # A signature on `signed` replayed for `target`.
+        return self.target, signature
+
+
+class HonestThresholdAdversary:
+    """Control experiment: crosses the threshold, wins trivially — the game
+    must flag it as a *trivial* (non-)win."""
+
+    def __init__(self, message: bytes = b"trivial"):
+        self.message = message
+
+    def __call__(self, api: ChallengerAPI):
+        t = api.t
+        partials = [api.sign_query(i, self.message)
+                    for i in range(1, t + 2)]
+        scheme = LJYThresholdScheme(api.public_key.params)
+        signature = scheme.combine(
+            api.public_key, api.verification_keys, self.message, partials)
+        return self.message, signature

@@ -1,0 +1,91 @@
+"""Pedersen's two-generator verifiable secret sharing.
+
+This is the VSS inside the paper's Dist-Keygen (Section 3.1, step 1): a
+dealer shares a *pair* (a, b) with two degree-t polynomials A[X], B[X] and
+broadcasts the commitments
+
+    W_hat_l = g_z^{a_l} * g_r^{b_l}        for l = 0..t
+
+Receiver i checks equation (1) of the paper:
+
+    g_z^{A(i)} * g_r^{B(i)} == prod_l W_hat_l^{i^l}.
+
+Unlike Feldman's VSS, the constant-term commitment ``g_z^a g_r^b``
+information-theoretically hides ``a`` (it is a Pedersen commitment), which
+is what the paper's adaptive security proof exploits.
+
+The commitments live in G_hat (the paper commits in the second group since
+the public key ``g_hat_k`` lives there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.groups.api import BilinearGroup, GroupElement
+from repro.math.polynomial import Polynomial
+from repro.sharing.shamir import validate_threshold
+
+
+@dataclass
+class PedersenVSS:
+    """Dealer-side state for one shared pair (a, b)."""
+
+    group: BilinearGroup
+    g_z: GroupElement
+    g_r: GroupElement
+    poly_a: Polynomial
+    poly_b: Polynomial
+    commitments: List[GroupElement]
+
+    @classmethod
+    def deal(cls, group: BilinearGroup, g_z: GroupElement,
+             g_r: GroupElement, t: int, n: int,
+             secret_pair: Tuple[int, int] | None = None,
+             rng=None) -> "PedersenVSS":
+        """Share a random pair (or a fixed one, e.g. (0, 0) for refresh)."""
+        validate_threshold(t, n)
+        secret_a = secret_b = None
+        if secret_pair is not None:
+            secret_a, secret_b = secret_pair
+        poly_a = Polynomial.random(t, group.order, constant=secret_a, rng=rng)
+        poly_b = Polynomial.random(t, group.order, constant=secret_b, rng=rng)
+        commitments = [
+            (g_z ** poly_a.coeffs[l]) * (g_r ** poly_b.coeffs[l])
+            for l in range(t + 1)
+        ]
+        return cls(group, g_z, g_r, poly_a, poly_b, commitments)
+
+    @property
+    def secret_pair(self) -> Tuple[int, int]:
+        return (self.poly_a.constant_term, self.poly_b.constant_term)
+
+    def share_for(self, index: int) -> Tuple[int, int]:
+        """The pair (A(i), B(i)) sent privately to player ``index``."""
+        return (self.poly_a(index), self.poly_b(index))
+
+    @staticmethod
+    def verify_share(group: BilinearGroup, g_z: GroupElement,
+                     g_r: GroupElement,
+                     commitments: Sequence[GroupElement], index: int,
+                     share: Tuple[int, int]) -> bool:
+        """The paper's check (1): g_z^{A(i)} g_r^{B(i)} = prod W_l^{i^l}."""
+        share_a, share_b = share
+        expected = (g_z ** share_a) * (g_r ** share_b)
+        return expected == commitment_eval(group, commitments, index)
+
+
+def commitment_eval(group: BilinearGroup,
+                    commitments: Sequence[GroupElement],
+                    index: int) -> GroupElement:
+    """``prod_l W_l^{index^l}`` — the committed value of the polynomials
+    at ``index``.  Used both for share verification and to derive the
+    public verification keys VK_i from the broadcast transcript."""
+    product = None
+    power = 1
+    for commitment in commitments:
+        term = commitment ** power
+        product = term if product is None else product * term
+        power = power * index % group.order
+    return product

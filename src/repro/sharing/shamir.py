@@ -1,0 +1,58 @@
+"""Plain (t, n) Shamir secret sharing over Z_p.
+
+A degree-t polynomial hides the secret in its constant term; any t+1 of the
+n evaluations recover it, any t reveal nothing.  Player indices are 1-based
+(evaluation at 0 would leak the secret).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ParameterError
+from repro.math.lagrange import interpolate_at
+from repro.math.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class ShamirSharing:
+    """The result of sharing a secret: shares plus the polynomial used.
+
+    The polynomial is kept so that verifiable wrappers (Feldman, Pedersen)
+    can commit to its coefficients; plain users only need ``shares``.
+    """
+
+    threshold: int
+    num_players: int
+    modulus: int
+    shares: Dict[int, int]
+    polynomial: Polynomial
+
+    @property
+    def secret(self) -> int:
+        return self.polynomial.constant_term
+
+
+def validate_threshold(t: int, n: int) -> None:
+    """Check 1 <= t < n (t+1 players are needed to reconstruct)."""
+    if t < 0:
+        raise ParameterError("threshold t must be non-negative")
+    if n < 1:
+        raise ParameterError("need at least one player")
+    if t >= n:
+        raise ParameterError(f"threshold t={t} needs n > t players, got n={n}")
+
+
+def share_secret(secret: int, t: int, n: int, modulus: int,
+                 rng=None) -> ShamirSharing:
+    """Produce a (t, n) sharing of ``secret``: any t+1 shares reconstruct."""
+    validate_threshold(t, n)
+    polynomial = Polynomial.random(t, modulus, constant=secret, rng=rng)
+    shares = {i: polynomial(i) for i in range(1, n + 1)}
+    return ShamirSharing(t, n, modulus, shares, polynomial)
+
+
+def reconstruct(shares: Mapping[int, int], modulus: int) -> int:
+    """Recover the secret from at least t+1 shares (indices are x-values)."""
+    return interpolate_at(shares, modulus, x=0)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Two bilinear backends are exercised:
+
+* ``toy`` — the discrete-log backend; algebra identical to BN254, runs in
+  microseconds.  All protocol-logic tests use it.
+* ``bn254`` — the real pairing.  A focused set of cryptographic-validity
+  tests (marked ``bn254``) runs on it; they take a couple of seconds each.
+
+Run ``pytest -m "not bn254"`` for the fast suite only.
+"""
+
+import random
+
+import pytest
+
+from repro.core.keys import ThresholdParams
+from repro.core.scheme import LJYThresholdScheme
+from repro.groups import get_group
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bn254: tests that run on the real BN254 pairing (slow)")
+
+
+@pytest.fixture(scope="session")
+def toy_group():
+    return get_group("toy")
+
+
+@pytest.fixture(scope="session")
+def toy_symmetric_group():
+    return get_group("toy-symmetric")
+
+
+@pytest.fixture(scope="session")
+def bn254_group():
+    return get_group("bn254")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def toy_params(toy_group):
+    return ThresholdParams.generate(toy_group, t=2, n=5)
+
+
+@pytest.fixture
+def toy_scheme(toy_params):
+    return LJYThresholdScheme(toy_params)
+
+
+@pytest.fixture
+def toy_keys(toy_scheme, rng):
+    """(public_key, shares, verification_keys) from a trusted dealer."""
+    return toy_scheme.dealer_keygen(rng=rng)

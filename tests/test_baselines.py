@@ -1,0 +1,229 @@
+"""Tests for the three baseline schemes (BLS, Shoup RSA, ADN06 RSA)."""
+
+import pytest
+
+from repro.baselines.adn06 import ADN06ThresholdRSA
+from repro.baselines.bls_threshold import BoldyrevaThresholdBLS
+from repro.baselines.rsa_params import SAFE_PRIME_PAIRS
+from repro.baselines.rsa_threshold import (
+    ShoupPartialSignature, ShoupThresholdRSA, integer_lagrange_at_zero,
+)
+from repro.errors import CombineError, ParameterError
+
+
+class TestSafePrimes:
+    @pytest.mark.parametrize("bits", sorted(SAFE_PRIME_PAIRS))
+    def test_pairs_are_safe_primes(self, bits):
+        def miller_rabin(n):
+            # deterministic-enough check with fixed bases
+            if n % 2 == 0:
+                return n == 2
+            d, s = n - 1, 0
+            while d % 2 == 0:
+                d //= 2
+                s += 1
+            for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+                x = pow(a, d, n)
+                if x in (1, n - 1):
+                    continue
+                for _ in range(s - 1):
+                    x = x * x % n
+                    if x == n - 1:
+                        break
+                else:
+                    return False
+            return True
+
+        p, q = SAFE_PRIME_PAIRS[bits]
+        assert p != q
+        for prime in (p, q):
+            assert miller_rabin(prime)
+            assert miller_rabin((prime - 1) // 2)
+
+    @pytest.mark.parametrize("bits", sorted(SAFE_PRIME_PAIRS))
+    def test_modulus_size(self, bits):
+        p, q = SAFE_PRIME_PAIRS[bits]
+        assert abs((p * q).bit_length() - bits) <= 1
+
+
+class TestIntegerLagrange:
+    def test_matches_rational_interpolation(self):
+        import math
+        delta = math.factorial(5)
+        coeffs = integer_lagrange_at_zero([1, 3, 4], delta)
+        # f(x) = 7 + 2x + x^2; Delta * f(0) = sum lambda_i f(i)
+        f = lambda x: 7 + 2 * x + x * x
+        total = sum(coeffs[i] * f(i) for i in (1, 3, 4))
+        assert total == delta * 7
+
+
+@pytest.fixture(scope="module")
+def shoup():
+    import random
+    scheme = ShoupThresholdRSA(t=2, n=5, modulus_bits=512)
+    pk, shares = scheme.dealer_keygen(rng=random.Random(31))
+    return scheme, pk, shares
+
+
+class TestShoup:
+    def test_full_flow(self, shoup, rng):
+        scheme, pk, shares = shoup
+        partials = [scheme.share_sign(pk, i, shares[i], b"m", rng=rng)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, b"m", partials)
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_any_subset_same_signature(self, shoup, rng):
+        scheme, pk, shares = shoup
+        sigs = set()
+        for subset in ((1, 2, 3), (2, 4, 5), (1, 3, 5)):
+            partials = [scheme.share_sign(pk, i, shares[i], b"m", rng=rng)
+                        for i in subset]
+            sigs.add(scheme.combine(pk, b"m", partials).y)
+        assert len(sigs) == 1     # RSA signatures are unique
+
+    def test_share_proofs_verify(self, shoup, rng):
+        scheme, pk, shares = shoup
+        partial = scheme.share_sign(pk, 2, shares[2], b"m", rng=rng)
+        assert scheme.share_verify(pk, b"m", partial)
+
+    def test_bogus_partial_rejected(self, shoup, rng):
+        scheme, pk, shares = shoup
+        partial = scheme.share_sign(pk, 2, shares[2], b"m", rng=rng)
+        forged = ShoupPartialSignature(
+            index=2, x_i=partial.x_i * 2 % pk.n_modulus,
+            proof=partial.proof)
+        assert not scheme.share_verify(pk, b"m", forged)
+
+    def test_combine_filters_bogus(self, shoup, rng):
+        scheme, pk, shares = shoup
+        good = [scheme.share_sign(pk, i, shares[i], b"m", rng=rng)
+                for i in (1, 2, 3)]
+        bad = ShoupPartialSignature(index=4, x_i=12345, proof=(1, 1))
+        signature = scheme.combine(pk, b"m", [bad] + good)
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_below_threshold_fails(self, shoup, rng):
+        scheme, pk, shares = shoup
+        partials = [scheme.share_sign(pk, i, shares[i], b"m", rng=rng)
+                    for i in (1, 2)]
+        with pytest.raises(CombineError):
+            scheme.combine(pk, b"m", partials)
+
+    def test_wrong_message_rejected(self, shoup, rng):
+        scheme, pk, shares = shoup
+        partials = [scheme.share_sign(pk, i, shares[i], b"m", rng=rng)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, b"m", partials)
+        assert not scheme.verify(pk, b"other", signature)
+
+    def test_signature_size_matches_modulus(self, shoup, rng):
+        scheme, pk, shares = shoup
+        partials = [scheme.share_sign(pk, i, shares[i], b"m", rng=rng)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, b"m", partials)
+        assert signature.size_bits == 512
+
+    def test_exponent_exceeds_n(self):
+        scheme = ShoupThresholdRSA(t=1, n=10, modulus_bits=512)
+        assert scheme.e > 10
+
+    def test_unknown_modulus_size_rejected(self):
+        with pytest.raises(ParameterError):
+            ShoupThresholdRSA(t=1, n=3, modulus_bits=999)
+
+
+@pytest.fixture(scope="module")
+def adn():
+    import random
+    scheme = ADN06ThresholdRSA(t=2, n=5, modulus_bits=512)
+    pk, states = scheme.dealer_keygen(rng=random.Random(37))
+    return scheme, pk, states
+
+
+class TestADN06:
+    def test_optimistic_single_round(self, adn):
+        scheme, pk, states = adn
+        signature = scheme.sign(pk, states, b"m")
+        assert signature.rounds == 1
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_repair_round_on_failure(self, adn):
+        scheme, pk, states = adn
+        signature = scheme.sign(pk, states, b"m", live_players={1, 2, 3, 5})
+        assert signature.rounds == 2
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_multiple_failures(self, adn):
+        scheme, pk, states = adn
+        signature = scheme.sign(pk, states, b"m", live_players={1, 3, 5})
+        assert signature.rounds == 2
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_below_threshold_survivors_fail(self, adn):
+        scheme, pk, states = adn
+        with pytest.raises(CombineError):
+            scheme.sign(pk, states, b"m", live_players={1, 2})
+
+    def test_storage_grows_linearly(self, rng):
+        values = {}
+        for n in (3, 5, 9):
+            scheme = ADN06ThresholdRSA(t=1, n=n, modulus_bits=512)
+            _pk, states = scheme.dealer_keygen(rng=rng)
+            values[n] = states[1].storage_values()
+        assert values[3] == 4 and values[5] == 6 and values[9] == 10
+
+    def test_signature_matches_shoup_size_claim(self, adn):
+        scheme, pk, states = adn
+        signature = scheme.sign(pk, states, b"m")
+        assert signature.size_bits == 512     # scales with modulus
+
+
+@pytest.fixture(scope="module")
+def bls():
+    import random
+    from repro.groups import get_group
+    group = get_group("toy")
+    scheme = BoldyrevaThresholdBLS(group, t=2, n=5)
+    pk, shares, vks = scheme.dealer_keygen(rng=random.Random(41))
+    return scheme, pk, shares, vks
+
+
+class TestBoldyrevaBLS:
+    def test_full_flow(self, bls):
+        scheme, pk, shares, vks = bls
+        partials = [scheme.share_sign(i, shares[i], b"m") for i in (1, 2, 3)]
+        signature = scheme.combine(vks, b"m", partials)
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_share_verify(self, bls):
+        scheme, pk, shares, vks = bls
+        partial = scheme.share_sign(1, shares[1], b"m")
+        assert scheme.share_verify(vks[1], b"m", partial)
+        assert not scheme.share_verify(vks[2], b"m", partial)
+
+    def test_robust_combine(self, bls):
+        scheme, pk, shares, vks = bls
+        from repro.baselines.bls_threshold import BLSPartialSignature
+        garbage = BLSPartialSignature(
+            index=1, sigma=scheme.group.g1_generator())
+        honest = [scheme.share_sign(i, shares[i], b"m") for i in (2, 3, 4)]
+        signature = scheme.combine(vks, b"m", [garbage] + honest)
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_below_threshold_fails(self, bls):
+        scheme, pk, shares, vks = bls
+        with pytest.raises(CombineError):
+            scheme.combine(vks, b"m", [scheme.share_sign(1, shares[1], b"m")])
+
+    def test_wrong_message_rejected(self, bls):
+        scheme, pk, shares, vks = bls
+        partials = [scheme.share_sign(i, shares[i], b"m") for i in (1, 2, 3)]
+        signature = scheme.combine(vks, b"m", partials)
+        assert not scheme.verify(pk, b"other", signature)
+
+    def test_signature_is_one_group_element(self, bls):
+        scheme, pk, shares, vks = bls
+        partials = [scheme.share_sign(i, shares[i], b"m") for i in (1, 2, 3)]
+        signature = scheme.combine(vks, b"m", partials)
+        assert signature.size_bits == 256

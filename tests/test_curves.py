@@ -1,0 +1,179 @@
+"""Group-law, subgroup and serialization tests for G1 and G2."""
+
+import pytest
+
+from repro.curves import bn254
+from repro.curves.g1 import G1Point
+from repro.curves.g2 import G2Point
+from repro.curves.hash_to_curve import (
+    derive_generator_g1, derive_generator_g2, hash_to_g1,
+    hash_to_g1_vector, hash_to_g2,
+)
+from repro.errors import NotOnCurveError, SerializationError
+
+R = bn254.R
+
+
+class TestG1GroupLaw:
+    def test_generator_on_curve(self):
+        assert G1Point.generator().is_on_curve()
+
+    def test_generator_order(self):
+        assert (G1Point.generator() * R).is_identity()
+
+    def test_identity_neutral(self):
+        g = G1Point.generator()
+        assert g + G1Point.identity() == g
+        assert G1Point.identity() + g == g
+
+    def test_add_negation(self):
+        g = G1Point.generator()
+        assert (g + (-g)).is_identity()
+
+    def test_sub(self):
+        g = G1Point.generator()
+        assert (g * 5 - g * 3) == g * 2
+
+    def test_double_matches_add(self):
+        g = G1Point.generator()
+        assert g.double() == g + g
+
+    def test_scalar_mult_small_cases(self):
+        g = G1Point.generator()
+        acc = G1Point.identity()
+        for k in range(1, 12):
+            acc = acc + g
+            assert g * k == acc
+            assert (g * k).is_on_curve()
+
+    def test_scalar_mult_reduces_mod_order(self):
+        g = G1Point.generator()
+        assert g * (R + 5) == g * 5
+        assert (g * 0).is_identity()
+
+    def test_scalar_mult_distributes(self):
+        g = G1Point.generator()
+        a, b = 123456789, 987654321
+        assert g * a + g * b == g * (a + b)
+
+    def test_off_curve_rejected(self):
+        with pytest.raises(NotOnCurveError):
+            G1Point(1, 3)
+
+    def test_hash_and_eq(self):
+        g = G1Point.generator()
+        assert hash(g * 7) == hash(g * 7)
+        assert g * 7 != g * 8
+
+
+class TestG1Serialization:
+    def test_roundtrip(self):
+        point = G1Point.generator() * 424242
+        assert G1Point.from_bytes(point.to_bytes()) == point
+
+    def test_roundtrip_negation(self):
+        point = -(G1Point.generator() * 99)
+        assert G1Point.from_bytes(point.to_bytes()) == point
+
+    def test_identity_roundtrip(self):
+        identity = G1Point.identity()
+        assert G1Point.from_bytes(identity.to_bytes()).is_identity()
+
+    def test_encoded_size(self):
+        assert len(G1Point.generator().to_bytes()) == 32
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SerializationError):
+            G1Point.from_bytes(b"\x00" * 31)
+
+    def test_x_out_of_range_rejected(self):
+        data = (bn254.P).to_bytes(32, "big")
+        with pytest.raises(SerializationError):
+            G1Point.from_bytes(data)
+
+    def test_invalid_x_rejected(self):
+        # x = 5 gives a non-square RHS on BN254.
+        candidates = 0
+        for x in range(2, 40):
+            data = x.to_bytes(32, "big")
+            try:
+                G1Point.from_bytes(data)
+            except NotOnCurveError:
+                candidates += 1
+        assert candidates > 0
+
+
+class TestG2GroupLaw:
+    def test_generator_on_curve(self):
+        assert G2Point.generator().is_on_curve()
+
+    def test_generator_order(self):
+        assert (G2Point.generator() * R).is_identity()
+
+    def test_generator_in_subgroup(self):
+        assert G2Point.generator().in_subgroup()
+
+    def test_cofactor_value(self):
+        assert bn254.G2_COFACTOR == 2 * bn254.P - bn254.R
+
+    def test_add_negation(self):
+        g = G2Point.generator()
+        assert (g + (-g)).is_identity()
+
+    def test_scalar_mult_consistency(self):
+        g = G2Point.generator()
+        assert g * 6 == (g * 2) * 3
+        assert g * 6 == g.double() + g.double() + g.double()
+
+    def test_scalar_mult_stays_on_curve(self):
+        g = G2Point.generator()
+        for k in (2, 3, 5, 1023):
+            assert (g * k).is_on_curve()
+
+
+class TestG2Serialization:
+    def test_roundtrip(self):
+        point = G2Point.generator() * 31337
+        assert G2Point.from_bytes(point.to_bytes()) == point
+
+    def test_identity_roundtrip(self):
+        assert G2Point.from_bytes(
+            G2Point.identity().to_bytes()).is_identity()
+
+    def test_encoded_size(self):
+        assert len(G2Point.generator().to_bytes()) == 64
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SerializationError):
+            G2Point.from_bytes(b"\x00" * 63)
+
+
+class TestHashToCurve:
+    def test_g1_determinism(self):
+        assert hash_to_g1(b"m") == hash_to_g1(b"m")
+
+    def test_g1_distinct_messages(self):
+        assert hash_to_g1(b"m1") != hash_to_g1(b"m2")
+
+    def test_g1_domain_separation(self):
+        assert hash_to_g1(b"m", domain="a") != hash_to_g1(b"m", domain="b")
+
+    def test_g1_vector_components_independent(self):
+        h1, h2 = hash_to_g1_vector(b"m", 2)
+        assert h1 != h2
+        assert h1.is_on_curve() and h2.is_on_curve()
+
+    def test_g1_in_subgroup(self):
+        assert (hash_to_g1(b"subgroup") * R).is_identity()
+
+    def test_g2_in_subgroup(self):
+        point = hash_to_g2(b"m")
+        assert point.in_subgroup()
+        assert not point.is_identity()
+
+    def test_g2_determinism(self):
+        assert hash_to_g2(b"m") == hash_to_g2(b"m")
+
+    def test_derived_generators_distinct(self):
+        assert derive_generator_g1("a") != derive_generator_g1("b")
+        assert derive_generator_g2("g_z") != derive_generator_g2("g_r")

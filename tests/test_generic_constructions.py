@@ -1,0 +1,92 @@
+"""Tests for the generic Appendix D constructions (D.1 ROM, D.2 standard)."""
+
+import pytest
+
+from repro.core.generic_rom import GenericROMSignature
+from repro.core.generic_standard import (
+    D2Params, GenericStandardModelSignature,
+)
+from repro.errors import ParameterError
+from repro.groups import get_group
+from repro.lhsps.onetime import DPLHSPS
+from repro.lhsps.sdp_onetime import SDPLHSPS
+
+
+class TestGenericROM:
+    @pytest.fixture(params=[(1, DPLHSPS), (2, SDPLHSPS)],
+                    ids=["K1-DP", "K2-SDP"])
+    def scheme(self, request, toy_group):
+        k, lhsps_cls = request.param
+        return GenericROMSignature(
+            lhsps_cls(toy_group, dimension=k + 1), k_linear=k)
+
+    def test_roundtrip(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        signature = scheme.sign(kp.sk, b"generic")
+        assert scheme.verify(kp.pk, b"generic", signature)
+
+    def test_wrong_message_rejected(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        signature = scheme.sign(kp.sk, b"m1")
+        assert not scheme.verify(kp.pk, b"m2", signature)
+
+    def test_wrong_key_rejected(self, scheme, rng):
+        kp1 = scheme.keygen(rng=rng)
+        kp2 = scheme.keygen(rng=rng)
+        signature = scheme.sign(kp1.sk, b"m")
+        assert not scheme.verify(kp2.pk, b"m", signature)
+
+    def test_hash_dimension(self, scheme):
+        vector = scheme.hash_message(b"m")
+        assert len(vector) == scheme.k_linear + 1
+
+    def test_dimension_mismatch_rejected(self, toy_group):
+        with pytest.raises(ParameterError):
+            GenericROMSignature(DPLHSPS(toy_group, dimension=3), k_linear=1)
+
+    def test_specializes_to_main_scheme_shape(self, toy_group, rng):
+        """K = 1 with the DP LHSPS gives 2-element signatures — the
+        centralized version of the Section 3 scheme."""
+        scheme = GenericROMSignature(
+            DPLHSPS(toy_group, dimension=2), k_linear=1)
+        kp = scheme.keygen(rng=rng)
+        signature = scheme.sign(kp.sk, b"m")
+        assert len(signature.components) == 2
+
+
+class TestGenericStandardModel:
+    @pytest.fixture(scope="class")
+    def params(self):
+        return D2Params.generate(get_group("toy-symmetric"), bit_length=16)
+
+    @pytest.fixture(params=[DPLHSPS, SDPLHSPS], ids=["DP", "SDP"])
+    def scheme(self, request, params):
+        group = get_group("toy-symmetric")
+        return GenericStandardModelSignature(
+            request.param(group, dimension=1), params)
+
+    def test_roundtrip(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        signature = scheme.sign_with_pk(kp.sk, kp.pk, b"m", rng=rng)
+        assert scheme.verify(kp.pk, b"m", signature)
+
+    def test_wrong_message_rejected(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        signature = scheme.sign_with_pk(kp.sk, kp.pk, b"m", rng=rng)
+        assert not scheme.verify(kp.pk, b"other", signature)
+
+    def test_signatures_randomized(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        s1 = scheme.sign_with_pk(kp.sk, kp.pk, b"m", rng=rng)
+        s2 = scheme.sign_with_pk(kp.sk, kp.pk, b"m", rng=rng)
+        assert s1.to_bytes() != s2.to_bytes()
+
+    def test_requires_symmetric_pairing(self, toy_group):
+        with pytest.raises(ParameterError):
+            D2Params.generate(toy_group, bit_length=8)
+
+    def test_requires_dimension_one(self, params):
+        group = get_group("toy-symmetric")
+        with pytest.raises(ParameterError):
+            GenericStandardModelSignature(
+                DPLHSPS(group, dimension=2), params)

@@ -1,0 +1,104 @@
+"""The two backends must expose identical algebra through the group API."""
+
+import pytest
+
+from repro.groups import get_group
+from repro.groups.toy_backend import ToyElement
+
+
+@pytest.fixture(params=["toy", "bn254"])
+def group(request):
+    if request.param == "bn254":
+        request.applymarker(pytest.mark.bn254)
+    return get_group(request.param)
+
+
+class TestBackendAlgebra:
+    def test_identity_laws(self, group):
+        g = group.g1_generator()
+        assert (g * group.g1_identity()) == g
+        assert g.is_identity() is False
+        assert group.g1_identity().is_identity()
+
+    def test_exponent_arithmetic(self, group):
+        g = group.g1_generator()
+        assert (g ** 3) * (g ** 4) == g ** 7
+        assert (g ** 3) ** 4 == g ** 12
+        assert (g ** group.order).is_identity()
+
+    def test_negative_exponent(self, group):
+        g = group.g1_generator()
+        assert (g ** -2) * (g ** 2) == group.g1_identity()
+
+    def test_division(self, group):
+        g = group.g1_generator()
+        assert (g ** 5) / (g ** 3) == g ** 2
+
+    def test_pairing_bilinearity(self, group):
+        a = group.g1_generator() ** 6
+        b = group.g2_generator() ** 7
+        gt = group.pair(a, b)
+        assert gt == group.pair(group.g1_generator(),
+                                group.g2_generator()) ** 42
+
+    def test_pairing_product(self, group):
+        g1, g2 = group.g1_generator(), group.g2_generator()
+        product = group.pairing_product([(g1 ** 2, g2), (g1 ** 3, g2)])
+        assert product == group.pair(g1, g2) ** 5
+
+    def test_pairing_product_is_one(self, group):
+        g1, g2 = group.g1_generator(), group.g2_generator()
+        assert group.pairing_product_is_one(
+            [(g1 ** 4, g2), ((g1 ** 4).inverse(), g2)])
+        assert not group.pairing_product_is_one([(g1, g2)])
+
+    def test_derive_deterministic(self, group):
+        assert group.derive_g1("x") == group.derive_g1("x")
+        assert group.derive_g1("x") != group.derive_g1("y")
+        assert group.derive_g2("x") == group.derive_g2("x")
+
+    def test_hash_vector(self, group):
+        vec = group.hash_to_g1_vector(b"msg", 3)
+        assert len(vec) == 3
+        assert len({v.to_bytes() for v in vec}) == 3
+        again = group.hash_to_g1_vector(b"msg", 3)
+        assert [v.to_bytes() for v in vec] == [v.to_bytes() for v in again]
+
+    def test_serialization_sizes(self, group):
+        assert len(group.g1_generator().to_bytes()) == group.g1_bytes
+        assert len(group.g2_generator().to_bytes()) == group.g2_bytes
+
+    def test_g1_roundtrip(self, group):
+        element = group.g1_generator() ** 12345
+        assert group.g1_from_bytes(element.to_bytes()) == element
+
+    def test_random_scalar_range(self, group, rng):
+        for _ in range(10):
+            assert 0 <= group.random_scalar(rng) < group.order
+
+
+class TestToySpecifics:
+    def test_not_secure_flag(self):
+        assert get_group("toy").secure is False
+        assert get_group("bn254").secure is True
+
+    def test_tag_confusion_rejected(self):
+        group = get_group("toy")
+        with pytest.raises(TypeError):
+            group.g1_generator() * group.g2_generator()
+        with pytest.raises(TypeError):
+            group.pair(group.g2_generator(), group.g2_generator())
+
+    def test_symmetric_backend_identifies_groups(self):
+        sym = get_group("toy-symmetric")
+        assert sym.symmetric
+        g = sym.g1_generator() * sym.g2_generator()   # same tag: allowed
+        assert isinstance(g, ToyElement)
+        assert not sym.pair(sym.g1_generator(), sym.g2_generator()).is_identity()
+
+    def test_caching(self):
+        assert get_group("toy") is get_group("toy")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            get_group("nope")

@@ -1,0 +1,151 @@
+"""Tests for the Groth-Sahai commitment/proof fragment."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.gs.crs import GSParams, message_to_bits
+from repro.gs.proofs import (
+    GSCommitment, GSProof, commit, prove_linear, randomize, verify_linear,
+)
+from repro.math.rng import random_scalar
+
+
+@pytest.fixture(scope="module")
+def gs(toy_group_module):
+    return GSParams.generate(toy_group_module, bit_length=16)
+
+
+@pytest.fixture(scope="module")
+def toy_group_module():
+    from repro.groups import get_group
+    return get_group("toy")
+
+
+def make_statement(group, gs, message=b"m", rng=None):
+    """Commit to (z, r) = (g^-a, g^-b) and prove the paper's equation."""
+    order = group.order
+    g = group.derive_g1("gs-test:g")
+    g_z = group.derive_g2("gs-test:g_z")
+    g_r = group.derive_g2("gs-test:g_r")
+    a = random_scalar(order, rng)
+    b = random_scalar(order, rng)
+    v_hat = (g_z ** a) * (g_r ** b)
+    z = g ** (-a)
+    r = g ** (-b)
+    crs = gs.crs_for_message(message)
+    nu_z = (random_scalar(order, rng), random_scalar(order, rng))
+    nu_r = (random_scalar(order, rng), random_scalar(order, rng))
+    c_z = commit(crs, z, *nu_z)
+    c_r = commit(crs, r, *nu_r)
+    proof = prove_linear([g_z, g_r], [nu_z, nu_r])
+    return crs, [c_z, c_r], [g_z, g_r], (g, v_hat), proof
+
+
+class TestBits:
+    def test_deterministic(self):
+        assert message_to_bits(b"x", 32) == message_to_bits(b"x", 32)
+
+    def test_length(self):
+        assert len(message_to_bits(b"x", 7)) == 7
+
+    def test_distinct_messages_differ(self):
+        assert message_to_bits(b"x", 64) != message_to_bits(b"y", 64)
+
+
+class TestCRS:
+    def test_crs_depends_on_message(self, gs):
+        crs1 = gs.crs_for_message(b"m1")
+        crs2 = gs.crs_for_message(b"m2")
+        assert crs1.f_m != crs2.f_m
+        assert crs1.f == crs2.f
+
+    def test_crs_for_bits_roundtrip(self, gs):
+        bits = message_to_bits(b"m1", gs.bit_length)
+        assert gs.crs_for_bits(bits).f_m == gs.crs_for_message(b"m1").f_m
+
+    def test_crs_for_bits_length_check(self, gs):
+        with pytest.raises(ParameterError):
+            gs.crs_for_bits([0, 1])
+
+    def test_invalid_bit_length(self, toy_group_module):
+        with pytest.raises(ParameterError):
+            GSParams.generate(toy_group_module, bit_length=0)
+
+
+class TestProofs:
+    def test_honest_proof_verifies(self, toy_group_module, gs, rng):
+        group = toy_group_module
+        crs, commitments, constants, target, proof = make_statement(
+            group, gs, rng=rng)
+        assert verify_linear(group, crs, commitments, constants,
+                             target, proof)
+
+    def test_wrong_target_rejected(self, toy_group_module, gs, rng):
+        group = toy_group_module
+        crs, commitments, constants, (g, v_hat), proof = make_statement(
+            group, gs, rng=rng)
+        wrong = (g, v_hat * group.g2_generator())
+        assert not verify_linear(group, crs, commitments, constants,
+                                 wrong, proof)
+
+    def test_wrong_crs_rejected(self, toy_group_module, gs, rng):
+        group = toy_group_module
+        _, commitments, constants, target, proof = make_statement(
+            group, gs, message=b"m1", rng=rng)
+        other_crs = gs.crs_for_message(b"m2")
+        assert not verify_linear(group, other_crs, commitments, constants,
+                                 target, proof)
+
+    def test_tampered_commitment_rejected(self, toy_group_module, gs, rng):
+        group = toy_group_module
+        crs, commitments, constants, target, proof = make_statement(
+            group, gs, rng=rng)
+        bad = [GSCommitment(commitments[0].c0,
+                            commitments[0].c1 * group.g1_generator()),
+               commitments[1]]
+        assert not verify_linear(group, crs, bad, constants, target, proof)
+
+    def test_arity_mismatch_rejected(self, toy_group_module, gs, rng):
+        group = toy_group_module
+        crs, commitments, constants, target, proof = make_statement(
+            group, gs, rng=rng)
+        assert not verify_linear(group, crs, commitments[:1], constants,
+                                 target, proof)
+        with pytest.raises(ParameterError):
+            prove_linear(constants, [(1, 2)])
+
+    def test_randomization_preserves_validity(self, toy_group_module, gs,
+                                              rng):
+        group = toy_group_module
+        crs, commitments, constants, target, proof = make_statement(
+            group, gs, rng=rng)
+        new_commitments, new_proof = randomize(
+            group, crs, commitments, constants, proof, rng=rng)
+        assert verify_linear(group, crs, new_commitments, constants,
+                             target, new_proof)
+
+    def test_randomization_changes_representation(self, toy_group_module,
+                                                  gs, rng):
+        group = toy_group_module
+        crs, commitments, constants, target, proof = make_statement(
+            group, gs, rng=rng)
+        new_commitments, new_proof = randomize(
+            group, crs, commitments, constants, proof, rng=rng)
+        assert new_commitments[0].to_bytes() != commitments[0].to_bytes()
+        assert new_proof.to_bytes() != proof.to_bytes()
+
+    def test_commitment_hiding_under_wi_crs(self, toy_group_module, gs, rng):
+        """Two commitments to the same value with different randomness
+        are unlinkable representations."""
+        group = toy_group_module
+        crs = gs.crs_for_message(b"m")
+        value = group.derive_g1("x")
+        c1 = commit(crs, value, 1, 2)
+        c2 = commit(crs, value, 3, 4)
+        assert c1.to_bytes() != c2.to_bytes()
+
+    def test_proof_is_two_elements(self, toy_group_module, gs, rng):
+        group = toy_group_module
+        _, _, _, _, proof = make_statement(group, gs, rng=rng)
+        assert isinstance(proof, GSProof)
+        assert len(proof.to_bytes()) == 2 * group.g2_bytes

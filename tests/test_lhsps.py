@@ -1,0 +1,142 @@
+"""Tests for the one-time LHSPS schemes (DP and SDP variants)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.groups import get_group
+from repro.lhsps.onetime import DPLHSPS, DPSecretKey, derive_signature
+from repro.lhsps.sdp_onetime import SDPLHSPS
+from repro.lhsps.template import OneTimeLHSPS
+
+GROUP = get_group("toy")
+small_scalars = st.integers(min_value=0, max_value=GROUP.order - 1)
+
+
+def message_vector(seed: bytes, dimension: int):
+    return GROUP.hash_to_g1_vector(seed, dimension)
+
+
+@pytest.fixture(params=[DPLHSPS, SDPLHSPS])
+def scheme(request):
+    return request.param(GROUP, dimension=3)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        msg = message_vector(b"v1", 3)
+        sig = scheme.sign(kp.sk, msg)
+        assert scheme.verify(kp.pk, msg, sig)
+
+    def test_wrong_message_rejected(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        sig = scheme.sign(kp.sk, message_vector(b"v1", 3))
+        assert not scheme.verify(kp.pk, message_vector(b"v2", 3), sig)
+
+    def test_wrong_key_rejected(self, scheme, rng):
+        kp1 = scheme.keygen(rng=rng)
+        kp2 = scheme.keygen(rng=rng)
+        msg = message_vector(b"v1", 3)
+        sig = scheme.sign(kp1.sk, msg)
+        assert not scheme.verify(kp2.pk, msg, sig)
+
+    def test_all_identity_vector_rejected(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        ones = [GROUP.g1_identity()] * 3
+        sig = scheme.sign(kp.sk, ones)
+        assert not scheme.verify(kp.pk, ones, sig)
+
+    def test_dimension_mismatch(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        with pytest.raises(ParameterError):
+            scheme.sign(kp.sk, message_vector(b"v", 2))
+        sig = scheme.sign(kp.sk, message_vector(b"v", 3))
+        assert not scheme.verify(kp.pk, message_vector(b"v", 2)[:2], sig)
+
+    def test_deterministic(self, scheme, rng):
+        kp = scheme.keygen(rng=rng)
+        msg = message_vector(b"v1", 3)
+        s1 = scheme.sign(kp.sk, msg)
+        s2 = scheme.sign(kp.sk, msg)
+        assert s1.to_bytes() == s2.to_bytes()
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ParameterError):
+            DPLHSPS(GROUP, dimension=0)
+
+
+class TestLinearHomomorphism:
+    @given(w1=small_scalars, w2=small_scalars)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_derived_signature_verifies(self, scheme, w1, w2):
+        # The scheme fixture is immutable, so reuse across examples is fine.
+        kp = scheme.keygen()
+        m1 = message_vector(b"m1", 3)
+        m2 = message_vector(b"m2", 3)
+        s1 = scheme.sign(kp.sk, m1)
+        s2 = scheme.sign(kp.sk, m2)
+        derived = scheme.sign_derive(kp.pk, [(w1, s1), (w2, s2)])
+        combined = OneTimeLHSPS.combine_messages(
+            GROUP, [(w1, m1), (w2, m2)])
+        if all(c.is_identity() for c in combined):
+            return   # excluded vector
+        assert scheme.verify(kp.pk, combined, derived)
+
+    def test_derived_equals_direct(self, scheme, rng):
+        # Deriving on (3, 5) matches signing the combination directly.
+        kp = scheme.keygen(rng=rng)
+        m1 = message_vector(b"m1", 3)
+        m2 = message_vector(b"m2", 3)
+        derived = scheme.sign_derive(
+            kp.pk, [(3, scheme.sign(kp.sk, m1)), (5, scheme.sign(kp.sk, m2))])
+        combined = OneTimeLHSPS.combine_messages(GROUP, [(3, m1), (5, m2)])
+        direct = scheme.sign(kp.sk, combined)
+        assert derived.to_bytes() == direct.to_bytes()
+
+
+class TestKeyHomomorphism:
+    """Footnote 4: signatures under sk1 and sk2 multiply into a signature
+    under sk1 + sk2 — the enabler of non-interactive threshold signing."""
+
+    def test_dp_key_addition(self, rng):
+        scheme = DPLHSPS(GROUP, dimension=2)
+        kp1 = scheme.keygen(rng=rng)
+        kp2 = scheme.keygen(rng=rng)
+        sk_sum = kp1.sk + kp2.sk
+        msg = message_vector(b"kh", 2)
+        s1 = scheme.sign(kp1.sk, msg)
+        s2 = scheme.sign(kp2.sk, msg)
+        merged = derive_signature(GROUP, [(1, s1), (1, s2)])
+        direct = scheme.sign(sk_sum, msg)
+        assert merged.to_bytes() == direct.to_bytes()
+        assert scheme.verify(scheme.public_key_for(sk_sum), msg, merged)
+
+    def test_sdp_key_addition(self, rng):
+        scheme = SDPLHSPS(GROUP, dimension=2)
+        kp1 = scheme.keygen(rng=rng)
+        kp2 = scheme.keygen(rng=rng)
+        sk_sum = kp1.sk + kp2.sk
+        msg = message_vector(b"kh", 2)
+        direct = scheme.sign(sk_sum, msg)
+        assert scheme.verify(scheme.public_key_for(sk_sum), msg, direct)
+
+    def test_key_dimension_mismatch(self, rng):
+        a = DPSecretKey(((1, 2),))
+        b = DPSecretKey(((1, 2), (3, 4)))
+        with pytest.raises(ParameterError):
+            a + b
+
+
+@pytest.mark.bn254
+class TestOnRealCurve:
+    def test_dp_roundtrip_bn254(self, bn254_group, rng):
+        scheme = DPLHSPS(bn254_group, dimension=2)
+        kp = scheme.keygen(rng=rng)
+        msg = bn254_group.hash_to_g1_vector(b"real", 2)
+        sig = scheme.sign(kp.sk, msg)
+        assert scheme.verify(kp.pk, msg, sig)
+        assert not scheme.verify(
+            kp.pk, bn254_group.hash_to_g1_vector(b"fake", 2), sig)

@@ -1,0 +1,107 @@
+"""Tests for polynomials over Z_p and Lagrange interpolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.math.lagrange import interpolate_at, lagrange_coefficients
+from repro.math.polynomial import Polynomial
+
+P = 2 ** 127 - 1   # Mersenne prime, plenty of room for indices
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=P - 1), min_size=1, max_size=8)
+
+
+class TestPolynomial:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            Polynomial([], P)
+
+    def test_degree_counts_trailing_zeros(self):
+        # Sharing polynomials keep their nominal degree.
+        poly = Polynomial([1, 0, 0], P)
+        assert poly.degree == 2
+
+    def test_constant_term(self):
+        assert Polynomial([42, 1], P).constant_term == 42
+
+    def test_evaluation_horner(self):
+        poly = Polynomial([1, 2, 3], P)    # 1 + 2x + 3x^2
+        assert poly(0) == 1
+        assert poly(1) == 6
+        assert poly(2) == 1 + 4 + 12
+
+    def test_random_fixed_constant(self, rng):
+        poly = Polynomial.random(5, P, constant=7, rng=rng)
+        assert poly(0) == 7
+        assert poly.degree == 5
+
+    def test_random_negative_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            Polynomial.random(-1, P)
+
+    def test_addition(self):
+        a = Polynomial([1, 2], P)
+        b = Polynomial([3, 4, 5], P)
+        total = a + b
+        assert total.coeffs == (4, 6, 5)
+
+    def test_addition_modulus_mismatch(self):
+        with pytest.raises(ParameterError):
+            Polynomial([1], P) + Polynomial([1], 101)
+
+    @given(coeffs=coeff_lists, x=st.integers(min_value=0, max_value=1000))
+    def test_eval_matches_naive(self, coeffs, x):
+        poly = Polynomial(coeffs, P)
+        naive = sum(c * pow(x, k, P) for k, c in enumerate(coeffs)) % P
+        assert poly(x) == naive
+
+    @given(a=coeff_lists, b=coeff_lists,
+           x=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_addition_is_pointwise(self, a, b, x):
+        pa, pb = Polynomial(a, P), Polynomial(b, P)
+        assert (pa + pb)(x) == (pa(x) + pb(x)) % P
+
+
+class TestLagrange:
+    def test_coefficients_sum_to_one_at_zero(self, rng):
+        indices = [1, 4, 7, 9]
+        coeffs = lagrange_coefficients(indices, P)
+        # sum of basis polynomials is the constant 1
+        assert sum(coeffs.values()) % P == 1
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ParameterError):
+            lagrange_coefficients([1, 1, 2], P)
+
+    def test_empty_shares_rejected(self):
+        with pytest.raises(ParameterError):
+            interpolate_at({}, P)
+
+    @given(coeffs=st.lists(st.integers(min_value=0, max_value=P - 1),
+                           min_size=3, max_size=6))
+    @settings(max_examples=50)
+    def test_interpolation_recovers_constant(self, coeffs):
+        poly = Polynomial(coeffs, P)
+        t = poly.degree
+        shares = {i: poly(i) for i in range(1, t + 2)}
+        assert interpolate_at(shares, P) == poly.constant_term
+
+    @given(coeffs=st.lists(st.integers(min_value=0, max_value=P - 1),
+                           min_size=2, max_size=5),
+           x=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50)
+    def test_interpolation_at_arbitrary_point(self, coeffs, x):
+        poly = Polynomial(coeffs, P)
+        shares = {i + 100: poly(i + 100)
+                  for i in range(poly.degree + 1)}
+        assert interpolate_at(shares, P, x=x) == poly(x)
+
+    def test_too_few_points_gives_wrong_answer(self, rng):
+        poly = Polynomial.random(3, P, constant=123456, rng=rng)
+        shares = {i: poly(i) for i in (1, 2, 3)}   # need 4
+        # With overwhelming probability the interpolation misses.
+        assert interpolate_at(shares, P) != poly.constant_term

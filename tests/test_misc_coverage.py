@@ -1,0 +1,112 @@
+"""Edge-case coverage: errors, RNG helpers, generic curve formulas."""
+
+import pytest
+
+from repro import errors
+from repro.curves.bn254 import P
+from repro.curves.g1 import FP_OPS, G1Point
+from repro.curves.weierstrass import (
+    jac_add, jac_double, jac_eq, jac_normalize, jac_scalar_mul,
+)
+from repro.math.rng import (
+    hash_bytes, hash_to_int, random_nonzero_scalar, random_scalar,
+)
+
+
+class TestErrorsHierarchy:
+    def test_all_derive_from_base(self):
+        for name in ("ParameterError", "SerializationError",
+                     "NotOnCurveError", "InvalidShareError",
+                     "InvalidSignatureError", "CombineError",
+                     "ProtocolError", "DisqualifiedError",
+                     "SecurityGameError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_not_on_curve_is_serialization_error(self):
+        assert issubclass(errors.NotOnCurveError, errors.SerializationError)
+
+    def test_disqualified_is_protocol_error(self):
+        assert issubclass(errors.DisqualifiedError, errors.ProtocolError)
+
+
+class TestRngHelpers:
+    def test_hash_to_int_deterministic(self):
+        assert hash_to_int("d", b"x", 1 << 64) == hash_to_int("d", b"x",
+                                                              1 << 64)
+
+    def test_hash_to_int_domain_separated(self):
+        assert hash_to_int("d1", b"x", 1 << 64) != hash_to_int(
+            "d2", b"x", 1 << 64)
+
+    def test_hash_to_int_in_range(self):
+        for modulus in (2, 17, 1 << 256):
+            value = hash_to_int("d", b"data", modulus)
+            assert 0 <= value < modulus
+
+    def test_hash_bytes_length(self):
+        for length in (1, 32, 33, 100):
+            assert len(hash_bytes("d", b"x", length)) == length
+
+    def test_hash_bytes_prefix_stability(self):
+        # Counter-mode expansion: longer outputs extend shorter ones.
+        short = hash_bytes("d", b"x", 32)
+        long = hash_bytes("d", b"x", 64)
+        assert long.startswith(short)
+
+    def test_random_scalar_deterministic_with_rng(self):
+        import random
+        assert random_scalar(1000, random.Random(5)) == random_scalar(
+            1000, random.Random(5))
+
+    def test_random_scalar_secure_path(self):
+        for _ in range(10):
+            assert 0 <= random_scalar(97) < 97
+
+    def test_random_nonzero(self, rng):
+        for _ in range(50):
+            assert random_nonzero_scalar(3, rng) in (1, 2)
+
+
+class TestJacobianEdgeCases:
+    def test_double_infinity(self):
+        infinity = (1, 1, 0)
+        assert jac_double(FP_OPS, infinity)[2] == 0
+
+    def test_double_order_two_point(self):
+        # y = 0 points double to infinity (none exist on BN254, but the
+        # formula must be total).
+        assert jac_double(FP_OPS, (5, 0, 1))[2] == 0
+
+    def test_add_inverse_gives_infinity(self):
+        g = G1Point.generator()._jac
+        neg = (g[0], -g[1] % P, g[2])
+        assert jac_add(FP_OPS, g, neg)[2] == 0
+
+    def test_add_equal_points_falls_into_double(self):
+        g = G1Point.generator()._jac
+        assert jac_eq(FP_OPS, jac_add(FP_OPS, g, g), jac_double(FP_OPS, g))
+
+    def test_scalar_mul_zero(self):
+        g = G1Point.generator()._jac
+        assert jac_scalar_mul(FP_OPS, g, 0, G1Point.order)[2] == 0
+
+    def test_scalar_mul_of_infinity(self):
+        infinity = (1, 1, 0)
+        assert jac_scalar_mul(FP_OPS, infinity, 12345,
+                              G1Point.order)[2] == 0
+
+    def test_normalize_infinity_is_none(self):
+        assert jac_normalize(FP_OPS, (1, 1, 0)) is None
+
+    def test_projective_eq_scaled_representations(self):
+        # (X, Y, Z) and (c^2 X, c^3 Y, c Z) are the same Jacobian point.
+        g = G1Point.generator()._jac
+        scaled = (g[0] * 4 % P, g[1] * 8 % P, g[2] * 2 % P)
+        assert jac_eq(FP_OPS, g, scaled)
+
+    def test_eq_infinity_cases(self):
+        infinity = (1, 1, 0)
+        g = G1Point.generator()._jac
+        assert jac_eq(FP_OPS, infinity, (2, 3, 0))
+        assert not jac_eq(FP_OPS, infinity, g)

@@ -1,0 +1,170 @@
+"""Semantics of the synchronous network simulator."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.adversary import Adversary, ScriptedAdversary
+from repro.net.metrics import estimate_size
+from repro.net.player import Player
+from repro.net.simulator import Message, SyncNetwork, broadcast, private
+
+
+class EchoPlayer(Player):
+    """Broadcasts a greeting in round 0, records everything it receives."""
+
+    def __init__(self, index):
+        super().__init__(index)
+        self.seen = []
+
+    def on_round(self, round_no, inbox):
+        self.seen.extend(inbox)
+        if round_no == 0:
+            return [broadcast(self.index, "hello", self.index),
+                    private(self.index, (self.index % 3) + 1, "dm",
+                            f"from {self.index}")]
+        return []
+
+    def finalize(self):
+        return self.seen
+
+
+def build_network(adversary=None, n=3):
+    players = {i: EchoPlayer(i) for i in range(1, n + 1)}
+    return players, SyncNetwork(players, adversary=adversary)
+
+
+class TestDelivery:
+    def test_broadcast_reaches_everyone(self):
+        players, network = build_network()
+        results = network.run(2)
+        for i, seen in results.items():
+            hellos = [m for m in seen if m.kind == "hello"]
+            assert {m.sender for m in hellos} == {1, 2, 3}
+
+    def test_private_message_only_to_recipient(self):
+        players, network = build_network()
+        results = network.run(2)
+        for i, seen in results.items():
+            dms = [m for m in seen if m.kind == "dm"]
+            assert all(m.recipient == i for m in dms)
+
+    def test_messages_delivered_next_round(self):
+        players, network = build_network()
+        network.run_round()
+        # nothing delivered during round 0 itself
+        assert all(not p.seen for p in players.values())
+        network.run_round()
+        assert all(p.seen for p in players.values())
+
+    def test_sender_forgery_rejected(self):
+        class Forger(Player):
+            def on_round(self, round_no, inbox):
+                return [broadcast(self.index + 1, "forged", None)]
+
+            def finalize(self):
+                return None
+
+        network = SyncNetwork({1: Forger(1), 2: EchoPlayer(2),
+                               3: EchoPlayer(3)})
+        with pytest.raises(ProtocolError):
+            network.run_round()
+
+    def test_run_after_finish_rejected(self):
+        _, network = build_network()
+        network.run(1)
+        with pytest.raises(ProtocolError):
+            network.run_round()
+
+
+class TestMetrics:
+    def test_counts(self):
+        _, network = build_network()
+        network.run(2)
+        summary = network.metrics.summary()
+        # Round 0: 3 broadcasts + 3 private messages; rounds 1+ silent.
+        assert summary["communication_rounds"] == 1
+        assert summary["messages"] == 6
+        assert network.metrics.rounds[0].broadcasts == 3
+        assert network.metrics.rounds[0].point_to_point == 3
+
+    def test_estimate_size_primitives(self, toy_group):
+        assert estimate_size(None) == 0
+        assert estimate_size(7) == 32
+        assert estimate_size(True) == 1
+        assert estimate_size(b"abcd") == 4
+        assert estimate_size("ab") == 2
+        assert estimate_size([1, 2]) == 64
+        assert estimate_size({"k": 1}) == 33
+        assert estimate_size(toy_group.g1_generator()) == 32
+
+    def test_estimate_size_unknown_type(self):
+        with pytest.raises(TypeError):
+            estimate_size(object())
+
+
+class TestAdversary:
+    def test_rushing_sees_honest_messages(self):
+        observed = {}
+
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                observed["round0"] = len(honest_messages)
+            return []
+
+        _, network = build_network(ScriptedAdversary(script))
+        network.run(1)
+        assert observed["round0"] == 6
+
+    def test_corruption_reveals_state_and_retracts_messages(self):
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                state = adversary.corrupt(1)
+                assert "seen" in state     # full internal state
+            return []
+
+        players, network = build_network(ScriptedAdversary(script))
+        results = network.run(2)
+        assert 1 not in results            # corrupted players don't finalize
+        # player 1's round-0 messages were retracted
+        for seen in results.values():
+            assert all(m.sender != 1 for m in seen)
+
+    def test_adversary_sends_as_corrupted_only(self):
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                return [broadcast(2, "spoof", None)]   # 2 not corrupted
+            return []
+
+        _, network = build_network(ScriptedAdversary(script))
+        with pytest.raises(ProtocolError):
+            network.run_round()
+
+    def test_adversary_injects_as_corrupted(self):
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                adversary.corrupt(1)
+                return [broadcast(1, "evil", b"payload")]
+            return []
+
+        players, network = build_network(ScriptedAdversary(script))
+        results = network.run(2)
+        for seen in results.values():
+            assert any(m.kind == "evil" for m in seen)
+
+    def test_corruption_budget_enforced(self):
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                adversary.corrupt(1)
+                adversary.corrupt(2)    # exceeds budget of 1
+            return []
+
+        _, network = build_network(
+            ScriptedAdversary(script, max_corruptions=1))
+        with pytest.raises(ProtocolError):
+            network.run_round()
+
+    def test_adversary_view_accumulates(self):
+        adversary = Adversary()
+        _, network = build_network(adversary)
+        network.run(2)
+        assert len(adversary.view) >= 2

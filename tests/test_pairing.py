@@ -1,0 +1,80 @@
+"""Cryptographic-validity tests for the optimal ate pairing (real BN254)."""
+
+import pytest
+
+from repro.curves import bn254
+from repro.curves.g1 import G1Point
+from repro.curves.g2 import G2Point
+from repro.curves.pairing import (
+    GTElement, multi_pairing, pairing, pairing_product_is_one,
+    PAIRING_COUNTERS, reset_pairing_counters,
+)
+
+pytestmark = pytest.mark.bn254
+
+R = bn254.R
+
+
+@pytest.fixture(scope="module")
+def base_pairing():
+    return pairing(G1Point.generator(), G2Point.generator())
+
+
+class TestPairingProperties:
+    def test_non_degenerate(self, base_pairing):
+        assert not base_pairing.is_one()
+
+    def test_order_r(self, base_pairing):
+        assert (base_pairing ** R).is_one()
+
+    def test_left_linear(self, base_pairing):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        a = 0xDEADBEEFCAFE
+        assert pairing(g1 * a, g2) == base_pairing ** a
+
+    def test_right_linear(self, base_pairing):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        b = 0xFEEDFACE1234
+        assert pairing(g1, g2 * b) == base_pairing ** b
+
+    def test_full_bilinearity(self, base_pairing):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        a, b = 123456789012345, 543210987654321
+        assert pairing(g1 * a, g2 * b) == base_pairing ** (a * b % R)
+
+    def test_identity_arguments(self):
+        assert pairing(G1Point.identity(), G2Point.generator()).is_one()
+        assert pairing(G1Point.generator(), G2Point.identity()).is_one()
+
+    def test_inverse_argument(self, base_pairing):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        assert pairing(-g1, g2) == base_pairing.inverse()
+
+    def test_gt_element_ops(self, base_pairing):
+        e = base_pairing
+        assert (e * e.inverse()).is_one()
+        assert (e ** 2) / e == e
+        assert GTElement.one().is_one()
+
+
+class TestMultiPairing:
+    def test_matches_product(self, base_pairing):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        product = multi_pairing([(g1 * 3, g2), (g1, g2 * 4)])
+        assert product == base_pairing ** 7
+
+    def test_empty_product_is_one(self):
+        assert multi_pairing([]).is_one()
+
+    def test_cancellation_shape(self):
+        # e(aP, Q) * e(-aP, Q) = 1 — the shape of every verify equation.
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        assert pairing_product_is_one([(g1 * 9, g2), (-(g1 * 9), g2)])
+
+    def test_shares_final_exponentiation(self, base_pairing):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        reset_pairing_counters()
+        multi_pairing([(g1, g2), (g1 * 2, g2), (g1 * 3, g2), (g1, g2 * 2)])
+        assert PAIRING_COUNTERS["miller_loops"] == 4
+        assert PAIRING_COUNTERS["final_exps"] == 1
+        reset_pairing_counters()

@@ -1,0 +1,98 @@
+"""Tests for the packaged proactive signing service."""
+
+import pytest
+
+from repro.core.proactive import ProactiveSigningService
+from repro.errors import CombineError, ParameterError, ProtocolError
+
+
+@pytest.fixture
+def service(toy_group, rng):
+    svc = ProactiveSigningService(toy_group, t=2, n=5, rng=rng)
+    svc.bootstrap()
+    return svc
+
+
+class TestLifecycle:
+    def test_bootstrap_one_round(self, service):
+        assert service.public_key is not None
+        assert service.reports[0].refresh_rounds == 1
+
+    def test_double_bootstrap_rejected(self, service):
+        with pytest.raises(ProtocolError):
+            service.bootstrap()
+
+    def test_sign_before_bootstrap_rejected(self, toy_group, rng):
+        svc = ProactiveSigningService(toy_group, t=1, n=3, rng=rng)
+        with pytest.raises(ProtocolError):
+            svc.sign(b"m")
+
+    def test_sign_and_verify(self, service):
+        signature = service.sign(b"hello")
+        assert service.verify(b"hello", signature)
+        assert not service.verify(b"other", signature)
+        assert service.reports[-1].signatures_issued == 1
+
+    def test_explicit_signer_set(self, service):
+        signature = service.sign(b"m", signers=(2, 4, 5))
+        assert service.verify(b"m", signature)
+
+    def test_advance_epoch_keeps_key(self, service):
+        pk_before = service.public_key.to_bytes()
+        sig_before = service.sign(b"stable")
+        report = service.advance_epoch()
+        assert report.epoch == 1
+        assert report.refresh_rounds == 1
+        assert service.public_key.to_bytes() == pk_before
+        sig_after = service.sign(b"stable")
+        assert sig_after.to_bytes() == sig_before.to_bytes()
+
+    def test_multiple_epochs(self, service):
+        for expected in (1, 2, 3):
+            assert service.advance_epoch().epoch == expected
+        assert service.verify(b"m", service.sign(b"m"))
+
+
+class TestFailureHandling:
+    def test_corrupt_share_dropped_and_recovered(self, service):
+        service.corrupt_share_detected(3)
+        assert 3 not in service.live_servers()
+        assert 3 in service.reports[-1].flagged_servers
+        # Still signs with the survivors.
+        signature = service.sign(b"m", signers=(1, 2, 4))
+        assert service.verify(b"m", signature)
+        service.recover(3)
+        assert 3 in service.live_servers()
+        signature = service.sign(b"m2", signers=(3, 4, 5))
+        assert service.verify(b"m2", signature)
+
+    def test_corrupt_unknown_share_rejected(self, service):
+        with pytest.raises(ParameterError):
+            service.corrupt_share_detected(42)
+
+    def test_recover_needs_helpers(self, toy_group, rng):
+        svc = ProactiveSigningService(toy_group, t=2, n=5, rng=rng)
+        svc.bootstrap()
+        for index in (1, 2):
+            svc.corrupt_share_detected(index)
+        # 3 helpers remain = t+1: recovery works.
+        svc.recover(1)
+        svc.corrupt_share_detected(3)
+        svc.corrupt_share_detected(1)
+        with pytest.raises(CombineError):
+            svc.recover(3)
+
+    def test_too_few_signers_fails(self, service):
+        with pytest.raises(CombineError):
+            service.sign(b"m", signers=(1, 2))
+
+    def test_optimistic_sign_path(self, service):
+        signature = service.sign(b"m", robust=False)
+        assert service.verify(b"m", signature)
+
+    def test_recovered_share_survives_refresh(self, service):
+        service.corrupt_share_detected(2)
+        service.recover(2)
+        service.advance_epoch()
+        signature = service.sign(b"post", signers=(2, 3, 4))
+        assert service.verify(b"post", signature)

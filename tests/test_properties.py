@@ -1,0 +1,152 @@
+"""Property-based tests of the paper's core invariants.
+
+Hypothesis drives random (t, n) configurations and quorum choices on the
+toy backend, checking the invariants the construction stands on:
+
+* **Correctness** — any t+1 of n partial signatures combine into the same
+  verifying 512-bit signature, whatever the quorum.
+* **Uniqueness/determinism** — the combined signature equals the
+  master-key signature (the scheme is deterministic, a property the
+  non-interactive combiner relies on).
+* **Threshold secrecy (information-theoretic half)** — any t shares are
+  consistent with *every* candidate master key: interpolating t shares
+  plus an arbitrary guessed share yields a degree-t polynomial that
+  matches those t shares, so the adversary's view does not pin the key.
+* **Key homomorphism** — summing two share vectors signs under the summed
+  key, the enabler of DKG-by-summing-dealings.
+"""
+
+import random as random_module
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import ThresholdParams
+from repro.core.scheme import LJYThresholdScheme, reconstruct_master_key
+from repro.groups import get_group
+from repro.math.lagrange import interpolate_at, lagrange_coefficients
+from repro.math.polynomial import Polynomial
+
+GROUP = get_group("toy")
+
+configs = st.tuples(
+    st.integers(min_value=1, max_value=4),      # t
+    st.integers(min_value=0, max_value=4),      # extra players above 2t+1
+    st.integers(min_value=0, max_value=2 ** 32),  # seed
+)
+
+
+def deploy(t, n, seed):
+    params = ThresholdParams.generate(GROUP, t=t, n=n)
+    scheme = LJYThresholdScheme(params)
+    rng = random_module.Random(seed)
+    pk, shares, vks = scheme.dealer_keygen(rng=rng)
+    return scheme, pk, shares, vks, rng
+
+
+@given(config=configs)
+@settings(max_examples=25, deadline=None)
+def test_any_quorum_combines_to_the_master_signature(config):
+    t, extra, seed = config
+    n = 2 * t + 1 + extra
+    scheme, pk, shares, vks, rng = deploy(t, n, seed)
+    message = b"property"
+    quorum = rng.sample(range(1, n + 1), t + 1)
+    partials = [scheme.share_sign(shares[i], message) for i in quorum]
+    signature = scheme.combine(pk, vks, message, partials)
+    assert scheme.verify(pk, message, signature)
+    master = reconstruct_master_key(list(shares.values()), GROUP.order, t)
+    direct = scheme.sign_with_master(master, message)
+    assert signature.to_bytes() == direct.to_bytes()
+
+
+@given(config=configs)
+@settings(max_examples=25, deadline=None)
+def test_two_disjoint_quorums_agree(config):
+    t, extra, seed = config
+    n = 2 * t + 1 + extra
+    scheme, pk, shares, vks, rng = deploy(t, n, seed)
+    message = b"agreement"
+    first = list(range(1, t + 2))
+    second = list(range(n - t, n + 1))
+    sig1 = scheme.combine(pk, vks, message, [
+        scheme.share_sign(shares[i], message) for i in first])
+    sig2 = scheme.combine(pk, vks, message, [
+        scheme.share_sign(shares[i], message) for i in second])
+    assert sig1.to_bytes() == sig2.to_bytes()
+
+
+@given(config=configs,
+       guess=st.integers(min_value=0, max_value=GROUP.order - 1))
+@settings(max_examples=25, deadline=None)
+def test_t_shares_are_consistent_with_any_master(config, guess):
+    """Perfect secrecy of degree-t sharing: for ANY guessed value of the
+    missing (t+1)-th share, the t known shares interpolate consistently —
+    so t shares carry no information about the constant term."""
+    t, extra, seed = config
+    n = 2 * t + 1 + extra
+    rng = random_module.Random(seed)
+    poly = Polynomial.random(t, GROUP.order, rng=rng)
+    known = {i: poly(i) for i in range(1, t + 1)}
+    # Complete with an arbitrary guessed share at index t+1.
+    completed = dict(known)
+    completed[t + 1] = guess
+    candidate_secret = interpolate_at(completed, GROUP.order)
+    # The degree-t polynomial through the completed points re-produces
+    # every known share (consistency), whatever the guess was.
+    coefficients = {
+        x: lagrange_coefficients(completed.keys(), GROUP.order, x=x)
+        for x in known
+    }
+    for x, value in known.items():
+        recomputed = sum(
+            coefficients[x][i] * completed[i] for i in completed
+        ) % GROUP.order
+        assert recomputed == value
+    # And the candidate secret really varies with the guess (no pinning):
+    # for at least one alternative guess the secret changes.
+    completed[t + 1] = (guess + 1) % GROUP.order
+    other_secret = interpolate_at(completed, GROUP.order)
+    assert other_secret != candidate_secret
+
+
+@given(config=configs)
+@settings(max_examples=20, deadline=None)
+def test_share_addition_signs_under_summed_key(config):
+    """Key homomorphism at the share level: (SK_i + SK'_i) produces
+    partial signatures valid for the product public key — exactly why
+    summing DKG dealings works."""
+    t, extra, seed = config
+    n = 2 * t + 1 + extra
+    scheme, pk1, shares1, _vks1, rng = deploy(t, n, seed)
+    _scheme2, pk2, shares2, _vks2, _ = deploy(t, n, seed + 1)
+    message = b"homomorphic"
+    summed = {
+        i: (shares1[i] + shares2[i]).reduce(GROUP.order)
+        for i in shares1
+    }
+    combined_pk_g1 = pk1.g_1 * pk2.g_1
+    combined_pk_g2 = pk1.g_2 * pk2.g_2
+    from repro.core.keys import PublicKey
+    pk_sum = PublicKey(params=scheme.params, g_1=combined_pk_g1,
+                       g_2=combined_pk_g2)
+    vks_sum = {i: scheme.verification_key_for(summed[i]) for i in summed}
+    quorum = list(range(1, t + 2))
+    partials = [scheme.share_sign(summed[i], message) for i in quorum]
+    signature = scheme.combine(pk_sum, vks_sum, message, partials)
+    assert scheme.verify(pk_sum, message, signature)
+
+
+@given(messages=st.lists(st.binary(min_size=0, max_size=32), min_size=2,
+                         max_size=5, unique=True))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_distinct_messages_distinct_signatures(messages):
+    scheme, pk, shares, vks, _rng = deploy(1, 3, 99)
+    signatures = set()
+    for message in messages:
+        signature = scheme.combine(pk, vks, message, [
+            scheme.share_sign(shares[i], message) for i in (1, 2)])
+        assert scheme.verify(pk, message, signature)
+        signatures.add(signature.to_bytes())
+    assert len(signatures) == len(messages)

@@ -1,0 +1,99 @@
+"""Proactive refresh (Section 3.3) and share recovery tests."""
+
+import pytest
+
+from repro.core.keys import ThresholdParams
+from repro.core.scheme import LJYThresholdScheme, reconstruct_master_key
+from repro.dkg.refresh import recover_share, run_refresh
+
+
+@pytest.fixture
+def deployed(toy_group, rng):
+    params = ThresholdParams.generate(toy_group, t=2, n=5)
+    scheme = LJYThresholdScheme(params)
+    pk, shares, vks = scheme.dealer_keygen(rng=rng)
+    return scheme, pk, shares, vks
+
+
+class TestRefresh:
+    def test_public_key_unchanged(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        new_shares, new_vks, _ = run_refresh(
+            toy_group, p.g_z, p.g_r, p.t, p.n, shares, vks, rng=rng)
+        message = b"epoch-2 message"
+        partials = [scheme.share_sign(new_shares[i], message)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, new_vks, message, partials)
+        assert scheme.verify(pk, message, signature)
+
+    def test_master_key_preserved(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        before = reconstruct_master_key(
+            list(shares.values()), toy_group.order, p.t)
+        new_shares, _, _ = run_refresh(
+            toy_group, p.g_z, p.g_r, p.t, p.n, shares, vks, rng=rng)
+        after = reconstruct_master_key(
+            list(new_shares.values()), toy_group.order, p.t)
+        assert before == after
+
+    def test_shares_actually_change(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        new_shares, _, _ = run_refresh(
+            toy_group, p.g_z, p.g_r, p.t, p.n, shares, vks, rng=rng)
+        assert all(new_shares[i] != shares[i] for i in shares)
+
+    def test_old_share_fails_new_vk(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        _new_shares, new_vks, _ = run_refresh(
+            toy_group, p.g_z, p.g_r, p.t, p.n, shares, vks, rng=rng)
+        stale = scheme.share_sign(shares[1], b"m")
+        assert not scheme.share_verify(pk, new_vks[1], b"m", stale)
+
+    def test_mobile_adversary_cross_epoch_shares_useless(
+            self, deployed, toy_group, rng):
+        """t shares from epoch 1 plus t from epoch 2 never exceed the
+        threshold in any single epoch, so the master key stays hidden."""
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        new_shares, _, _ = run_refresh(
+            toy_group, p.g_z, p.g_r, p.t, p.n, shares, vks, rng=rng)
+        # Mix t old shares and one new share: interpolation must NOT give
+        # the master key.
+        mixed = [shares[1], shares[2], new_shares[3]]
+        recovered = reconstruct_master_key(mixed, toy_group.order, p.t)
+        true_key = reconstruct_master_key(
+            list(shares.values()), toy_group.order, p.t)
+        assert recovered != true_key
+
+    def test_multiple_epochs(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        current_shares, current_vks = shares, vks
+        for _epoch in range(3):
+            current_shares, current_vks, _ = run_refresh(
+                toy_group, p.g_z, p.g_r, p.t, p.n,
+                current_shares, current_vks, rng=rng)
+        message = b"after three refreshes"
+        partials = [scheme.share_sign(current_shares[i], message)
+                    for i in (3, 4, 5)]
+        signature = scheme.combine(pk, current_vks, message, partials)
+        assert scheme.verify(pk, message, signature)
+
+
+class TestShareRecovery:
+    def test_recovered_share_matches(self, deployed, toy_group):
+        scheme, pk, shares, vks = deployed
+        helpers = {i: shares[i] for i in (2, 3, 4)}
+        recovered = recover_share(scheme, index=1, helper_shares=helpers)
+        assert recovered == shares[1].reduce(toy_group.order)
+
+    def test_recovered_share_signs(self, deployed):
+        scheme, pk, shares, vks = deployed
+        helpers = {i: shares[i] for i in (2, 4, 5)}
+        recovered = recover_share(scheme, index=3, helper_shares=helpers)
+        partial = scheme.share_sign(recovered, b"m")
+        assert scheme.share_verify(pk, vks[3], b"m", partial)

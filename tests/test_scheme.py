@@ -1,0 +1,196 @@
+"""Tests for the main Section 3 threshold scheme."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import PartialSignature, ThresholdParams
+from repro.core.scheme import (
+    LJYThresholdScheme, reconstruct_master_key,
+)
+from repro.errors import CombineError, ParameterError
+
+
+class TestSigningFlow:
+    def test_full_flow(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        message = b"hello"
+        partials = [toy_scheme.share_sign(shares[i], message)
+                    for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, message, partials)
+        assert toy_scheme.verify(pk, message, signature)
+
+    def test_any_threshold_subset_gives_same_signature(
+            self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        message = b"determinism"
+        signatures = set()
+        for subset in itertools.combinations(range(1, 6), 3):
+            partials = [toy_scheme.share_sign(shares[i], message)
+                        for i in subset]
+            signature = toy_scheme.combine(pk, vks, message, partials)
+            signatures.add(signature.to_bytes())
+        assert len(signatures) == 1
+
+    def test_matches_master_key_signature(self, toy_scheme, toy_keys,
+                                          toy_group):
+        pk, shares, vks = toy_keys
+        master = reconstruct_master_key(
+            list(shares.values()), toy_group.order, toy_scheme.params.t)
+        message = b"master"
+        direct = toy_scheme.sign_with_master(master, message)
+        partials = [toy_scheme.share_sign(shares[i], message)
+                    for i in (2, 4, 5)]
+        combined = toy_scheme.combine(pk, vks, message, partials)
+        assert direct.to_bytes() == combined.to_bytes()
+
+    def test_share_verify_accepts_honest(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        for i in range(1, 6):
+            partial = toy_scheme.share_sign(shares[i], b"m")
+            assert toy_scheme.share_verify(pk, vks[i], b"m", partial)
+
+    def test_share_verify_rejects_wrong_message(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m1")
+        assert not toy_scheme.share_verify(pk, vks[1], b"m2", partial)
+
+    def test_share_verify_rejects_index_mismatch(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m")
+        assert not toy_scheme.share_verify(pk, vks[2], b"m", partial)
+
+    def test_share_verify_rejects_mauled(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m")
+        mauled = PartialSignature(
+            index=1, z=partial.z * toy_scheme.group.g1_generator(),
+            r=partial.r)
+        assert not toy_scheme.share_verify(pk, vks[1], b"m", mauled)
+
+    def test_verify_rejects_wrong_message(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, b"m", partials)
+        assert not toy_scheme.verify(pk, b"other", signature)
+
+    def test_verify_rejects_wrong_key(self, toy_scheme, toy_keys, rng):
+        pk, shares, vks = toy_keys
+        pk2, _, _ = toy_scheme.dealer_keygen(rng=rng)
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, b"m", partials)
+        assert not toy_scheme.verify(pk2, b"m", signature)
+
+    def test_signature_is_512_bits(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, b"m", partials)
+        assert signature.size_bits == 512
+
+    @given(message=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_arbitrary_messages(self, toy_scheme, toy_keys, message):
+        # Fixtures are read-only key material; reuse across examples is fine.
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], message)
+                    for i in (1, 3, 5)]
+        signature = toy_scheme.combine(pk, vks, message, partials)
+        assert toy_scheme.verify(pk, message, signature)
+
+
+class TestRobustness:
+    def test_combine_filters_garbage_shares(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        g = toy_scheme.group.g1_generator()
+        garbage = [PartialSignature(index=i, z=g ** i, r=g ** (i + 1))
+                   for i in (1, 2)]
+        honest = [toy_scheme.share_sign(shares[i], b"m") for i in (3, 4, 5)]
+        signature = toy_scheme.combine(pk, vks, b"m", garbage + honest)
+        assert toy_scheme.verify(pk, b"m", signature)
+
+    def test_combine_fails_below_threshold(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2)]
+        with pytest.raises(CombineError):
+            toy_scheme.combine(pk, vks, b"m", partials)
+
+    def test_combine_fails_on_all_garbage(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        g = toy_scheme.group.g1_generator()
+        garbage = [PartialSignature(index=i, z=g, r=g) for i in (1, 2, 3)]
+        with pytest.raises(CombineError):
+            toy_scheme.combine(pk, vks, b"m", garbage)
+
+    def test_duplicate_indices_deduplicated(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m")
+        with pytest.raises(CombineError):
+            toy_scheme.combine(pk, vks, b"m", [partial, partial, partial])
+
+    def test_unverified_combine_garbage_in_garbage_out(
+            self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        g = toy_scheme.group.g1_generator()
+        garbage = [PartialSignature(index=i, z=g ** i, r=g)
+                   for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, b"m", garbage,
+                                       verify_shares=False)
+        assert not toy_scheme.verify(pk, b"m", signature)
+
+    def test_unknown_index_skipped(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        rogue = PartialSignature(
+            index=99, z=toy_scheme.group.g1_generator(),
+            r=toy_scheme.group.g1_generator())
+        honest = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, b"m", [rogue] + honest)
+        assert toy_scheme.verify(pk, b"m", signature)
+
+
+class TestKeygenShapes:
+    def test_share_storage_is_constant(self, toy_group, rng):
+        sizes = []
+        for n in (3, 9, 21):
+            params = ThresholdParams.generate(toy_group, t=1, n=n)
+            scheme = LJYThresholdScheme(params)
+            _pk, shares, _vks = scheme.dealer_keygen(rng=rng)
+            sizes.append(shares[1].storage_bytes())
+        assert len(set(sizes)) == 1   # O(1) in n
+
+    def test_reconstruct_requires_threshold(self, toy_scheme, toy_keys,
+                                            toy_group):
+        _pk, shares, _vks = toy_keys
+        with pytest.raises(ParameterError):
+            reconstruct_master_key(
+                list(shares.values())[:2], toy_group.order, 2)
+
+    def test_bad_thresholds_rejected(self, toy_group):
+        with pytest.raises(ParameterError):
+            ThresholdParams.generate(toy_group, t=5, n=5)
+
+    def test_verification_keys_derivable_by_anyone(self, toy_scheme,
+                                                   toy_keys):
+        _pk, shares, vks = toy_keys
+        for i in range(1, 6):
+            assert toy_scheme.verification_key_for(shares[i]).v_1 == \
+                vks[i].v_1
+
+
+@pytest.mark.bn254
+class TestOnRealCurve:
+    def test_full_flow_bn254(self, bn254_group, rng):
+        params = ThresholdParams.generate(bn254_group, t=1, n=3)
+        scheme = LJYThresholdScheme(params)
+        pk, shares, vks = scheme.dealer_keygen(rng=rng)
+        message = b"real curve message"
+        partials = [scheme.share_sign(shares[i], message) for i in (1, 3)]
+        for partial in partials:
+            assert scheme.share_verify(pk, vks[partial.index], message,
+                                       partial)
+        signature = scheme.combine(pk, vks, message, partials)
+        assert scheme.verify(pk, message, signature)
+        assert not scheme.verify(pk, b"forgery", signature)
+        assert signature.size_bits == 512

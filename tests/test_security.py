@@ -1,0 +1,182 @@
+"""Tests for the Definition 1 game harness and the implemented attacks."""
+
+import random
+
+import pytest
+
+from repro.core.keys import ThresholdParams
+from repro.core.scheme import LJYThresholdScheme
+from repro.errors import SecurityGameError
+from repro.security.attacks import (
+    BiasAttackResult, default_predicate, gjkr_bias_experiment,
+    honest_pedersen_baseline, pedersen_bias_experiment,
+)
+from repro.security.games import (
+    AdaptiveChosenMessageGame, BelowThresholdAdversary,
+    HonestThresholdAdversary, LagrangeForgeryAdversary,
+    MauledSignatureAdversary,
+)
+
+
+@pytest.fixture
+def game(toy_scheme, rng):
+    return AdaptiveChosenMessageGame(toy_scheme, rng=rng)
+
+
+class TestGameBookkeeping:
+    def test_corruption_returns_share(self, game):
+        result_share = game._corrupt(1)
+        assert result_share == game.shares[1]
+        assert 1 in game.corrupted
+
+    def test_sign_query_tracks_message(self, game):
+        game._sign_query(2, b"m")
+        assert game.signed_by[b"m"] == {2}
+
+    def test_sign_query_for_corrupted_rejected(self, game):
+        game._corrupt(1)
+        with pytest.raises(SecurityGameError):
+            game._sign_query(1, b"m")
+
+    def test_unknown_player_rejected(self, game):
+        with pytest.raises(SecurityGameError):
+            game._corrupt(42)
+        with pytest.raises(SecurityGameError):
+            game._sign_query(42, b"m")
+
+    def test_abort_counts_as_loss(self, game):
+        result = game.play(lambda api: None)
+        assert not result.won
+        assert result.reason == "adversary aborted"
+
+
+class TestAdversariesLose:
+    @pytest.mark.parametrize("adversary_cls", [
+        BelowThresholdAdversary,
+        LagrangeForgeryAdversary,
+        MauledSignatureAdversary,
+    ])
+    def test_strategy_loses(self, toy_scheme, rng, adversary_cls):
+        game = AdaptiveChosenMessageGame(toy_scheme, rng=rng)
+        result = game.play(adversary_cls())
+        assert not result.won
+        assert result.reason == "signature rejected"
+
+    def test_trivial_win_flagged(self, toy_scheme, rng):
+        game = AdaptiveChosenMessageGame(toy_scheme, rng=rng)
+        result = game.play(HonestThresholdAdversary())
+        assert not result.won
+        assert result.reason.startswith("trivial")
+
+    def test_strategies_lose_with_dkg_keys(self, toy_scheme, rng):
+        game = AdaptiveChosenMessageGame(toy_scheme, rng=rng, use_dkg=True)
+        result = game.play(BelowThresholdAdversary())
+        assert not result.won
+
+    def test_mixed_corruption_and_signing_below_threshold(
+            self, toy_scheme, rng):
+        """Corrupt 1 player, query 1 partial on M*: V = 2 < t+1 = 3,
+        and the resulting data cannot forge."""
+        def adversary(api):
+            share = api.corrupt(1)
+            partial = api.sign_query(2, b"target")
+            scheme = LJYThresholdScheme(api.public_key.params)
+            own = scheme.share_sign(share, b"target")
+            from repro.math.lagrange import lagrange_coefficients
+            order = api.public_key.params.group.order
+            coeffs = lagrange_coefficients([1, 2, 3], order)
+            z = (own.z ** coeffs[1]) * (partial.z ** coeffs[2])
+            r = (own.r ** coeffs[1]) * (partial.r ** coeffs[2])
+            from repro.core.keys import Signature
+            return b"target", Signature(z=z, r=r)
+
+        game = AdaptiveChosenMessageGame(toy_scheme, rng=rng)
+        result = game.play(adversary)
+        assert not result.won
+        assert result.reason == "signature rejected"
+
+    def test_full_corruption_is_trivial(self, toy_scheme, rng):
+        def adversary(api):
+            shares = [api.corrupt(i) for i in (1, 2, 3)]
+            scheme = LJYThresholdScheme(api.public_key.params)
+            partials = [scheme.share_sign(s, b"m") for s in shares]
+            signature = scheme.combine(
+                api.public_key, api.verification_keys, b"m", partials)
+            return b"m", signature
+
+        game = AdaptiveChosenMessageGame(toy_scheme, rng=rng)
+        result = game.play(adversary)
+        assert not result.won
+        assert result.reason.startswith("trivial")
+
+
+class TestBiasAttack:
+    TRIALS = 60
+
+    def test_attack_biases_pedersen(self, toy_group):
+        rng = random.Random(1000)
+        result = pedersen_bias_experiment(
+            toy_group, t=1, n=4, trials=self.TRIALS, num_corrupted=2,
+            rng=rng)
+        # Expected ~1 - 2^-4 = 93.75%; allow generous noise margin.
+        assert result.success_rate > 0.80
+
+    def test_single_corruption_weaker_bias(self, toy_group):
+        rng = random.Random(1001)
+        result = pedersen_bias_experiment(
+            toy_group, t=1, n=4, trials=self.TRIALS, num_corrupted=1,
+            rng=rng)
+        # Expected ~75%.
+        assert 0.55 < result.success_rate < 0.95
+
+    def test_honest_baseline_unbiased(self, toy_group):
+        rng = random.Random(1002)
+        result = honest_pedersen_baseline(
+            toy_group, t=1, n=4, trials=self.TRIALS, rng=rng)
+        assert 0.3 < result.success_rate < 0.7
+
+    def test_gjkr_immune(self, toy_group):
+        rng = random.Random(1003)
+        result = gjkr_bias_experiment(
+            toy_group, t=1, n=4, trials=self.TRIALS, num_corrupted=2,
+            rng=rng)
+        assert 0.3 < result.success_rate < 0.7
+
+    def test_result_dataclass(self):
+        result = BiasAttackResult(trials=10, successes=7)
+        assert result.success_rate == 0.7
+        assert BiasAttackResult(0, 0).success_rate == 0.0
+
+    def test_predicate_is_balanced(self, toy_group, rng):
+        hits = sum(
+            1 for i in range(200)
+            if default_predicate([toy_group.g1_generator() ** (i + 1)]))
+        assert 60 < hits < 140
+
+
+class TestBiasedKeyStillSigns:
+    """The paper's central point: the biased PK is still a working,
+    secure public key for the Section 3 scheme."""
+
+    def test_sign_under_biased_key(self, toy_group):
+        rng = random.Random(2024)
+        from repro.dkg.pedersen_dkg import dkg_result_to_keys, run_pedersen_dkg
+        from repro.security.attacks import PedersenBiasAdversary
+
+        g_z = toy_group.derive_g2("bias:g_z")
+        g_r = toy_group.derive_g2("bias:g_r")
+        adversary = PedersenBiasAdversary(
+            corrupted_indices=[1], predicate=default_predicate,
+            group=toy_group, g_z=g_z, g_r=g_r, t=1, n=4, rng=rng)
+        results, _ = run_pedersen_dkg(
+            toy_group, g_z, g_r, 1, 4, adversary=adversary, rng=rng)
+        params = ThresholdParams(group=toy_group, t=1, n=4, g_z=g_z, g_r=g_r)
+        scheme = LJYThresholdScheme(params)
+        keys = {i: dkg_result_to_keys(scheme, results[i]) for i in results}
+        honest = sorted(keys)
+        pk = keys[honest[0]][0]
+        vks = keys[honest[0]][2]
+        partials = [scheme.share_sign(keys[i][1], b"biased")
+                    for i in honest[:2]]
+        signature = scheme.combine(pk, vks, b"biased", partials)
+        assert scheme.verify(pk, b"biased", signature)

@@ -1,0 +1,80 @@
+"""Tests for size accounting and the bench table renderer."""
+
+import pytest
+
+from repro.bench.tables import Table, format_table
+from repro.core.keys import ThresholdParams
+from repro.core.scheme import LJYThresholdScheme
+from repro.serialization import (
+    bits, measure_bls, measure_ljy_rom, scalar_bits,
+)
+
+
+class TestSizeAccounting:
+    def test_scalar_bits(self, toy_group):
+        assert scalar_bits(toy_group.order) == 256
+
+    def test_section3_sizes(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m")
+        signature = toy_scheme.combine(
+            pk, vks, b"m",
+            [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)])
+        report = measure_ljy_rom(toy_scheme, pk, shares[1], partial,
+                                 signature)
+        assert report.signature_bits == 512          # the paper's claim
+        assert report.share_bits == 1024             # 4 scalars, O(1) in n
+        assert report.public_key_bits == 1024        # 2 G_hat elements
+        assert report.partial_signature_bits == 512
+
+    def test_bls_sizes(self, toy_group, rng):
+        from repro.baselines.bls_threshold import BoldyrevaThresholdBLS
+        scheme = BoldyrevaThresholdBLS(toy_group, t=1, n=3)
+        pk, shares, vks = scheme.dealer_keygen(rng=rng)
+        partial = scheme.share_sign(1, shares[1], b"m")
+        signature = scheme.combine(
+            vks, b"m", [scheme.share_sign(i, shares[i], b"m")
+                        for i in (1, 2)])
+        report = measure_bls(toy_group, pk, partial, signature)
+        assert report.signature_bits == 256
+        assert report.share_bits == 256
+
+    def test_bits_helper(self, toy_group):
+        assert bits(toy_group.g1_generator()) == 256
+        assert bits(toy_group.g2_generator()) == 512
+
+    def test_as_row(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m")
+        signature = toy_scheme.combine(
+            pk, vks, b"m",
+            [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)])
+        row = measure_ljy_rom(toy_scheme, pk, shares[1], partial,
+                              signature).as_row()
+        assert set(row) == {"scheme", "signature_bits", "public_key_bits",
+                            "share_bits", "partial_bits"}
+
+
+class TestTables:
+    def test_render_basic(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(a=1, b="x")
+        table.add_row(a=2.5, b="y")
+        text = table.render()
+        assert "demo" in text
+        assert "2.500" in text
+        assert text.count("\n") == 4
+
+    def test_missing_column_rejected(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1)
+
+    def test_float_formats(self):
+        text = format_table("t", ["v"], [{"v": 0.000001}, {"v": 1234.5},
+                                         {"v": 0}, {"v": 0.5}])
+        assert "1.00e-06" in text
+        assert "1234.5" in text
+
+    def test_empty_table_renders(self):
+        assert "t" in format_table("t", ["col"], [])

@@ -1,0 +1,148 @@
+"""Tests for Shamir, Feldman VSS and Pedersen VSS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.groups import get_group
+from repro.sharing.feldman import FeldmanVSS
+from repro.sharing.pedersen_vss import PedersenVSS, commitment_eval
+from repro.sharing.shamir import (
+    reconstruct, share_secret, validate_threshold,
+)
+
+GROUP = get_group("toy")
+ORDER = GROUP.order
+
+
+class TestValidateThreshold:
+    @pytest.mark.parametrize("t,n", [(0, 1), (1, 2), (2, 5), (3, 7)])
+    def test_valid(self, t, n):
+        validate_threshold(t, n)
+
+    @pytest.mark.parametrize("t,n", [(-1, 3), (3, 3), (5, 2), (1, 0)])
+    def test_invalid(self, t, n):
+        with pytest.raises(ParameterError):
+            validate_threshold(t, n)
+
+
+class TestShamir:
+    @given(secret=st.integers(min_value=0, max_value=ORDER - 1))
+    @settings(max_examples=20)
+    def test_reconstruct_from_threshold(self, secret):
+        sharing = share_secret(secret, t=2, n=5, modulus=ORDER)
+        subset = {i: sharing.shares[i] for i in (1, 3, 5)}
+        assert reconstruct(subset, ORDER) == secret
+
+    def test_reconstruct_from_any_subset(self, rng):
+        sharing = share_secret(777, t=2, n=6, modulus=ORDER, rng=rng)
+        import itertools
+        for subset in itertools.combinations(range(1, 7), 3):
+            shares = {i: sharing.shares[i] for i in subset}
+            assert reconstruct(shares, ORDER) == 777
+
+    def test_too_few_shares_fail(self, rng):
+        sharing = share_secret(12345, t=3, n=7, modulus=ORDER, rng=rng)
+        subset = {i: sharing.shares[i] for i in (1, 2, 3)}
+        assert reconstruct(subset, ORDER) != 12345
+
+    def test_extra_shares_ok(self, rng):
+        sharing = share_secret(999, t=1, n=4, modulus=ORDER, rng=rng)
+        assert reconstruct(sharing.shares, ORDER) == 999
+
+    def test_deterministic_with_rng(self):
+        import random
+        s1 = share_secret(5, 2, 5, ORDER, rng=random.Random(1))
+        s2 = share_secret(5, 2, 5, ORDER, rng=random.Random(1))
+        assert s1.shares == s2.shares
+
+
+class TestFeldman:
+    def test_valid_shares_verify(self, rng):
+        g = GROUP.derive_g1("feldman:g")
+        vss = FeldmanVSS.deal(GROUP, g, secret=42, t=2, n=5, rng=rng)
+        for i in range(1, 6):
+            assert FeldmanVSS.verify_share(
+                GROUP, g, vss.commitments, i, vss.share_for(i))
+
+    def test_tampered_share_rejected(self, rng):
+        g = GROUP.derive_g1("feldman:g")
+        vss = FeldmanVSS.deal(GROUP, g, secret=42, t=2, n=5, rng=rng)
+        assert not FeldmanVSS.verify_share(
+            GROUP, g, vss.commitments, 1, vss.share_for(1) + 1)
+
+    def test_share_for_wrong_index_rejected(self, rng):
+        g = GROUP.derive_g1("feldman:g")
+        vss = FeldmanVSS.deal(GROUP, g, secret=42, t=2, n=5, rng=rng)
+        assert not FeldmanVSS.verify_share(
+            GROUP, g, vss.commitments, 2, vss.share_for(1))
+
+    def test_leaks_secret_commitment(self, rng):
+        # The documented uniformity leak: C_0 = g^secret is public.
+        g = GROUP.derive_g1("feldman:g")
+        vss = FeldmanVSS.deal(GROUP, g, secret=42, t=2, n=5, rng=rng)
+        assert vss.public_secret_commitment() == g ** 42
+
+
+class TestPedersenVSS:
+    def _setup(self, rng, secret_pair=None):
+        g_z = GROUP.derive_g2("pvss:g_z")
+        g_r = GROUP.derive_g2("pvss:g_r")
+        vss = PedersenVSS.deal(GROUP, g_z, g_r, t=2, n=5,
+                               secret_pair=secret_pair, rng=rng)
+        return g_z, g_r, vss
+
+    def test_valid_shares_verify(self, rng):
+        g_z, g_r, vss = self._setup(rng)
+        for i in range(1, 6):
+            assert PedersenVSS.verify_share(
+                GROUP, g_z, g_r, vss.commitments, i, vss.share_for(i))
+
+    def test_tampered_a_rejected(self, rng):
+        g_z, g_r, vss = self._setup(rng)
+        a, b = vss.share_for(3)
+        assert not PedersenVSS.verify_share(
+            GROUP, g_z, g_r, vss.commitments, 3, (a + 1, b))
+
+    def test_tampered_b_rejected(self, rng):
+        g_z, g_r, vss = self._setup(rng)
+        a, b = vss.share_for(3)
+        assert not PedersenVSS.verify_share(
+            GROUP, g_z, g_r, vss.commitments, 3, (a, b + 1))
+
+    def test_fixed_secret_pair(self, rng):
+        _, _, vss = self._setup(rng, secret_pair=(0, 0))
+        assert vss.secret_pair == (0, 0)
+        assert vss.commitments[0].is_identity()
+
+    def test_commitment_count(self, rng):
+        _, _, vss = self._setup(rng)
+        assert len(vss.commitments) == 3   # t + 1
+
+    def test_shares_interpolate_to_secret(self, rng):
+        from repro.math.lagrange import interpolate_at
+        _, _, vss = self._setup(rng)
+        a_shares = {i: vss.share_for(i)[0] for i in (1, 2, 3)}
+        b_shares = {i: vss.share_for(i)[1] for i in (1, 2, 3)}
+        assert interpolate_at(a_shares, ORDER) == vss.secret_pair[0]
+        assert interpolate_at(b_shares, ORDER) == vss.secret_pair[1]
+
+    def test_commitment_eval_matches_shares(self, rng):
+        g_z, g_r, vss = self._setup(rng)
+        for i in (1, 4):
+            a, b = vss.share_for(i)
+            assert commitment_eval(GROUP, vss.commitments, i) == \
+                (g_z ** a) * (g_r ** b)
+
+    def test_hiding_across_dealings(self, rng):
+        """Two dealings of different secrets produce commitments that are
+        not trivially distinguishable by the constant term alone (the
+        Pedersen masking term b randomizes it)."""
+        g_z = GROUP.derive_g2("pvss:g_z")
+        g_r = GROUP.derive_g2("pvss:g_r")
+        vss1 = PedersenVSS.deal(GROUP, g_z, g_r, 2, 5,
+                                secret_pair=(1, None) if False else None,
+                                rng=rng)
+        vss2 = PedersenVSS.deal(GROUP, g_z, g_r, 2, 5, rng=rng)
+        assert vss1.commitments[0] != vss2.commitments[0]

@@ -1,0 +1,120 @@
+"""Tests for the Section 4 standard-model threshold scheme."""
+
+import itertools
+
+import pytest
+
+from repro.core.standard_model import (
+    LJYStandardModelScheme, SMParams, SMPartialSignature,
+)
+from repro.errors import CombineError
+
+
+@pytest.fixture(scope="module")
+def sm_setup():
+    from repro.groups import get_group
+    import random
+    group = get_group("toy")
+    params = SMParams.generate(group, t=2, n=5, bit_length=16)
+    scheme = LJYStandardModelScheme(params)
+    pk, shares, vks = scheme.dealer_keygen(rng=random.Random(42))
+    return scheme, pk, shares, vks
+
+
+class TestSigningFlow:
+    def test_full_flow(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        message = b"standard model"
+        partials = [scheme.share_sign(shares[i], message, rng=rng)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, vks, message, partials, rng=rng)
+        assert scheme.verify(pk, message, signature)
+
+    def test_share_verify(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        partial = scheme.share_sign(shares[2], b"m", rng=rng)
+        assert scheme.share_verify(pk, vks[2], b"m", partial)
+        assert not scheme.share_verify(pk, vks[3], b"m", partial)
+        assert not scheme.share_verify(pk, vks[2], b"other", partial)
+
+    def test_any_subset_verifies(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        message = b"subsets"
+        for subset in itertools.combinations(range(1, 6), 3):
+            partials = [scheme.share_sign(shares[i], message, rng=rng)
+                        for i in subset]
+            signature = scheme.combine(pk, vks, message, partials, rng=rng)
+            assert scheme.verify(pk, message, signature)
+
+    def test_signature_is_randomized(self, sm_setup, rng):
+        """Unlike Section 3, standard-model signatures are randomized —
+        two combinations of the same partials differ as bitstrings."""
+        scheme, pk, shares, vks = sm_setup
+        message = b"randomized"
+        partials = [scheme.share_sign(shares[i], message, rng=rng)
+                    for i in (1, 2, 3)]
+        sig1 = scheme.combine(pk, vks, message, partials, rng=rng)
+        sig2 = scheme.combine(pk, vks, message, partials, rng=rng)
+        assert sig1.to_bytes() != sig2.to_bytes()
+        assert scheme.verify(pk, message, sig1)
+        assert scheme.verify(pk, message, sig2)
+
+    def test_verify_rejects_wrong_message(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        partials = [scheme.share_sign(shares[i], b"m", rng=rng)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, vks, b"m", partials, rng=rng)
+        assert not scheme.verify(pk, b"other", signature)
+
+    def test_master_signature_verifies(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        from repro.math.lagrange import lagrange_coefficients
+        order = scheme.group.order
+        coeffs = lagrange_coefficients([1, 2, 3], order)
+        a_0 = sum(coeffs[i] * shares[i].a for i in (1, 2, 3)) % order
+        b_0 = sum(coeffs[i] * shares[i].b for i in (1, 2, 3)) % order
+        signature = scheme.sign_with_master((a_0, b_0), b"m", rng=rng)
+        assert scheme.verify(pk, b"m", signature)
+
+    def test_signature_size_2048_bits(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        partials = [scheme.share_sign(shares[i], b"m", rng=rng)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, vks, b"m", partials, rng=rng)
+        assert signature.size_bits == 2048
+
+
+class TestRobustness:
+    def test_garbage_partials_filtered(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        message = b"robust"
+        good = [scheme.share_sign(shares[i], message, rng=rng)
+                for i in (3, 4, 5)]
+        valid = scheme.share_sign(shares[1], b"other-msg", rng=rng)
+        garbage = SMPartialSignature(
+            index=1, c_z=valid.c_z, c_r=valid.c_r, proof=valid.proof)
+        signature = scheme.combine(pk, vks, message, [garbage] + good,
+                                   rng=rng)
+        assert scheme.verify(pk, message, signature)
+
+    def test_below_threshold_fails(self, sm_setup, rng):
+        scheme, pk, shares, vks = sm_setup
+        partials = [scheme.share_sign(shares[i], b"m", rng=rng)
+                    for i in (1, 2)]
+        with pytest.raises(CombineError):
+            scheme.combine(pk, vks, b"m", partials, rng=rng)
+
+
+@pytest.mark.bn254
+class TestOnRealCurve:
+    def test_full_flow_bn254(self, bn254_group, rng):
+        params = SMParams.generate(bn254_group, t=1, n=3, bit_length=8)
+        scheme = LJYStandardModelScheme(params)
+        pk, shares, vks = scheme.dealer_keygen(rng=rng)
+        message = b"real standard model"
+        partials = [scheme.share_sign(shares[i], message, rng=rng)
+                    for i in (1, 2)]
+        signature = scheme.combine(pk, vks, message, partials, rng=rng)
+        assert scheme.verify(pk, message, signature)
+        assert not scheme.verify(pk, b"forgery", signature)
+        assert signature.size_bits == 2048

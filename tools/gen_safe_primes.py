@@ -1,0 +1,91 @@
+"""One-time generation of safe primes for the RSA baselines.
+
+Writes src/repro/baselines/rsa_params.py with safe-prime pairs for
+1024/2048/3072-bit moduli.  Run offline once; results are embedded so the
+test suite never waits on prime generation.
+"""
+import secrets
+import sys
+import time
+
+SMALL_PRIMES = []
+def _sieve(limit=10000):
+    flags = bytearray([1]) * (limit + 1)
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(limit ** 0.5) + 1):
+        if flags[i]:
+            flags[i*i::i] = b"\x00" * len(flags[i*i::i])
+    return [i for i, f in enumerate(flags) if f]
+SMALL_PRIMES = _sieve()
+
+def is_probable_prime(n, rounds=40):
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+def gen_safe_prime(bits):
+    # p = 2q + 1 with q prime.  Sieve candidates jointly.
+    while True:
+        q = secrets.randbits(bits - 1) | (1 << (bits - 2)) | 1
+        p = 2 * q + 1
+        ok = True
+        for sp in SMALL_PRIMES:
+            if q % sp == 0 and q != sp:
+                ok = False
+                break
+            if p % sp == 0 and p != sp:
+                ok = False
+                break
+        if not ok:
+            continue
+        if pow(2, q - 1, q) != 1:
+            continue
+        if not is_probable_prime(q, 20):
+            continue
+        if is_probable_prime(p, 20):
+            return p, q
+
+def main():
+    out = {}
+    for modulus_bits in (512, 1024, 2048, 3072):
+        half = modulus_bits // 2
+        t0 = time.time()
+        p, pq = gen_safe_prime(half)
+        q, qq = gen_safe_prime(half)
+        while q == p:
+            q, qq = gen_safe_prime(half)
+        out[modulus_bits] = (p, q)
+        print(f"{modulus_bits}: done in {time.time()-t0:.1f}s", file=sys.stderr)
+    with open("/root/repo/src/repro/baselines/rsa_params.py", "w") as f:
+        f.write('"""Pre-generated safe-prime pairs for the RSA baselines.\n\n'
+                'Generated once by tools/gen_safe_primes.py (pure-Python\n'
+                'Miller-Rabin; regenerate at will).  Each entry maps a modulus\n'
+                'bit-size to a pair of safe primes (p, q) with p = 2p\' + 1,\n'
+                'q = 2q\' + 1.  Embedded so tests and benchmarks never pay the\n'
+                'minutes-long safe-prime search.  These keys are for\n'
+                'reproduction experiments only - never reuse them.\n"""\n\n')
+        f.write("SAFE_PRIME_PAIRS = {\n")
+        for bits, (p, q) in out.items():
+            f.write(f"    {bits}: (\n        {p},\n        {q},\n    ),\n")
+        f.write("}\n")
+    print("written", file=sys.stderr)
+
+main()
