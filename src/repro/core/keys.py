@@ -13,11 +13,16 @@ Naming follows the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.groups.api import BilinearGroup, GroupElement
 from repro.lhsps.onetime import DPSecretKey
+
+#: Bound on the per-params hash-to-curve memo (messages are arbitrary
+#: caller input, so the cache must not grow without limit).
+_HASH_CACHE_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -35,6 +40,16 @@ class ThresholdParams:
     g_r: GroupElement
     hash_domain: str = "LJY14:H"
 
+    def __post_init__(self):
+        # The dataclass is frozen (parameters are immutable protocol
+        # state); the memo and the pairing preparation below are caches,
+        # not state, so they bypass the frozen guard.
+        object.__setattr__(self, "_hash_cache", OrderedDict())
+        # Every verification equation pairs against g_z and g_r, so their
+        # Miller-loop line coefficients are precomputed once here.
+        self.group.prepare_pair(self.g_z)
+        self.group.prepare_pair(self.g_r)
+
     @classmethod
     def generate(cls, group: BilinearGroup, t: int, n: int,
                  label: str = "LJY14") -> "ThresholdParams":
@@ -50,9 +65,23 @@ class ThresholdParams:
         )
 
     def hash_message(self, message: bytes) -> Tuple[GroupElement, ...]:
-        """The random oracle H : {0,1}* -> G x G."""
-        h1, h2 = self.group.hash_to_g1_vector(message, 2, self.hash_domain)
-        return (h1, h2)
+        """The random oracle H : {0,1}* -> G x G.
+
+        Memoized (bounded LRU): robust Combine calls Share-Verify for
+        every partial signature of the same message, and re-running
+        try-and-increment hashing each time dominated its seed cost.
+        """
+        cache = self._hash_cache
+        hit = cache.get(message)
+        if hit is not None:
+            cache.move_to_end(message)
+            return hit
+        pair = tuple(self.group.hash_to_g1_vector(message, 2,
+                                                  self.hash_domain))
+        cache[message] = pair
+        if len(cache) > _HASH_CACHE_LIMIT:
+            cache.popitem(last=False)
+        return pair
 
 
 @dataclass(frozen=True)

@@ -11,9 +11,9 @@ from __future__ import annotations
 from repro.curves import bn254
 from repro.curves.weierstrass import (
     FieldOps, jac_add, jac_double, jac_eq, jac_neg, jac_normalize,
-    jac_scalar_mul,
 )
 from repro.errors import NotOnCurveError, SerializationError
+from repro.math import msm
 from repro.math.field import sqrt_mod
 
 _P = bn254.P
@@ -36,18 +36,24 @@ FP_OPS = FieldOps(
 _SIGN_BIT = 0x80
 _INFINITY_BYTE = 0x40
 
+#: Scalar multiplications on one point instance before a fixed-base table
+#: is built automatically (the table costs ~6 multiplications to build).
+_AUTO_PRECOMPUTE_USES = 8
+
 ENCODED_SIZE = 32
 
 
 class G1Point:
     """An element of G1, stored in Jacobian coordinates."""
 
-    __slots__ = ("_jac", "_affine")
+    __slots__ = ("_jac", "_affine", "_table", "_uses")
 
     order = _R
 
     def __init__(self, x: int | None = None, y: int | None = None,
                  _jac=None):
+        self._table = None
+        self._uses = 0
         if _jac is not None:
             self._jac = _jac
             self._affine = False
@@ -82,9 +88,31 @@ class G1Point:
         return self + (-other)
 
     def __mul__(self, scalar: int) -> "G1Point":
-        return G1Point(_jac=jac_scalar_mul(FP_OPS, self._jac, scalar, _R))
+        if self._table is not None:
+            return G1Point(_jac=self._table.mul(scalar))
+        if not self.is_identity():
+            self._uses += 1
+            if self._uses >= _AUTO_PRECOMPUTE_USES:
+                self.precompute()
+                return G1Point(_jac=self._table.mul(scalar))
+        return G1Point(_jac=msm.scalar_mul(FP_OPS, self._jac, scalar, _R))
 
     __rmul__ = __mul__
+
+    def precompute(self, window: int = 4) -> "G1Point":
+        """Build a fixed-base window table so later multiplications run in
+        ~order.bit_length()/window additions.  Worth it for bases reused
+        across many scalars; see :mod:`repro.math.msm`."""
+        if self._table is None or self._table.window != window:
+            self._table = msm.FixedBaseTable(FP_OPS, self._jac, _R, window)
+        return self
+
+    @classmethod
+    def multi_mul(cls, points, scalars) -> "G1Point":
+        """``sum_i scalars[i] * points[i]`` as one multi-scalar
+        multiplication (shared doubling chain)."""
+        return cls(_jac=msm.multi_scalar_mul(
+            FP_OPS, [point._jac for point in points], scalars, _R))
 
     def double(self) -> "G1Point":
         return G1Point(_jac=jac_double(FP_OPS, self._jac))

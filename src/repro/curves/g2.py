@@ -14,6 +14,7 @@ from repro.curves.weierstrass import (
     jac_scalar_mul,
 )
 from repro.errors import NotOnCurveError, SerializationError
+from repro.math import msm
 from repro.math.tower import (
     F2_ONE, F2_ZERO, f2_add, f2_eq, f2_inv, f2_is_zero, f2_mul, f2_neg,
     f2_sqr, f2_sqrt, f2_sub,
@@ -40,6 +41,10 @@ _INFINITY_BYTE = 0x40
 
 ENCODED_SIZE = 64
 
+#: Scalar multiplications on one point instance before a fixed-base table
+#: is built automatically (the table costs ~6 multiplications to build).
+_AUTO_PRECOMPUTE_USES = 8
+
 
 def _twist_rhs(x):
     return f2_add(f2_mul(f2_sqr(x), x), bn254.B2)
@@ -48,11 +53,14 @@ def _twist_rhs(x):
 class G2Point:
     """An element of G2 (point on the twist), Jacobian coordinates."""
 
-    __slots__ = ("_jac", "_affine")
+    __slots__ = ("_jac", "_affine", "_table", "_prep", "_uses")
 
     order = _R
 
     def __init__(self, x=None, y=None, _jac=None, _skip_check: bool = False):
+        self._table = None
+        self._prep = None
+        self._uses = 0
         if _jac is not None:
             self._jac = _jac
             self._affine = False
@@ -87,9 +95,29 @@ class G2Point:
         return self + (-other)
 
     def __mul__(self, scalar: int) -> "G2Point":
-        return G2Point(_jac=jac_scalar_mul(FP2_OPS, self._jac, scalar, _R))
+        if self._table is not None:
+            return G2Point(_jac=self._table.mul(scalar))
+        if not self.is_identity():
+            self._uses += 1
+            if self._uses >= _AUTO_PRECOMPUTE_USES:
+                self.precompute()
+                return G2Point(_jac=self._table.mul(scalar))
+        return G2Point(_jac=msm.scalar_mul(FP2_OPS, self._jac, scalar, _R))
 
     __rmul__ = __mul__
+
+    def precompute(self, window: int = 4) -> "G2Point":
+        """Fixed-base window table for bases reused across many scalars
+        (``g_z``/``g_r`` in key generation and DKG commitment checks)."""
+        if self._table is None or self._table.window != window:
+            self._table = msm.FixedBaseTable(FP2_OPS, self._jac, _R, window)
+        return self
+
+    @classmethod
+    def multi_mul(cls, points, scalars) -> "G2Point":
+        """One multi-scalar multiplication over the twist."""
+        return cls(_jac=msm.multi_scalar_mul(
+            FP2_OPS, [point._jac for point in points], scalars, _R))
 
     def double(self) -> "G2Point":
         return G2Point(_jac=jac_double(FP2_OPS, self._jac))

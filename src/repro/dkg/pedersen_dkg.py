@@ -35,7 +35,9 @@ from repro.groups.api import BilinearGroup, GroupElement
 from repro.net.adversary import Adversary
 from repro.net.player import Player
 from repro.net.simulator import Message, SyncNetwork, broadcast, private
-from repro.sharing.pedersen_vss import PedersenVSS, commitment_eval
+from repro.sharing.pedersen_vss import (
+    PedersenVSS, commitment_eval, index_powers,
+)
 from repro.sharing.shamir import validate_threshold
 
 #: Round layout.
@@ -324,13 +326,21 @@ class PedersenDKGPlayer(Player):
         return qualified
 
     def _vk_component(self, qualified, k: int, j: int) -> GroupElement:
-        """``prod_{i in Q} prod_l W_hat_ikl^{j^l}`` — VK_j, component k."""
-        product = None
+        """``prod_{i in Q} prod_l W_hat_ikl^{j^l}`` — VK_j, component k.
+
+        Flattened across dealers into a single |Q|*(t+1)-term multi-
+        exponentiation (the same j^l scalars repeat per dealer), which is
+        where the Pippenger bucket path pays off at large n.
+        """
+        if not qualified:
+            return None
+        powers = index_powers(self.group.order, j, self.t + 1)
+        bases: List[GroupElement] = []
+        scalars: List[int] = []
         for dealer in qualified:
-            term = commitment_eval(
-                self.group, self.received_commitments[dealer][k], j)
-            product = term if product is None else product * term
-        return product
+            bases.extend(self.received_commitments[dealer][k])
+            scalars.extend(powers)
+        return self.group.multi_exp(bases, scalars)
 
 
 def run_pedersen_dkg(group: BilinearGroup, g_z: GroupElement,

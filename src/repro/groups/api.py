@@ -42,6 +42,14 @@ class GroupElement(ABC):
     def to_bytes(self) -> bytes:
         """Canonical byte encoding (used for sizes and hashing)."""
 
+    def precompute(self, window: int = 4) -> "GroupElement":
+        """Hint that this element will be exponentiated many times.
+
+        Backends with fixed-base window tables build one; others ignore
+        the hint.  Returns self for chaining.
+        """
+        return self
+
     # -- operator sugar ----------------------------------------------------
     def __mul__(self, other):
         return self.op(other)
@@ -122,6 +130,42 @@ class BilinearGroup(ABC):
     ) -> bool:
         """Check the canonical verification shape ``prod e(a_i, b_i) = 1``."""
         return self.pairing_product(pairs).is_identity()
+
+    def prepare_pair(self, element: GroupElement) -> GroupElement:
+        """Precompute pairing state for a G_hat element used as a fixed
+        pairing argument (``g_z``, ``g_r``, public/verification keys).
+
+        Backends that cache Miller-loop line coefficients do so here; the
+        default is a no-op.  Returns the element for chaining.
+        """
+        return element
+
+    # -- fast exponentiation --------------------------------------------------
+    @staticmethod
+    def _checked_multi_exp_args(bases, scalars):
+        """Shared argument validation for every ``multi_exp`` override."""
+        bases = list(bases)
+        scalars = list(scalars)
+        if len(bases) != len(scalars):
+            raise ValueError("bases and scalars must have equal length")
+        if not bases:
+            raise ValueError("multi_exp needs at least one base")
+        return bases, scalars
+
+    def multi_exp(self, bases: Sequence[GroupElement],
+                  scalars: Sequence[int]) -> GroupElement:
+        """``prod_i bases[i] ** scalars[i]`` — one multi-exponentiation.
+
+        All bases must come from the same group (G, G_hat or G_T).  The
+        default folds naively; backends override with multi-scalar
+        multiplication sharing one doubling chain.
+        """
+        bases, scalars = self._checked_multi_exp_args(bases, scalars)
+        result = None
+        for base, scalar in zip(bases, scalars):
+            term = base ** (scalar % self.order)
+            result = term if result is None else result * term
+        return result
 
     # -- scalars / deserialization --------------------------------------------
     @abstractmethod

@@ -8,7 +8,7 @@ uses.  ``BNGT`` wraps the F_p12 target-group element.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.curves import bn254
 from repro.curves.g1 import G1Point
@@ -16,7 +16,7 @@ from repro.curves.g2 import G2Point
 from repro.curves.hash_to_curve import (
     derive_generator_g1, derive_generator_g2, hash_to_g1_vector,
 )
-from repro.curves.pairing import GTElement, multi_pairing
+from repro.curves.pairing import GTElement, multi_pairing, prepare_g2
 from repro.groups.api import BilinearGroup, GroupElement
 from repro.math.rng import random_scalar
 
@@ -34,6 +34,10 @@ class BNG1(GroupElement):
 
     def exp(self, scalar: int) -> "BNG1":
         return BNG1(self.point * scalar)
+
+    def precompute(self, window: int = 4) -> "BNG1":
+        self.point.precompute(window)
+        return self
 
     def inverse(self) -> "BNG1":
         return BNG1(-self.point)
@@ -67,6 +71,10 @@ class BNG2(GroupElement):
 
     def exp(self, scalar: int) -> "BNG2":
         return BNG2(self.point * scalar)
+
+    def precompute(self, window: int = 4) -> "BNG2":
+        self.point.precompute(window)
+        return self
 
     def inverse(self) -> "BNG2":
         return BNG2(-self.point)
@@ -167,6 +175,34 @@ class BN254Group(BilinearGroup):
     def pairing_product(
             self, pairs: Iterable[Tuple[BNG1, BNG2]]) -> BNGT:
         return BNGT(multi_pairing([(a.point, b.point) for a, b in pairs]))
+
+    def prepare_pair(self, element: BNG2) -> BNG2:
+        """Cache the Miller-loop line coefficients of a fixed G_hat point
+        (memoized on the underlying :class:`G2Point`)."""
+        prepare_g2(element.point)
+        return element
+
+    def multi_exp(self, bases: Sequence[GroupElement],
+                  scalars: Sequence[int]) -> GroupElement:
+        bases, scalars = self._checked_multi_exp_args(bases, scalars)
+        first = bases[0]
+        if isinstance(first, BNG1):
+            point_cls, wrapper = G1Point, BNG1
+        elif isinstance(first, BNG2):
+            point_cls, wrapper = G2Point, BNG2
+        else:
+            # GT products fall back to the generic fold.
+            return super().multi_exp(bases, scalars)
+        points = [base.point for base in bases]
+        # Bases carrying fixed-base tables multiply faster through them
+        # than through a shared doubling chain.
+        if all(point._table is not None for point in points):
+            result = None
+            for point, scalar in zip(points, scalars):
+                term = point * scalar
+                result = term if result is None else result + term
+            return wrapper(result)
+        return wrapper(point_cls.multi_mul(points, scalars))
 
     def random_scalar(self, rng=None) -> int:
         return random_scalar(self.order, rng)

@@ -23,7 +23,7 @@ which Appendix D.2 of the paper requires and which no BN curve offers.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.curves import bn254
 from repro.groups.api import BilinearGroup, GroupElement
@@ -130,6 +130,18 @@ class ToyGroup(BilinearGroup):
                 raise TypeError("pairing expects (G1, G2) arguments")
             total = (total + a.log * b.log) % _ORDER
         return ToyElement(total, "GT")
+
+    def multi_exp(self, bases: Sequence[ToyElement],
+                  scalars: Sequence[int]) -> ToyElement:
+        bases, scalars = self._checked_multi_exp_args(bases, scalars)
+        tag = bases[0].tag
+        total = 0
+        for base, scalar in zip(bases, scalars):
+            if base.tag != tag:
+                raise TypeError(
+                    f"cannot combine {tag} element with {base.tag}")
+            total += base.log * scalar
+        return ToyElement(total, tag)
 
     def random_scalar(self, rng=None) -> int:
         return random_scalar(_ORDER, rng)

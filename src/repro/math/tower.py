@@ -285,6 +285,47 @@ def f12_conj(a: Fp12Ele) -> Fp12Ele:
     return (a[0], f6_neg(a[1]))
 
 
+def _f6_mul_sparse01(a: Fp6Ele, b0: Fp2Ele, b1: Fp2Ele) -> Fp6Ele:
+    """Multiply by the sparse F_p6 element ``b0 + b1*v`` (5 F_p2 muls)."""
+    a0, a1, a2 = a
+    m0 = f2_mul(a0, b0)
+    m1 = f2_mul(a1, b1)
+    ms = f2_mul(f2_add(a0, a1), f2_add(b0, b1))
+    return (
+        f2_add(m0, f2_mul_xi(f2_mul(a2, b1))),
+        f2_sub(f2_sub(ms, m0), m1),
+        f2_add(m1, f2_mul(a2, b0)),
+    )
+
+
+def f12_mul_line(f: Fp12Ele, l0: Fp2Ele, l1: Fp2Ele,
+                 l3: Fp2Ele) -> Fp12Ele:
+    """Multiply by the sparse element ``l0 + l1*w + l3*w^3``.
+
+    This is the shape of every Miller-loop line on BN curves (nonzero
+    w-vector coefficients at w^0, w^1, w^3 only), so the pairing pays
+    ~13 F_p2 multiplications per line instead of the 18 of a full
+    :func:`f12_mul` — fewer still when ``l0`` lies in F_p, which holds for
+    every chord/tangent line (``l0 = (y_P, 0)``).
+    """
+    f0, f1 = f
+    if l0[1] == 0:
+        scalar = l0[0]
+        t0 = (
+            (f0[0][0] * scalar % P, f0[0][1] * scalar % P),
+            (f0[1][0] * scalar % P, f0[1][1] * scalar % P),
+            (f0[2][0] * scalar % P, f0[2][1] * scalar % P),
+        )
+    else:
+        t0 = f6_mul_fp2(f0, l0)
+    t1 = _f6_mul_sparse01(f1, l1, l3)
+    tsum = _f6_mul_sparse01(f6_add(f0, f1), f2_add(l0, l1), l3)
+    return (
+        f6_add(t0, f6_mul_by_v(t1)),
+        f6_sub(f6_sub(tsum, t0), t1),
+    )
+
+
 def f12_inv(a: Fp12Ele) -> Fp12Ele:
     a0, a1 = a
     factor = f6_inv(f6_sub(f6_sqr(a0), f6_mul_by_v(f6_sqr(a1))))

@@ -72,20 +72,25 @@ class PedersenVSS:
                      share: Tuple[int, int]) -> bool:
         """The paper's check (1): g_z^{A(i)} g_r^{B(i)} = prod W_l^{i^l}."""
         share_a, share_b = share
-        expected = (g_z ** share_a) * (g_r ** share_b)
+        expected = group.multi_exp([g_z, g_r], [share_a, share_b])
         return expected == commitment_eval(group, commitments, index)
+
+
+def index_powers(order: int, index: int, count: int) -> list:
+    """``[index^0, index^1, ..., index^{count-1}] mod order``."""
+    powers = [1]
+    for _ in range(count - 1):
+        powers.append(powers[-1] * index % order)
+    return powers
 
 
 def commitment_eval(group: BilinearGroup,
                     commitments: Sequence[GroupElement],
                     index: int) -> GroupElement:
     """``prod_l W_l^{index^l}`` — the committed value of the polynomials
-    at ``index``.  Used both for share verification and to derive the
-    public verification keys VK_i from the broadcast transcript."""
-    product = None
-    power = 1
-    for commitment in commitments:
-        term = commitment ** power
-        product = term if product is None else product * term
-        power = power * index % group.order
-    return product
+    at ``index``, as one (t+1)-term multi-exponentiation.  Used both for
+    share verification and to derive the public verification keys VK_i
+    from the broadcast transcript."""
+    commitments = list(commitments)
+    return group.multi_exp(
+        commitments, index_powers(group.order, index, len(commitments)))

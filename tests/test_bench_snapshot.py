@@ -1,0 +1,54 @@
+"""Smoke test for the perf-trajectory snapshot tool.
+
+Runs one round of the T2 micro-benchmarks through
+``tools/bench_snapshot.py`` and checks the snapshot structure plus loose
+speedup floors (well under the measured 2.5x/4.8x so timing noise cannot
+flake the suite, but tight enough to catch a fast path silently falling
+back to the naive implementation).
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+pytestmark = pytest.mark.bn254
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    sys.path.insert(0, str(TOOLS_DIR))
+    try:
+        import bench_snapshot
+    finally:
+        sys.path.remove(str(TOOLS_DIR))
+    out_dir = tmp_path_factory.mktemp("bench")
+    # Best-of-3 timing: a single sample can absorb a scheduler or GC
+    # pause and flake the speedup floors below on loaded machines.
+    bench_snapshot.main([
+        "--rounds", "3",
+        "--output", str(out_dir / "BENCH_t2_ops.json"),
+        "--table", str(out_dir / "t2_ops.txt"),
+    ])
+    return json.loads((out_dir / "BENCH_t2_ops.json").read_text())
+
+
+OPS = ["share_sign", "share_verify", "combine_optimistic",
+       "combine_robust", "verify"]
+
+
+def test_snapshot_records_all_operations(snapshot):
+    for section in ("fast_ms", "naive_ms", "speedup", "seed_reference_ms"):
+        assert set(snapshot[section]) == set(OPS)
+    assert snapshot["meta"]["backend"] == "bn254"
+
+
+def test_fast_paths_beat_naive(snapshot):
+    # Loose floors: measured speedups are 2.5x (verify/share-verify) and
+    # ~4.8x (robust combine); anything near 1x means a fast path broke.
+    assert snapshot["speedup"]["verify"] >= 1.5
+    assert snapshot["speedup"]["share_verify"] >= 1.5
+    assert snapshot["speedup"]["combine_robust"] >= 2.0

@@ -1,0 +1,313 @@
+"""Property tests for the fast-exponentiation subsystem.
+
+Every fast path (w-NAF multiplication, Straus/Pippenger MSM, fixed-base
+tables, sparse line multiplication, the BN final-exponentiation chain,
+prepared pairings, backend ``multi_exp``) is compared against its naive
+reference implementation on random inputs and edge cases: identity points,
+zero scalars, and scalars at or beyond the group order.
+"""
+
+import random
+
+import pytest
+
+from repro.curves import bn254
+from repro.curves.g1 import FP_OPS, G1Point
+from repro.curves.g2 import FP2_OPS, G2Point
+from repro.curves.pairing import (
+    PreparedG2, final_exponentiation, final_exponentiation_naive,
+    multi_pairing, multi_pairing_naive, prepare_g2, _miller_loop_naive,
+)
+from repro.curves.weierstrass import jac_scalar_mul
+from repro.errors import ParameterError
+from repro.groups import get_group
+from repro.math import msm
+from repro.math.lagrange import batch_invert, lagrange_coefficients
+from repro.math.tower import (
+    F2_ZERO, f12_eq, f12_mul, f12_mul_line, wvec_to_f12, P,
+)
+
+R = bn254.R
+
+EDGE_SCALARS = [0, 1, 2, R - 1, R, R + 5, 2 * R + 3]
+
+
+def random_scalars(rng, count):
+    return [rng.randrange(3 * R) for _ in range(count)]
+
+
+class TestWnafDigits:
+    def test_reconstructs_scalar(self):
+        rng = random.Random(11)
+        for width in (2, 3, 4, 5):
+            for _ in range(20):
+                scalar = rng.randrange(1 << 256)
+                digits = msm.wnaf_digits(scalar, width)
+                assert sum(d << i for i, d in enumerate(digits)) == scalar
+
+    def test_digit_constraints(self):
+        rng = random.Random(12)
+        half = 1 << 3
+        for _ in range(20):
+            digits = msm.wnaf_digits(rng.randrange(1 << 254), 4)
+            for i, digit in enumerate(digits):
+                if digit == 0:
+                    continue
+                assert digit % 2 == 1
+                assert -half < digit < half
+                # Non-adjacency: the next width-1 digits are zero.
+                assert all(d == 0 for d in digits[i + 1:i + 4])
+
+    def test_zero(self):
+        assert msm.wnaf_digits(0) == []
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            msm.wnaf_digits(-1)
+        with pytest.raises(ValueError):
+            msm.wnaf_digits(5, width=1)
+
+
+@pytest.mark.bn254
+class TestScalarMulAgreement:
+    @pytest.mark.parametrize("ops,point_cls", [
+        (FP_OPS, G1Point), (FP2_OPS, G2Point),
+    ], ids=["G1", "G2"])
+    def test_wnaf_matches_naive(self, ops, point_cls):
+        rng = random.Random(13)
+        base = point_cls.generator()
+        for scalar in EDGE_SCALARS + random_scalars(rng, 5):
+            fast = msm.scalar_mul(ops, base._jac, scalar, R)
+            naive = jac_scalar_mul(ops, base._jac, scalar, R)
+            assert point_cls(_jac=fast) == point_cls(_jac=naive)
+
+    @pytest.mark.parametrize("ops,point_cls", [
+        (FP_OPS, G1Point), (FP2_OPS, G2Point),
+    ], ids=["G1", "G2"])
+    def test_identity_point(self, ops, point_cls):
+        identity = point_cls.identity()
+        result = msm.scalar_mul(ops, identity._jac, 12345, R)
+        assert point_cls(_jac=result).is_identity()
+
+    def test_operator_uses_fast_path(self):
+        # The * operator and the reference must agree bit for bit.
+        rng = random.Random(14)
+        g = G1Point.generator()
+        for scalar in random_scalars(rng, 3):
+            expected = G1Point(
+                _jac=jac_scalar_mul(FP_OPS, g._jac, scalar, R))
+            assert g * scalar == expected
+
+
+@pytest.mark.bn254
+class TestMultiScalarMul:
+    def _naive(self, points, scalars):
+        total = G1Point.identity()
+        for point, scalar in zip(points, scalars):
+            total = total + G1Point(
+                _jac=jac_scalar_mul(FP_OPS, point._jac, scalar, R))
+        return total
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_straus_matches_naive(self, count):
+        rng = random.Random(count)
+        g = G1Point.generator()
+        points = [g * rng.randrange(2, R) for _ in range(count)]
+        scalars = random_scalars(rng, count)
+        result = G1Point.multi_mul(points, scalars)
+        assert result == self._naive(points, scalars)
+
+    def test_pippenger_matches_naive(self):
+        rng = random.Random(40)
+        g = G1Point.generator()
+        points = [g * (i + 2) for i in range(40)]
+        scalars = random_scalars(rng, 40)
+        fast = G1Point(_jac=msm._pippenger(
+            FP_OPS,
+            [(p._jac, s % R) for p, s in zip(points, scalars) if s % R],
+            R.bit_length()))
+        assert fast == self._naive(points, scalars)
+
+    def test_zero_scalars_and_identities_skipped(self):
+        g = G1Point.generator()
+        points = [g, G1Point.identity(), g * 3]
+        scalars = [0, 55, R]   # every term vanishes
+        assert G1Point.multi_mul(points, scalars).is_identity()
+
+    def test_g2_multi_mul(self):
+        rng = random.Random(41)
+        h = G2Point.generator()
+        points = [h * rng.randrange(2, R) for _ in range(3)]
+        scalars = random_scalars(rng, 3)
+        total = G2Point.identity()
+        for point, scalar in zip(points, scalars):
+            total = total + G2Point(
+                _jac=jac_scalar_mul(FP2_OPS, point._jac, scalar, R))
+        assert G2Point.multi_mul(points, scalars) == total
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            msm.multi_scalar_mul(FP_OPS, [G1Point.generator()._jac], [1, 2], R)
+
+
+@pytest.mark.bn254
+class TestFixedBaseTable:
+    @pytest.mark.parametrize("window", [1, 2, 4, 6])
+    def test_matches_naive(self, window):
+        rng = random.Random(window)
+        base = G1Point.generator() * 7
+        table = msm.FixedBaseTable(FP_OPS, base._jac, R, window)
+        for scalar in EDGE_SCALARS + random_scalars(rng, 3):
+            fast = G1Point(_jac=table.mul(scalar))
+            naive = G1Point(
+                _jac=jac_scalar_mul(FP_OPS, base._jac, scalar, R))
+            assert fast == naive
+
+    def test_precomputed_point_agrees(self):
+        rng = random.Random(42)
+        plain = G2Point.generator() * 5
+        primed = (G2Point.generator() * 5).precompute()
+        for scalar in [0, 1, R - 1] + random_scalars(rng, 3):
+            assert plain * scalar == primed * scalar
+
+    def test_auto_precompute_is_transparent(self):
+        scalars = list(range(1, 15))
+        fresh = G1Point.generator() + G1Point.generator()
+        reference = [
+            G1Point(_jac=jac_scalar_mul(FP_OPS, fresh._jac, s, R))
+            for s in scalars
+        ]
+        # Repeated use of one instance flips it to the table path mid-way.
+        reused = G1Point.generator() + G1Point.generator()
+        results = [reused * s for s in scalars]
+        assert reused._table is not None
+        assert results == reference
+
+
+class TestSparseLineMul:
+    def test_matches_full_mul(self):
+        rng = random.Random(15)
+
+        def rf2():
+            return (rng.randrange(P), rng.randrange(P))
+
+        for trial in range(25):
+            f = tuple((rf2(), rf2(), rf2()) for _ in range(2))
+            l0 = (rng.randrange(P), 0) if trial % 2 else rf2()
+            l1, l3 = rf2(), rf2()
+            line = wvec_to_f12((l0, l1, F2_ZERO, l3, F2_ZERO, F2_ZERO))
+            assert f12_eq(f12_mul(f, line), f12_mul_line(f, l0, l1, l3))
+
+
+@pytest.mark.bn254
+class TestPairingFastPaths:
+    def test_final_exponentiation_chain_matches_naive(self):
+        rng = random.Random(16)
+        for _ in range(2):
+            p = G1Point.generator() * rng.randrange(2, R)
+            q = G2Point.generator() * rng.randrange(2, R)
+            miller = _miller_loop_naive(p.affine(), q.affine())
+            assert f12_eq(final_exponentiation(miller),
+                          final_exponentiation_naive(miller))
+
+    def test_prepared_multi_pairing_matches_naive(self):
+        rng = random.Random(17)
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        pairs = [
+            (g1 * rng.randrange(2, R), g2 * rng.randrange(2, R))
+            for _ in range(3)
+        ]
+        assert multi_pairing(pairs) == multi_pairing_naive(pairs)
+
+    def test_identity_arguments(self):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        pairs = [(G1Point.identity(), g2), (g1, G2Point.identity())]
+        assert multi_pairing(pairs).is_one()
+        assert multi_pairing([]).is_one()
+
+    def test_explicit_prepared_argument(self):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        prepared = prepare_g2(g2 * 9)
+        assert isinstance(prepared, PreparedG2)
+        assert multi_pairing([(g1 * 4, prepared)]) == \
+            multi_pairing_naive([(g1 * 4, g2 * 9)])
+
+    def test_preparation_is_memoized(self):
+        q = G2Point.generator() * 11
+        assert prepare_g2(q) is prepare_g2(q)
+
+    def test_prepared_identity(self):
+        prepared = prepare_g2(G2Point.identity())
+        assert prepared.is_identity
+        assert multi_pairing([(G1Point.generator(), prepared)]).is_one()
+
+
+class TestBackendMultiExp:
+    def test_toy_matches_naive_fold(self, toy_group):
+        rng = random.Random(18)
+        bases = [toy_group.g1_generator() ** rng.randrange(R)
+                 for _ in range(4)]
+        scalars = random_scalars(rng, 4)
+        expected = bases[0] ** scalars[0]
+        for base, scalar in zip(bases[1:], scalars[1:]):
+            expected = expected * (base ** scalar)
+        assert toy_group.multi_exp(bases, scalars) == expected
+
+    def test_toy_rejects_mixed_groups(self, toy_group):
+        with pytest.raises(TypeError):
+            toy_group.multi_exp(
+                [toy_group.g1_generator(), toy_group.g2_generator()], [1, 2])
+
+    def test_toy_rejects_empty(self, toy_group):
+        with pytest.raises(ValueError):
+            toy_group.multi_exp([], [])
+
+    @pytest.mark.bn254
+    @pytest.mark.parametrize("generator", ["g1_generator", "g2_generator"])
+    def test_bn254_matches_naive_fold(self, bn254_group, generator):
+        rng = random.Random(19)
+        base = getattr(bn254_group, generator)()
+        bases = [base ** rng.randrange(2, R) for _ in range(3)]
+        scalars = random_scalars(rng, 3)
+        expected = bases[0] ** scalars[0]
+        for b, s in zip(bases[1:], scalars[1:]):
+            expected = expected * (b ** s)
+        assert bn254_group.multi_exp(bases, scalars) == expected
+
+    @pytest.mark.bn254
+    def test_bn254_precomputed_bases(self, bn254_group):
+        rng = random.Random(20)
+        bases = [
+            (bn254_group.g2_generator() ** k).precompute() for k in (3, 5)
+        ]
+        scalars = random_scalars(rng, 2)
+        expected = (bases[0] ** scalars[0]) * (bases[1] ** scalars[1])
+        assert bn254_group.multi_exp(bases, scalars) == expected
+
+    @pytest.mark.bn254
+    def test_bn254_gt_fallback(self, bn254_group):
+        e = bn254_group.pair(
+            bn254_group.g1_generator(), bn254_group.g2_generator())
+        assert bn254_group.multi_exp([e, e], [2, 3]) == e ** 5
+
+
+class TestBatchInvert:
+    def test_matches_pow(self):
+        rng = random.Random(21)
+        modulus = R
+        values = [rng.randrange(1, modulus) for _ in range(10)]
+        inverses = batch_invert(values, modulus)
+        for value, inverse in zip(values, inverses):
+            assert value * inverse % modulus == 1
+
+    def test_zero_raises(self):
+        with pytest.raises(ParameterError):
+            batch_invert([3, R, 5], R)
+
+    def test_empty(self):
+        assert batch_invert([], R) == []
+
+    def test_lagrange_unchanged(self):
+        # The batched path must produce the classic coefficients.
+        coeffs = lagrange_coefficients([1, 2, 3], 97)
+        assert sum(coeffs[i] * (5 * i + 7) for i in coeffs) % 97 == 7

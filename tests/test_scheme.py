@@ -140,6 +140,17 @@ class TestRobustness:
                                        verify_shares=False)
         assert not toy_scheme.verify(pk, b"m", signature)
 
+    def test_forged_duplicate_does_not_shadow_honest_partial(
+            self, toy_scheme, toy_keys):
+        # A garbage partial for index 3 arrives BEFORE the honest one;
+        # robust combine must still use the honest index-3 contribution.
+        pk, shares, vks = toy_keys
+        g = toy_scheme.group.g1_generator()
+        forged = PartialSignature(index=3, z=g ** 5, r=g ** 9)
+        honest = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)]
+        signature = toy_scheme.combine(pk, vks, b"m", [forged] + honest)
+        assert toy_scheme.verify(pk, b"m", signature)
+
     def test_unknown_index_skipped(self, toy_scheme, toy_keys):
         pk, shares, vks = toy_keys
         rogue = PartialSignature(
@@ -179,6 +190,102 @@ class TestKeygenShapes:
                 vks[i].v_1
 
 
+class TestBatchShareVerify:
+    def test_accepts_honest_batch(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2, 3)]
+        assert toy_scheme.batch_share_verify(pk, vks, b"m", partials)
+
+    def test_rejects_batch_with_one_forgery(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 2)]
+        g = toy_scheme.group.g1_generator()
+        partials.append(PartialSignature(index=3, z=g, r=g))
+        assert not toy_scheme.batch_share_verify(pk, vks, b"m", partials)
+
+    def test_rejects_unknown_index(self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"m")
+        rogue = PartialSignature(index=99, z=partial.z, r=partial.r)
+        assert not toy_scheme.batch_share_verify(
+            pk, vks, b"m", [partial, rogue])
+
+    def test_empty_batch_passes(self, toy_scheme, toy_keys):
+        pk, _shares, vks = toy_keys
+        assert toy_scheme.batch_share_verify(pk, vks, b"m", [])
+
+    def test_single_partial_delegates_to_share_verify(
+            self, toy_scheme, toy_keys):
+        pk, shares, vks = toy_keys
+        good = toy_scheme.share_sign(shares[1], b"m")
+        bad = PartialSignature(
+            index=1, z=good.z * toy_scheme.group.g1_generator(), r=good.r)
+        assert toy_scheme.batch_share_verify(pk, vks, b"m", [good])
+        assert not toy_scheme.batch_share_verify(pk, vks, b"m", [bad])
+
+    def test_combine_falls_back_when_leading_batch_fails(
+            self, toy_scheme, toy_keys):
+        # Corrupt shares sit among the first t+1 candidates, so the batch
+        # check fails and the per-share fallback must still succeed.
+        pk, shares, vks = toy_keys
+        g = toy_scheme.group.g1_generator()
+        garbage = [PartialSignature(index=i, z=g ** i, r=g) for i in (1, 2)]
+        honest = [toy_scheme.share_sign(shares[i], b"m") for i in (3, 4, 5)]
+        signature = toy_scheme.combine(pk, vks, b"m", garbage + honest)
+        assert toy_scheme.verify(pk, b"m", signature)
+
+    def test_combine_deterministic_despite_batching_coins(
+            self, toy_scheme, toy_keys):
+        import random as random_module
+        pk, shares, vks = toy_keys
+        partials = [toy_scheme.share_sign(shares[i], b"m") for i in (1, 4, 5)]
+        first = toy_scheme.combine(pk, vks, b"m", partials,
+                                   rng=random_module.Random(1))
+        second = toy_scheme.combine(pk, vks, b"m", partials,
+                                    rng=random_module.Random(2))
+        assert first.to_bytes() == second.to_bytes()
+
+
+class TestHashMemoization:
+    class _CountingGroup:
+        """Wrap a backend and count hash_to_g1_vector invocations."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.calls = 0
+
+        def hash_to_g1_vector(self, data, dimension, domain="H"):
+            self.calls += 1
+            return self._inner.hash_to_g1_vector(data, dimension, domain)
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    def _params(self, toy_group):
+        counting = self._CountingGroup(toy_group)
+        return ThresholdParams.generate(counting, t=1, n=3), counting
+
+    def test_repeat_messages_hit_cache(self, toy_group):
+        params, counting = self._params(toy_group)
+        first = params.hash_message(b"msg")
+        again = params.hash_message(b"msg")
+        assert counting.calls == 1
+        assert first == again
+        params.hash_message(b"other")
+        assert counting.calls == 2
+
+    def test_cache_is_bounded(self, toy_group):
+        from repro.core.keys import _HASH_CACHE_LIMIT
+        params, counting = self._params(toy_group)
+        for i in range(_HASH_CACHE_LIMIT + 50):
+            params.hash_message(b"m%d" % i)
+        assert len(params._hash_cache) <= _HASH_CACHE_LIMIT
+        # The oldest entry was evicted and re-hashing it costs a call.
+        calls = counting.calls
+        params.hash_message(b"m0")
+        assert counting.calls == calls + 1
+
+
 @pytest.mark.bn254
 class TestOnRealCurve:
     def test_full_flow_bn254(self, bn254_group, rng):
@@ -194,3 +301,14 @@ class TestOnRealCurve:
         assert scheme.verify(pk, message, signature)
         assert not scheme.verify(pk, b"forgery", signature)
         assert signature.size_bits == 512
+
+    def test_robust_combine_with_forgery_bn254(self, bn254_group, rng):
+        params = ThresholdParams.generate(bn254_group, t=1, n=3)
+        scheme = LJYThresholdScheme(params)
+        pk, shares, vks = scheme.dealer_keygen(rng=rng)
+        message = b"batch fallback"
+        g = bn254_group.g1_generator()
+        garbage = PartialSignature(index=1, z=g, r=g ** 2)
+        honest = [scheme.share_sign(shares[i], message) for i in (2, 3)]
+        signature = scheme.combine(pk, vks, message, [garbage] + honest)
+        assert scheme.verify(pk, message, signature)

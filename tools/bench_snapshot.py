@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Machine-readable perf snapshot of the T2 hot-path operations.
+
+Runs the T2-style micro-benchmarks (Share-Sign, Share-Verify, optimistic
+and robust Combine, Verify on BN254 with t=2, n=5) twice: once through the
+current fast paths (prepared pairings, MSM, batch verification, hash
+memoization) and once through the retained seed-equivalent naive
+implementations (inline Miller loops, blind final exponentiation, per-term
+double-and-add, per-share verification).  Because both sides run in the
+same process on the same machine, the resulting speedups are hardware-
+independent and can be asserted by future PRs.
+
+Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
+record) and regenerates ``benchmarks/results/t2_ops.txt``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_snapshot.py [--rounds N] [--skip-naive]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.tables import Table                       # noqa: E402
+from repro.core.keys import PartialSignature, ThresholdParams  # noqa: E402
+from repro.core.scheme import LJYThresholdScheme           # noqa: E402
+from repro.curves.g1 import FP_OPS, G1Point                # noqa: E402
+from repro.curves.pairing import multi_pairing_naive       # noqa: E402
+from repro.curves.weierstrass import jac_scalar_mul        # noqa: E402
+from repro.groups import get_group                         # noqa: E402
+from repro.math.lagrange import lagrange_coefficients      # noqa: E402
+
+T, N = 2, 5
+MESSAGE = b"benchmark message"
+
+#: Seed-commit T2 numbers (benchmarks/results/t2_ops.txt at PR 0), kept for
+#: context only — cross-machine comparisons are apples to oranges, which is
+#: why the JSON also records same-process naive timings.
+SEED_REFERENCE_MS = {
+    "share_sign": 8.897,
+    "share_verify": 60.183,
+    "combine_optimistic": 5.223,
+    "combine_robust": 212.7,
+    "verify": 70.336,
+}
+
+
+def timed(fn, rounds):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best * 1000.0
+
+
+class NaiveReference:
+    """The seed implementations of the five T2 operations.
+
+    Reconstructed from the retained naive primitives: fresh hash-to-curve
+    on every call, double-and-add exponentiation, inline Miller loops with
+    full F_p12 multiplications and a blind final exponentiation, and
+    per-share verification in robust Combine.
+    """
+
+    def __init__(self, scheme):
+        self.scheme = scheme
+        self.params = scheme.params
+        self.group = scheme.group
+
+    def _hash(self):
+        return self.group.hash_to_g1_vector(
+            MESSAGE, 2, self.params.hash_domain)
+
+    def _exp(self, element, scalar):
+        # Seed-style double-and-add on the underlying point.
+        return type(element)(G1Point(_jac=jac_scalar_mul(
+            FP_OPS, element.point._jac, scalar, self.group.order)))
+
+    def share_sign(self, share):
+        h_1, h_2 = self._hash()
+        z = self._exp(h_1, -share.a_1 % self.group.order) * \
+            self._exp(h_2, -share.a_2 % self.group.order)
+        r = self._exp(h_1, -share.b_1 % self.group.order) * \
+            self._exp(h_2, -share.b_2 % self.group.order)
+        return PartialSignature(index=share.index, z=z, r=r)
+
+    def share_verify(self, public_key, vk, partial):
+        if partial.index != vk.index:
+            return False
+        h_1, h_2 = self._hash()
+        p = self.params
+        return multi_pairing_naive([
+            (partial.z.point, p.g_z.point),
+            (partial.r.point, p.g_r.point),
+            (h_1.point, vk.v_1.point),
+            (h_2.point, vk.v_2.point),
+        ]).is_one()
+
+    def combine(self, public_key, vks, partials, verify_shares):
+        t = self.params.t
+        usable = {}
+        for partial in partials:
+            if partial.index in usable:
+                continue
+            if verify_shares:
+                vk = vks.get(partial.index)
+                if vk is None or not self.share_verify(
+                        public_key, vk, partial):
+                    continue
+            usable[partial.index] = partial
+            if len(usable) == t + 1:
+                break
+        coefficients = lagrange_coefficients(
+            usable.keys(), self.group.order)
+        z = r = None
+        for index, partial in usable.items():
+            weight = coefficients[index]
+            z_term = self._exp(partial.z, weight)
+            r_term = self._exp(partial.r, weight)
+            z = z_term if z is None else z * z_term
+            r = r_term if r is None else r * r_term
+        return z, r
+
+    def verify(self, public_key, signature):
+        h_1, h_2 = self._hash()
+        p = self.params
+        return multi_pairing_naive([
+            (signature.z.point, p.g_z.point),
+            (signature.r.point, p.g_r.point),
+            (h_1.point, public_key.g_1.point),
+            (h_2.point, public_key.g_2.point),
+        ]).is_one()
+
+
+def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
+    group = get_group("bn254")
+    rng = random.Random(3)
+    params = ThresholdParams.generate(group, T, N)
+    scheme = LJYThresholdScheme(params)
+    pk, shares, vks = scheme.dealer_keygen(rng=rng)
+    partials = [scheme.share_sign(shares[i], MESSAGE) for i in (1, 2, 3)]
+    signature = scheme.combine(pk, vks, MESSAGE, partials)
+    assert scheme.verify(pk, MESSAGE, signature)
+
+    fast_ms = {
+        "share_sign": timed(
+            lambda: scheme.share_sign(shares[1], MESSAGE), rounds),
+        "share_verify": timed(
+            lambda: scheme.share_verify(pk, vks[1], MESSAGE, partials[0]),
+            rounds),
+        "combine_optimistic": timed(
+            lambda: scheme.combine(pk, vks, MESSAGE, partials,
+                                   verify_shares=False), rounds),
+        "combine_robust": timed(
+            lambda: scheme.combine(pk, vks, MESSAGE, partials), rounds),
+        "verify": timed(
+            lambda: scheme.verify(pk, MESSAGE, signature), rounds),
+    }
+
+    snapshot = {
+        "meta": {
+            "backend": group.name,
+            "t": T,
+            "n": N,
+            "rounds": rounds,
+            "message": MESSAGE.decode(),
+            "python": sys.version.split()[0],
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "fast_ms": fast_ms,
+        "seed_reference_ms": SEED_REFERENCE_MS,
+    }
+
+    if include_naive:
+        naive = NaiveReference(scheme)
+        assert naive.share_verify(pk, vks[1], partials[0])
+        assert naive.verify(pk, signature)
+        naive_ms = {
+            "share_sign": timed(
+                lambda: naive.share_sign(shares[1]), rounds),
+            "share_verify": timed(
+                lambda: naive.share_verify(pk, vks[1], partials[0]), rounds),
+            "combine_optimistic": timed(
+                lambda: naive.combine(pk, vks, partials,
+                                      verify_shares=False), rounds),
+            "combine_robust": timed(
+                lambda: naive.combine(pk, vks, partials,
+                                      verify_shares=True), rounds),
+            "verify": timed(lambda: naive.verify(pk, signature), rounds),
+        }
+        snapshot["naive_ms"] = naive_ms
+        snapshot["speedup"] = {
+            op: round(naive_ms[op] / fast_ms[op], 2) for op in fast_ms
+        }
+    return snapshot
+
+
+def render_table(snapshot: dict) -> Table:
+    labels = {
+        "share_sign": "Share-Sign (2 multi-exps + 2 hash-on-curve)",
+        "share_verify": "Share-Verify (product of 4 pairings)",
+        "combine_optimistic": f"Combine (t+1 = {T + 1}, optimistic)",
+        "combine_robust": "Combine (robust, share-verifying)",
+        "verify": "Verify (product of 4 pairings)",
+    }
+    has_naive = "naive_ms" in snapshot
+    columns = ["operation", "ms"]
+    if has_naive:
+        columns += ["naive ms", "speedup"]
+    table = Table(
+        "T2: operation costs on BN254, pure Python (ms)", columns)
+    for op, label in labels.items():
+        row = {"operation": label, "ms": snapshot["fast_ms"][op]}
+        if has_naive:
+            row["naive ms"] = snapshot["naive_ms"][op]
+            row["speedup"] = f"{snapshot['speedup'][op]:.2f}x"
+        table.add_row(**row)
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per operation (best-of)")
+    parser.add_argument("--skip-naive", action="store_true",
+                        help="skip the seed-equivalent baseline timings")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_t2_ops.json")
+    parser.add_argument("--table", type=pathlib.Path,
+                        default=REPO_ROOT / "benchmarks" / "results"
+                        / "t2_ops.txt")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+
+    snapshot = run_snapshot(args.rounds, include_naive=not args.skip_naive)
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    table = render_table(snapshot)
+    args.table.parent.mkdir(parents=True, exist_ok=True)
+    args.table.write_text(table.render() + "\n")
+    print(table.render())
+    print(f"\nwrote {args.output} and {args.table}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
