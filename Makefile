@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-check smoke
+
+## Full tier-1 suite (both backends).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Protocol-logic tests only (toy backend; seconds, not minutes).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not bn254"
+
+## Regenerate BENCH_t2_ops.json + benchmarks/results/t2_ops.txt.
+bench:
+	$(PYTHON) tools/bench_snapshot.py --rounds 5
+
+## Re-run the micro-benchmarks and fail if any tracked op's speedup
+## regressed >15% vs the committed snapshot (does not overwrite it).
+bench-check:
+	$(PYTHON) tools/bench_snapshot.py --check --rounds 3
+
+## CI smoke target: tier-1 tests plus the perf-regression gate.
+smoke: test bench-check

@@ -173,11 +173,11 @@ class LJYStandardModelScheme:
         crs = self.params.gs.crs_for_message(message)
         nu_z = (random_scalar(order, rng), random_scalar(order, rng))
         nu_r = (random_scalar(order, rng), random_scalar(order, rng))
-        c_z = commit(crs, z, *nu_z)
-        c_r = commit(crs, r, *nu_r)
+        c_z = commit(crs, z, *nu_z, group=self.group)
+        c_r = commit(crs, r, *nu_r, group=self.group)
         proof = prove_linear(
             constants=[self.params.g_z, self.params.g_r],
-            randomness=[nu_z, nu_r])
+            randomness=[nu_z, nu_r], group=self.group)
         return c_z, c_r, proof
 
     def share_sign(self, share: SMPrivateKeyShare, message: bytes,

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from repro.curves import bn254
 from repro.curves.weierstrass import (
-    FieldOps, jac_add, jac_double, jac_eq, jac_neg, jac_normalize,
+    FieldOps, jac_add, jac_batch_normalize, jac_double, jac_eq, jac_neg,
+    jac_normalize,
 )
 from repro.errors import NotOnCurveError, SerializationError
 from repro.math import msm
@@ -30,6 +31,7 @@ FP_OPS = FieldOps(
     eq=lambda a, b: (a - b) % _P == 0,
     zero=0,
     one=1,
+    modulus=_P,
 )
 
 #: Flag bit marking the y-parity in the compressed encoding.
@@ -113,6 +115,26 @@ class G1Point:
         multiplication (shared doubling chain)."""
         return cls(_jac=msm.multi_scalar_mul(
             FP_OPS, [point._jac for point in points], scalars, _R))
+
+    @classmethod
+    def batch_normalize(cls, points) -> None:
+        """Normalize many points to affine with ONE field inversion.
+
+        Mutates only the cached representation (exactly like
+        :meth:`affine`); combiners call it before an MSM so the w-NAF
+        table build starts from affine inputs.
+        """
+        dirty = [
+            point for point in points
+            if not point._affine and not point.is_identity()
+        ]
+        if not dirty:
+            return
+        normalized = jac_batch_normalize(
+            FP_OPS, [point._jac for point in dirty])
+        for point, aff in zip(dirty, normalized):
+            point._jac = (aff[0], aff[1], 1)
+            point._affine = True
 
     def double(self) -> "G1Point":
         return G1Point(_jac=jac_double(FP_OPS, self._jac))

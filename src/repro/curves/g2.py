@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from repro.curves import bn254
 from repro.curves.weierstrass import (
-    FieldOps, jac_add, jac_double, jac_eq, jac_neg, jac_normalize,
-    jac_scalar_mul,
+    FieldOps, jac_add, jac_batch_normalize, jac_double, jac_eq, jac_neg,
+    jac_normalize, jac_scalar_mul,
 )
 from repro.errors import NotOnCurveError, SerializationError
 from repro.math import msm
@@ -118,6 +118,21 @@ class G2Point:
         """One multi-scalar multiplication over the twist."""
         return cls(_jac=msm.multi_scalar_mul(
             FP2_OPS, [point._jac for point in points], scalars, _R))
+
+    @classmethod
+    def batch_normalize(cls, points) -> None:
+        """Normalize many points to affine with ONE F_p2 inversion."""
+        dirty = [
+            point for point in points
+            if not point._affine and not point.is_identity()
+        ]
+        if not dirty:
+            return
+        normalized = jac_batch_normalize(
+            FP2_OPS, [point._jac for point in dirty])
+        for point, aff in zip(dirty, normalized):
+            point._jac = (aff[0], aff[1], F2_ONE)
+            point._affine = True
 
     def double(self) -> "G2Point":
         return G2Point(_jac=jac_double(FP2_OPS, self._jac))

@@ -17,6 +17,8 @@ public messages.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.curves import bn254
@@ -28,9 +30,26 @@ from repro.math.tower import f2_neg, f2_sqrt
 
 _P = bn254.P
 
+#: Module-scope memo for try-and-increment hashing, keyed by
+#: ``(domain, message)``.  Per-instance caches (``ThresholdParams``) die
+#: with their instance; services and tests that rebuild parameters per
+#: request re-hash the same hot messages, so the memo lives here.
+#: Bounded because messages are arbitrary caller input — and sized with
+#: the auto-precompute behaviour in mind: a cached point exponentiated
+#: more than ``_AUTO_PRECOMPUTE_USES`` times grows a ~150 KB fixed-base
+#: table that stays pinned with the cache entry, so the worst case is
+#: limit * ~150 KB of resident tables, not just bare points.
+_HASH_G1_CACHE: "OrderedDict[tuple, G1Point]" = OrderedDict()
+_HASH_G1_CACHE_LIMIT = 256
 
-def hash_to_g1(message: bytes, domain: str = "repro:H:G1") -> G1Point:
-    """Try-and-increment hashing onto the G1 curve."""
+
+def hash_to_g1_uncached(message: bytes,
+                        domain: str = "repro:H:G1") -> G1Point:
+    """Try-and-increment hashing onto the G1 curve (no memo).
+
+    The seed-equivalent code path; ``tools/bench_snapshot.py`` uses it so
+    the naive baseline keeps paying the hashing the caches now avoid.
+    """
     counter = 0
     while True:
         tag = f"{domain}:{counter}"
@@ -43,6 +62,20 @@ def hash_to_g1(message: bytes, domain: str = "repro:H:G1") -> G1Point:
                 y = _P - y
             return G1Point(x, y)
         counter += 1
+
+
+def hash_to_g1(message: bytes, domain: str = "repro:H:G1") -> G1Point:
+    """Try-and-increment hashing onto the G1 curve (memoized)."""
+    key = (domain, message)
+    hit = _HASH_G1_CACHE.get(key)
+    if hit is not None:
+        _HASH_G1_CACHE.move_to_end(key)
+        return hit
+    point = hash_to_g1_uncached(message, domain)
+    _HASH_G1_CACHE[key] = point
+    if len(_HASH_G1_CACHE) > _HASH_G1_CACHE_LIMIT:
+        _HASH_G1_CACHE.popitem(last=False)
+    return point
 
 
 def hash_to_g1_vector(message: bytes, dimension: int,
@@ -78,11 +111,24 @@ def hash_to_g2(message: bytes, domain: str = "repro:H:G2") -> G2Point:
         counter += 1
 
 
+@lru_cache(maxsize=128)
 def derive_generator_g1(label: str) -> G1Point:
-    """Nothing-up-my-sleeve G1 generator with unknown discrete log."""
+    """Nothing-up-my-sleeve G1 generator with unknown discrete log.
+
+    Memoized at module scope: protocol labels form a small fixed set, and
+    returning the *same instance* lets its fixed-base table survive
+    repeated parameter construction.
+    """
     return hash_to_g1(label.encode("utf-8"), domain="repro:params:G1")
 
 
+@lru_cache(maxsize=128)
 def derive_generator_g2(label: str) -> G2Point:
-    """Nothing-up-my-sleeve G2 generator (e.g. the paper's g_r_hat)."""
+    """Nothing-up-my-sleeve G2 generator (e.g. the paper's g_r_hat).
+
+    Memoized at module scope so repeated ``ThresholdParams`` construction
+    reuses one instance — and with it the memoized ``PreparedG2`` line
+    coefficients, instead of re-running try-and-increment, cofactor
+    clearing and Miller-loop preparation per construction.
+    """
     return hash_to_g2(label.encode("utf-8"), domain="repro:params:G2")

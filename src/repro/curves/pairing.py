@@ -34,6 +34,7 @@ GT elements are wrapped in :class:`GTElement` so the protocol layer can use
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.curves import bn254
@@ -42,10 +43,10 @@ from repro.curves.g2 import G2Point
 from repro.math import tower
 from repro.math.tower import (
     ATE_LOOP_COUNT, BN_X, F12_ONE, Fp12Ele, TWIST_FROB_X, TWIST_FROB_X2,
-    TWIST_FROB_Y, TWIST_FROB_Y2, f2_add, f2_conj, f2_eq, f2_inv, f2_mul,
-    f2_mul_scalar, f2_neg, f2_sqr, f2_sub, f12_conj, f12_cyclotomic_pow,
-    f12_eq, f12_frobenius, f12_inv, f12_is_one, f12_mul, f12_mul_line,
-    f12_sqr, wvec_to_f12, F2_ZERO,
+    TWIST_FROB_Y, TWIST_FROB_Y2, cyclotomic_exp, f2_add, f2_conj, f2_eq,
+    f2_inv, f2_mul, f2_mul_scalar, f2_neg, f2_sqr, f2_sub, f12_conj,
+    f12_cyclotomic_pow, f12_cyclotomic_sqr, f12_eq, f12_frobenius, f12_inv,
+    f12_is_one, f12_mul, f12_mul_line, f12_sqr, wvec_to_f12, F2_ZERO,
 )
 
 _P = bn254.P
@@ -154,13 +155,35 @@ class PreparedG2:
         return cls(lines)
 
 
+#: Module-scope preparation cache keyed by the affine coordinates, so that
+#: *different instances* of the same G2 point (deserialized verification
+#: keys, freshly rebuilt ``ThresholdParams``) share one line-coefficient
+#: computation.  Bounded: keys are attacker-influenced in services.
+_PREP_CACHE: "OrderedDict[tuple, PreparedG2]" = OrderedDict()
+_PREP_CACHE_LIMIT = 512
+
+
 def prepare_g2(q: Union[G2Point, PreparedG2]) -> PreparedG2:
-    """Prepare a G2 point for repeated pairing (memoized per point)."""
+    """Prepare a G2 point for repeated pairing.
+
+    Memoized twice: per point instance (free lookups on the hot path) and
+    in a bounded module-scope cache keyed by the affine coordinates, so
+    services that deserialize the same public/verification keys on every
+    request never rebuild the Miller-loop line coefficients.
+    """
     if isinstance(q, PreparedG2):
         return q
     prep = q._prep
     if prep is None:
-        prep = PreparedG2.from_point(q)
+        key = q.affine()
+        prep = _PREP_CACHE.get(key)
+        if prep is not None:
+            _PREP_CACHE.move_to_end(key)
+        else:
+            prep = PreparedG2.from_point(q)
+            _PREP_CACHE[key] = prep
+            if len(_PREP_CACHE) > _PREP_CACHE_LIMIT:
+                _PREP_CACHE.popitem(last=False)
         q._prep = prep
     return prep
 
@@ -181,21 +204,37 @@ def _apply_line(f: Fp12Ele, entry, xp: int, nxp: int, yp: int) -> Fp12Ele:
 
 def _miller_loop_prepared(p_aff, prepared: PreparedG2) -> Fp12Ele:
     """f_{6x+2, Q}(P) from cached line coefficients."""
-    PAIRING_COUNTERS["miller_loops"] += 1
-    xp, yp = p_aff
-    nxp = -xp % _P
-    lines = prepared.lines
-    index = 0
+    return _miller_loop_prepared_multi([(p_aff, prepared)])
+
+
+def _miller_loop_prepared_multi(entries) -> Fp12Ele:
+    """``prod_i f_{6x+2, Q_i}(P_i)`` with ONE shared squaring chain.
+
+    Bilinearity gives ``(prod f_i)^2 = prod f_i^2``, so a product of k
+    Miller loops needs the 64 accumulator squarings only once instead of
+    k times — per extra pairing in a product the marginal cost is just
+    the sparse line multiplications.  Entries are ``(p_aff, PreparedG2)``
+    pairs with neither argument the identity.
+    """
+    PAIRING_COUNTERS["miller_loops"] += len(entries)
+    evaluated = [
+        (xp, -xp % _P, yp, prepared.lines)
+        for (xp, yp), prepared in entries
+    ]
     f = F12_ONE
+    index = 0
     for bit in _LOOP_BITS:
         f = f12_sqr(f)
-        f = _apply_line(f, lines[index], xp, nxp, yp)
+        for xp, nxp, yp, lines in evaluated:
+            f = _apply_line(f, lines[index], xp, nxp, yp)
         index += 1
         if bit:
-            f = _apply_line(f, lines[index], xp, nxp, yp)
+            for xp, nxp, yp, lines in evaluated:
+                f = _apply_line(f, lines[index], xp, nxp, yp)
             index += 1
-    f = _apply_line(f, lines[index], xp, nxp, yp)
-    f = _apply_line(f, lines[index + 1], xp, nxp, yp)
+    for offset in (0, 1):
+        for xp, nxp, yp, lines in evaluated:
+            f = _apply_line(f, lines[index + offset], xp, nxp, yp)
     return f
 
 
@@ -255,9 +294,9 @@ def _hard_part_bn(t1: Fp12Ele) -> Fp12Ele:
     fp = f12_frobenius(t1, 1)
     fp2 = f12_frobenius(t1, 2)
     fp3 = f12_frobenius(fp2, 1)
-    fu = f12_cyclotomic_pow(t1, BN_X)
-    fu2 = f12_cyclotomic_pow(fu, BN_X)
-    fu3 = f12_cyclotomic_pow(fu2, BN_X)
+    fu = cyclotomic_exp(t1, BN_X)
+    fu2 = cyclotomic_exp(fu, BN_X)
+    fu3 = cyclotomic_exp(fu2, BN_X)
     fu2p = f12_frobenius(fu2, 1)
     fu3p = f12_frobenius(fu3, 1)
     y0 = f12_mul(f12_mul(fp, fp2), fp3)
@@ -267,13 +306,13 @@ def _hard_part_bn(t1: Fp12Ele) -> Fp12Ele:
     y4 = f12_conj(f12_mul(fu, fu2p))
     y5 = f12_conj(fu2)
     y6 = f12_conj(f12_mul(fu3, fu3p))
-    t0 = f12_mul(f12_mul(f12_sqr(y6), y4), y5)
+    t0 = f12_mul(f12_mul(f12_cyclotomic_sqr(y6), y4), y5)
     acc = f12_mul(f12_mul(y3, y5), t0)
     t0 = f12_mul(t0, y2)
-    acc = f12_sqr(f12_mul(f12_sqr(acc), t0))
+    acc = f12_cyclotomic_sqr(f12_mul(f12_cyclotomic_sqr(acc), t0))
     t0 = f12_mul(acc, y1)
     acc = f12_mul(acc, y0)
-    return f12_mul(f12_sqr(t0), acc)
+    return f12_mul(f12_cyclotomic_sqr(t0), acc)
 
 
 def final_exponentiation(f: Fp12Ele) -> Fp12Ele:
@@ -293,15 +332,55 @@ def final_exponentiation_naive(f: Fp12Ele) -> Fp12Ele:
 # GT and the public pairing API
 # ---------------------------------------------------------------------------
 
+class GTFixedBaseTable:
+    """Windowed powers of a fixed GT base (``table[i][d] = base^(d*2^{wi})``).
+
+    A multiplication then costs ~ceil(254/window) F_p12 multiplications
+    and **zero** squarings.  The build is ~(2^w - 1) * 254/w products, so
+    it amortizes only for bases exponentiated many times (a pairing value
+    reused across requests); callers opt in via ``GTElement.precompute``.
+    """
+
+    __slots__ = ("window", "tables")
+
+    def __init__(self, value: Fp12Ele, window: int = 4, order: int = _R):
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.tables: List[list] = []
+        base = value
+        for _ in range((order.bit_length() + window - 1) // window):
+            row = [None, base]
+            for _ in range((1 << window) - 2):
+                row.append(f12_mul(row[-1], base))
+            self.tables.append(row)
+            for _ in range(window):
+                base = f12_cyclotomic_sqr(base)
+
+    def pow(self, exponent: int) -> Fp12Ele:
+        result = None
+        mask = (1 << self.window) - 1
+        index = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                entry = self.tables[index][digit]
+                result = entry if result is None else f12_mul(result, entry)
+            exponent >>= self.window
+            index += 1
+        return F12_ONE if result is None else result
+
+
 class GTElement:
     """An element of GT = the order-r subgroup of F_p12*."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_table")
 
     order = _R
 
     def __init__(self, value: Fp12Ele):
         self.value = value
+        self._table = None
 
     @classmethod
     def one(cls) -> "GTElement":
@@ -314,9 +393,17 @@ class GTElement:
         return GTElement(f12_mul(self.value, f12_conj(other.value)))
 
     def __pow__(self, exponent: int) -> "GTElement":
-        # GT elements are cyclotomic, so the NAF ladder with
-        # conjugation-as-inversion applies.
-        return GTElement(f12_cyclotomic_pow(self.value, exponent % _R))
+        # GT elements are cyclotomic, so the compressed-squaring chain
+        # with conjugation-as-inversion applies.
+        if self._table is not None:
+            return GTElement(self._table.pow(exponent % _R))
+        return GTElement(cyclotomic_exp(self.value, exponent % _R))
+
+    def precompute(self, window: int = 4) -> "GTElement":
+        """Build a fixed-base window table for repeated exponentiation."""
+        if self._table is None or self._table.window != window:
+            self._table = GTFixedBaseTable(self.value, window)
+        return self
 
     def inverse(self) -> "GTElement":
         # GT elements are cyclotomic, so conjugation inverts them.
@@ -338,6 +425,56 @@ class GTElement:
         return "GTElement(1)" if self.is_one() else "GTElement(...)"
 
 
+def gt_multi_exp(elements: Sequence[GTElement],
+                 scalars: Sequence[int]) -> GTElement:
+    """``prod_i elements[i] ** scalars[i]`` — one GT multi-exponentiation.
+
+    Interleaved w-NAF sharing a single Granger-Scott squaring chain
+    across all terms, with negative digits served by conjugation (free
+    inversion in the cyclotomic subgroup).  The naive reference is the
+    per-element ``**`` fold the generic backend ``multi_exp`` performs.
+    """
+    from repro.math.msm import wnaf_digits
+
+    if len(elements) != len(scalars):
+        raise ValueError("elements and scalars must have equal length")
+    live = [
+        (element.value, scalar % _R)
+        for element, scalar in zip(elements, scalars)
+        if scalar % _R != 0 and not f12_is_one(element.value)
+    ]
+    if not live:
+        return GTElement.one()
+    if len(live) == 1:
+        return GTElement(cyclotomic_exp(live[0][0], live[0][1]))
+    tables = []
+    digit_rows = []
+    for value, scalar in live:
+        twice = f12_cyclotomic_sqr(value)
+        table = [value]
+        for _ in range(3):
+            table.append(f12_mul(table[-1], twice))
+        tables.append(table)
+        digit_rows.append(wnaf_digits(scalar, 4))
+    length = max(len(row) for row in digit_rows)
+    result = F12_ONE
+    started = False
+    for bit in range(length - 1, -1, -1):
+        if started:
+            result = f12_cyclotomic_sqr(result)
+        for row, table in zip(digit_rows, tables):
+            if bit >= len(row):
+                continue
+            digit = row[bit]
+            if digit > 0:
+                result = f12_mul(result, table[digit >> 1])
+                started = True
+            elif digit < 0:
+                result = f12_mul(result, f12_conj(table[(-digit) >> 1]))
+                started = True
+    return GTElement(result)
+
+
 #: Either source of a pairing's second argument.
 G2Like = Union[G2Point, PreparedG2]
 
@@ -353,28 +490,29 @@ def pairing(p: G1Point, q: G2Like) -> GTElement:
 
 
 def multi_pairing(pairs: Iterable[Tuple[G1Point, G2Like]]) -> GTElement:
-    """Product of pairings with one shared final exponentiation.
+    """Product of pairings with one shared Miller-loop squaring chain
+    and one shared final exponentiation.
 
     ``multi_pairing([(P1, Q1), ..., (Pk, Qk)])`` equals
-    ``prod_i e(Pi, Qi)`` but costs k Miller loops + 1 final exponentiation
-    instead of k of each.  All of the paper's verification equations are
-    products of pairings, so this is the fast path used throughout.  The
-    second slot of each pair may be a :class:`G2Point` (prepared lazily and
-    memoized) or an explicit :class:`PreparedG2`.
+    ``prod_i e(Pi, Qi)`` but interleaves all k Miller loops over a single
+    accumulator (one ``f12_sqr`` per loop bit total, instead of one per
+    pairing) and exponentiates once at the end.  All of the paper's
+    verification equations are products of pairings, so this is the fast
+    path used throughout.  The second slot of each pair may be a
+    :class:`G2Point` (prepared lazily and memoized) or an explicit
+    :class:`PreparedG2`.
     """
-    accumulator = F12_ONE
-    any_term = False
+    entries = []
     for p, q in pairs:
         p_aff = p.affine()
         prepared = prepare_g2(q)
         if p_aff is None or prepared.is_identity:
             continue
-        accumulator = f12_mul(
-            accumulator, _miller_loop_prepared(p_aff, prepared))
-        any_term = True
-    if not any_term:
+        entries.append((p_aff, prepared))
+    if not entries:
         return GTElement.one()
-    return GTElement(final_exponentiation(accumulator))
+    return GTElement(final_exponentiation(
+        _miller_loop_prepared_multi(entries)))
 
 
 def multi_pairing_naive(

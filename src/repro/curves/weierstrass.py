@@ -12,7 +12,13 @@ from typing import Callable, NamedTuple
 
 
 class FieldOps(NamedTuple):
-    """The field operations the curve formulas need."""
+    """The field operations the curve formulas need.
+
+    ``modulus`` is set for prime fields represented by plain ints; the
+    MSM fast paths use it to dispatch to the int-specialized formulas
+    below (no per-operation lambda indirection).  Extension fields leave
+    it None and take the generic path.
+    """
 
     add: Callable
     sub: Callable
@@ -24,6 +30,7 @@ class FieldOps(NamedTuple):
     eq: Callable
     zero: object
     one: object
+    modulus: object = None
 
     def dbl(self, a):
         return self.add(a, a)
@@ -77,6 +84,84 @@ def jac_add(ops: FieldOps, p1, p2):
     return (x3, y3, z3)
 
 
+def jac_add_affine(ops: FieldOps, p1, aff2):
+    """Mixed addition: Jacobian ``p1`` plus an *affine* ``(x2, y2)`` point.
+
+    With Z2 = 1 the two U2/S2 scalings for the second operand vanish
+    (7M + 4S instead of 11M + 5S), which is why the MSM tables and
+    Pippenger inputs are batch-normalized to affine up front.  Handles
+    the degenerate cases (identity accumulator, doubling, inverses).
+    """
+    x2, y2 = aff2
+    x1, y1, z1 = p1
+    if ops.is_zero(z1):
+        return (x2, y2, ops.one)
+    z1z1 = ops.sqr(z1)
+    u2 = ops.mul(x2, z1z1)
+    s2 = ops.mul(ops.mul(y2, z1), z1z1)
+    if ops.eq(u2, x1):
+        if ops.eq(s2, y1):
+            return jac_double(ops, p1)
+        return (ops.one, ops.one, ops.zero)
+    h = ops.sub(u2, x1)
+    hh = ops.sqr(h)
+    i = ops.dbl(ops.dbl(hh))
+    j = ops.mul(h, i)
+    r = ops.dbl(ops.sub(s2, y1))
+    v = ops.mul(x1, i)
+    x3 = ops.sub(ops.sub(ops.sqr(r), j), ops.dbl(v))
+    y3 = ops.sub(ops.mul(r, ops.sub(v, x3)), ops.dbl(ops.mul(y1, j)))
+    z3 = ops.sub(ops.sub(ops.sqr(ops.add(z1, h)), z1z1), hh)
+    return (x3, y3, z3)
+
+
+def jac_double_fp(point, m: int):
+    """Int-specialized :func:`jac_double` for prime fields (coordinates
+    are plain reduced ints).  Used by the MSM fast paths only — the naive
+    reference ladder keeps the generic formulas, so benchmark baselines
+    stay seed-equivalent."""
+    x, y, z = point
+    if z == 0 or y == 0:
+        return (1, 1, 0)
+    a = x * x % m
+    b = y * y % m
+    c = b * b % m
+    t = x + b
+    d = 2 * (t * t - a - c) % m
+    e = 3 * a % m
+    f = e * e % m
+    x3 = (f - 2 * d) % m
+    y3 = (e * (d - x3) - 8 * c) % m
+    z3 = 2 * y * z % m
+    return (x3, y3, z3)
+
+
+def jac_add_affine_fp(p1, aff2, m: int):
+    """Int-specialized :func:`jac_add_affine` for prime fields."""
+    x2, y2 = aff2
+    x1, y1, z1 = p1
+    if z1 == 0:
+        return (x2, y2, 1)
+    z1z1 = z1 * z1 % m
+    u2 = x2 * z1z1 % m
+    s2 = y2 * z1 * z1z1 % m
+    if u2 == x1:
+        if s2 == y1:
+            return jac_double_fp(p1, m)
+        return (1, 1, 0)
+    h = (u2 - x1) % m
+    hh = h * h % m
+    i = 4 * hh % m
+    j = h * i % m
+    r = 2 * (s2 - y1) % m
+    v = x1 * i % m
+    x3 = (r * r - j - 2 * v) % m
+    y3 = (r * (v - x3) - 2 * y1 * j) % m
+    t = z1 + h
+    z3 = (t * t - z1z1 - hh) % m
+    return (x3, y3, z3)
+
+
 def jac_neg(ops: FieldOps, point):
     x, y, z = point
     return (x, ops.neg(y), z)
@@ -103,6 +188,50 @@ def jac_normalize(ops: FieldOps, point):
     z_inv = ops.inv(z)
     z_inv2 = ops.sqr(z_inv)
     return (ops.mul(x, z_inv2), ops.mul(ops.mul(y, z_inv), z_inv2))
+
+
+def jac_batch_normalize(ops: FieldOps, points):
+    """Affine ``(x, y)`` for many Jacobian points with ONE field inversion.
+
+    Montgomery's trick over the Z coordinates: prefix products, a single
+    ``ops.inv`` of the total, then a backwards sweep peeling one inverse
+    per point.  Points at infinity map to None.  An inversion costs tens
+    of multiplications, so normalizing n points costs ~1/n inversions
+    each — this is what lets MSM tables and Pippenger inputs live in
+    affine coordinates cheaply.  Points that are already affine (Z = 1,
+    e.g. pre-normalized by a combiner) skip the Montgomery chain, and a
+    batch with no dirty point performs no inversion at all.
+    """
+    zs = []
+    positions = []
+    out = [None] * len(points)
+    one = ops.one
+    for index, point in enumerate(points):
+        z = point[2]
+        if ops.is_zero(z):
+            continue
+        if z == one or ops.eq(z, one):
+            out[index] = (point[0], point[1])
+            continue
+        zs.append(z)
+        positions.append(index)
+    if not zs:
+        return out
+    prefix = []
+    acc = ops.one
+    for z in zs:
+        acc = ops.mul(acc, z)
+        prefix.append(acc)
+    inv_acc = ops.inv(acc)
+    for i in range(len(zs) - 1, -1, -1):
+        before = prefix[i - 1] if i else ops.one
+        z_inv = ops.mul(before, inv_acc)
+        inv_acc = ops.mul(inv_acc, zs[i])
+        x, y, _z = points[positions[i]]
+        z_inv2 = ops.sqr(z_inv)
+        out[positions[i]] = (
+            ops.mul(x, z_inv2), ops.mul(ops.mul(y, z_inv), z_inv2))
+    return out
 
 
 def jac_eq(ops: FieldOps, p1, p2) -> bool:

@@ -156,9 +156,10 @@ class BilinearGroup(ABC):
                   scalars: Sequence[int]) -> GroupElement:
         """``prod_i bases[i] ** scalars[i]`` — one multi-exponentiation.
 
-        All bases must come from the same group (G, G_hat or G_T).  The
-        default folds naively; backends override with multi-scalar
-        multiplication sharing one doubling chain.
+        All bases must come from the same group — G, G_hat **or G_T**
+        (target-group products appear in GS-proof and LHSPS folding).
+        The default folds naively; backends override with multi-scalar
+        multiplication sharing one doubling/squaring chain per group.
         """
         bases, scalars = self._checked_multi_exp_args(bases, scalars)
         result = None
@@ -166,6 +167,15 @@ class BilinearGroup(ABC):
             term = base ** (scalar % self.order)
             result = term if result is None else result * term
         return result
+
+    def batch_normalize(self, elements: Sequence[GroupElement]) -> None:
+        """Hint that many elements are about to enter hot arithmetic.
+
+        Backends with projective internal representations normalize them
+        together (one shared field inversion) so the follow-up MSM builds
+        its tables from affine inputs; the default is a no-op.  Only
+        cached representation may change — never the group value.
+        """
 
     # -- scalars / deserialization --------------------------------------------
     @abstractmethod

@@ -16,7 +16,9 @@ from repro.curves.g2 import G2Point
 from repro.curves.hash_to_curve import (
     derive_generator_g1, derive_generator_g2, hash_to_g1_vector,
 )
-from repro.curves.pairing import GTElement, multi_pairing, prepare_g2
+from repro.curves.pairing import (
+    GTElement, gt_multi_exp, multi_pairing, prepare_g2,
+)
 from repro.groups.api import BilinearGroup, GroupElement
 from repro.math.rng import random_scalar
 
@@ -109,6 +111,11 @@ class BNGT(GroupElement):
     def exp(self, scalar: int) -> "BNGT":
         return BNGT(self.element ** (scalar % bn254.R))
 
+    def precompute(self, window: int = 4) -> "BNGT":
+        """Build a GT fixed-base window table (zero squarings per exp)."""
+        self.element.precompute(window)
+        return self
+
     def inverse(self) -> "BNGT":
         return BNGT(self.element.inverse())
 
@@ -191,8 +198,9 @@ class BN254Group(BilinearGroup):
         elif isinstance(first, BNG2):
             point_cls, wrapper = G2Point, BNG2
         else:
-            # GT products fall back to the generic fold.
-            return super().multi_exp(bases, scalars)
+            # GT product: one shared cyclotomic-squaring chain.
+            return BNGT(gt_multi_exp(
+                [base.element for base in bases], scalars))
         points = [base.point for base in bases]
         # Bases carrying fixed-base tables multiply faster through them
         # than through a shared doubling chain.
@@ -203,6 +211,14 @@ class BN254Group(BilinearGroup):
                 result = term if result is None else result + term
             return wrapper(result)
         return wrapper(point_cls.multi_mul(points, scalars))
+
+    def batch_normalize(self, elements: Sequence[GroupElement]) -> None:
+        """Normalize the Jacobian representations of many source-group
+        elements with one shared field inversion per group."""
+        G1Point.batch_normalize(
+            [e.point for e in elements if isinstance(e, BNG1)])
+        G2Point.batch_normalize(
+            [e.point for e in elements if isinstance(e, BNG2)])
 
     def random_scalar(self, rng=None) -> int:
         return random_scalar(self.order, rng)

@@ -133,6 +133,9 @@ class ToyGroup(BilinearGroup):
 
     def multi_exp(self, bases: Sequence[ToyElement],
                   scalars: Sequence[int]) -> ToyElement:
+        # Covers all three groups (G, G_hat and G_T): discrete logs make a
+        # multi-exponentiation a dot product, so the toy backend exposes
+        # the same GT multi_exp interface as BN254 for free.
         bases, scalars = self._checked_multi_exp_args(bases, scalars)
         tag = bases[0].tag
         total = 0

@@ -71,10 +71,20 @@ class GSProof:
 
 
 def commit(crs: MessageCRS, value: GroupElement, nu1: int,
-           nu2: int) -> GSCommitment:
-    """``(1, X) * f^{nu1} * f_M^{nu2}``."""
+           nu2: int, group: BilinearGroup | None = None) -> GSCommitment:
+    """``(1, X) * f^{nu1} * f_M^{nu2}``.
+
+    With a ``group`` handle each coordinate is one 2-base
+    multi-exponentiation (shared doubling chain) instead of two ladders
+    and a product.
+    """
     f0, f1 = crs.f
     m0, m1 = crs.f_m
+    if group is not None:
+        return GSCommitment(
+            c0=group.multi_exp([f0, m0], [nu1, nu2]),
+            c1=value * group.multi_exp([f1, m1], [nu1, nu2]),
+        )
     return GSCommitment(
         c0=(f0 ** nu1) * (m0 ** nu2),
         c1=value * (f1 ** nu1) * (m1 ** nu2),
@@ -82,10 +92,22 @@ def commit(crs: MessageCRS, value: GroupElement, nu1: int,
 
 
 def prove_linear(constants: Sequence[GroupElement],
-                 randomness: Sequence[Tuple[int, int]]) -> GSProof:
-    """NIWI proof from the constants and the commitment randomness."""
+                 randomness: Sequence[Tuple[int, int]],
+                 group: BilinearGroup | None = None) -> GSProof:
+    """NIWI proof from the constants and the commitment randomness.
+
+    With a ``group`` handle each proof element is one multi-exponentiation
+    over all constants.
+    """
     if len(constants) != len(randomness):
         raise ParameterError("one randomness pair per committed variable")
+    if group is not None and constants:
+        return GSProof(
+            pi1=group.multi_exp(
+                list(constants), [-nu1 for nu1, _nu2 in randomness]),
+            pi2=group.multi_exp(
+                list(constants), [-nu2 for _nu1, nu2 in randomness]),
+        )
     pi1 = pi2 = None
     for b_hat, (nu1, nu2) in zip(constants, randomness):
         term1 = b_hat ** (-nu1)
@@ -129,16 +151,22 @@ def randomize(group: BilinearGroup, crs: MessageCRS,
     """
     order = group.order
     new_commitments: List[GSCommitment] = []
-    pi1, pi2 = proof.pi1, proof.pi2
     f0, f1 = crs.f
     m0, m1 = crs.f_m
-    for commitment, b_hat in zip(commitments, constants):
-        delta1 = random_scalar(order, rng)
-        delta2 = random_scalar(order, rng)
+    deltas = [
+        (random_scalar(order, rng), random_scalar(order, rng))
+        for _ in commitments
+    ]
+    for commitment, (delta1, delta2) in zip(commitments, deltas):
         new_commitments.append(GSCommitment(
-            c0=commitment.c0 * (f0 ** delta1) * (m0 ** delta2),
-            c1=commitment.c1 * (f1 ** delta1) * (m1 ** delta2),
+            c0=commitment.c0 * group.multi_exp([f0, m0], [delta1, delta2]),
+            c1=commitment.c1 * group.multi_exp([f1, m1], [delta1, delta2]),
         ))
-        pi1 = pi1 * (b_hat ** (-delta1))
-        pi2 = pi2 * (b_hat ** (-delta2))
+    pi1 = proof.pi1
+    pi2 = proof.pi2
+    if deltas:
+        pi1 = pi1 * group.multi_exp(
+            list(constants), [-delta1 for delta1, _delta2 in deltas])
+        pi2 = pi2 * group.multi_exp(
+            list(constants), [-delta2 for _delta1, delta2 in deltas])
     return new_commitments, GSProof(pi1=pi1, pi2=pi2)

@@ -106,29 +106,30 @@ class DPLHSPS(OneTimeLHSPS):
             (random_scalar(self.group.order, rng),
              random_scalar(self.group.order, rng))
             for _ in range(self.dimension))
-        g_ks = tuple(
-            (self.g_z ** chi) * (self.g_r ** gamma) for chi, gamma in pairs)
-        return DPKeyPair(
-            DPPublicKey(self.g_z, self.g_r, g_ks), DPSecretKey(pairs))
+        sk = DPSecretKey(pairs)
+        return DPKeyPair(self.public_key_for(sk), sk)
 
     def public_key_for(self, sk: DPSecretKey) -> DPPublicKey:
-        """Recompute the public key matching ``sk`` (key homomorphism)."""
+        """Recompute the public key matching ``sk`` (key homomorphism).
+
+        Each ``g_hat_k`` is one 2-base multi-exponentiation.
+        """
+        bases = [self.g_z, self.g_r]
         g_ks = tuple(
-            (self.g_z ** chi) * (self.g_r ** gamma)
+            self.group.multi_exp(bases, [chi, gamma])
             for chi, gamma in sk.pairs)
         return DPPublicKey(self.g_z, self.g_r, g_ks)
 
     # -- signing --------------------------------------------------------------
     def sign(self, sk: DPSecretKey,
              message: Sequence[GroupElement]) -> DPSignature:
+        """``z = prod M_k^{-chi_k}``, ``r = prod M_k^{-gamma_k}`` — two
+        N-term multi-exponentiations over the message vector."""
         if len(message) != len(sk.pairs):
             raise ParameterError("message dimension mismatch")
-        z = r = None
-        for m_k, (chi, gamma) in zip(message, sk.pairs):
-            z_term = m_k ** (-chi)
-            r_term = m_k ** (-gamma)
-            z = z_term if z is None else z * z_term
-            r = r_term if r is None else r * r_term
+        bases = list(message)
+        z = self.group.multi_exp(bases, [-chi for chi, _gamma in sk.pairs])
+        r = self.group.multi_exp(bases, [-gamma for _chi, gamma in sk.pairs])
         return DPSignature(z, r)
 
     def verify(self, pk: DPPublicKey, message: Sequence[GroupElement],
@@ -150,11 +151,13 @@ class DPLHSPS(OneTimeLHSPS):
 
 def derive_signature(group: BilinearGroup,
                      terms: Sequence[Tuple[int, DPSignature]]) -> DPSignature:
-    """Convenience SignDerive for (z, r) signatures without a scheme object."""
-    z = r = None
-    for weight, sig in terms:
-        z_term = sig.z ** weight
-        r_term = sig.r ** weight
-        z = z_term if z is None else z * z_term
-        r = r_term if r is None else r * r_term
+    """Convenience SignDerive for (z, r) signatures without a scheme object.
+
+    Each component is one multi-exponentiation over the combination
+    weights ("Lagrange in the exponent" when deriving threshold
+    signatures).
+    """
+    weights = [weight for weight, _sig in terms]
+    z = group.multi_exp([sig.z for _weight, sig in terms], weights)
+    r = group.multi_exp([sig.r for _weight, sig in terms], weights)
     return DPSignature(z, r)

@@ -102,30 +102,30 @@ class SDPLHSPS(OneTimeLHSPS):
              random_scalar(self.group.order, rng),
              random_scalar(self.group.order, rng))
             for _ in range(self.dimension))
-        return SDPKeyPair(self.public_key_for(SDPSecretKey(triples)),
-                          SDPSecretKey(triples))
+        sk = SDPSecretKey(triples)
+        return SDPKeyPair(self.public_key_for(sk), sk)
 
     def public_key_for(self, sk: SDPSecretKey) -> SDPPublicKey:
+        """Both commitment vectors via 2-base multi-exponentiations."""
+        g_bases = [self.g_z, self.g_r]
+        h_bases = [self.h_z, self.h_u]
         g_ks = tuple(
-            (self.g_z ** a) * (self.g_r ** b) for a, b, _c in sk.triples)
+            self.group.multi_exp(g_bases, [a, b]) for a, b, _c in sk.triples)
         h_ks = tuple(
-            (self.h_z ** a) * (self.h_u ** c) for a, _b, c in sk.triples)
+            self.group.multi_exp(h_bases, [a, c]) for a, _b, c in sk.triples)
         return SDPPublicKey(self.g_z, self.g_r, self.h_z, self.h_u,
                             g_ks, h_ks)
 
     # -- signing --------------------------------------------------------------
     def sign(self, sk: SDPSecretKey,
              message: Sequence[GroupElement]) -> SDPSignature:
+        """Three N-term multi-exponentiations over the message vector."""
         if len(message) != len(sk.triples):
             raise ParameterError("message dimension mismatch")
-        z = r = u = None
-        for m_k, (a, b, c) in zip(message, sk.triples):
-            z_term = m_k ** (-a)
-            r_term = m_k ** (-b)
-            u_term = m_k ** (-c)
-            z = z_term if z is None else z * z_term
-            r = r_term if r is None else r * r_term
-            u = u_term if u is None else u * u_term
+        bases = list(message)
+        z = self.group.multi_exp(bases, [-a for a, _b, _c in sk.triples])
+        r = self.group.multi_exp(bases, [-b for _a, b, _c in sk.triples])
+        u = self.group.multi_exp(bases, [-c for _a, _b, c in sk.triples])
         return SDPSignature(z, r, u)
 
     def verify(self, pk: SDPPublicKey, message: Sequence[GroupElement],

@@ -54,16 +54,16 @@ class OneTimeLHSPS(ABC):
     def sign_derive(self, pk, terms: Sequence[Tuple[int, object]]):
         """Signature on ``prod_i M_i^{w_i}`` from signatures on the M_i.
 
-        The template operation: raise each signature component to the
-        coefficient and multiply across terms.
+        The template operation: each of the ns components is one
+        multi-exponentiation over the combination coefficients.
         """
-        components: List[GroupElement] = []
-        for position in range(self.ns):
-            acc = None
-            for weight, signature in terms:
-                piece = signature.components[position] ** weight
-                acc = piece if acc is None else acc * piece
-            components.append(acc)
+        weights = [weight for weight, _signature in terms]
+        components: List[GroupElement] = [
+            self.group.multi_exp(
+                [signature.components[position]
+                 for _weight, signature in terms], weights)
+            for position in range(self.ns)
+        ]
         return self.signature_from_components(components)
 
     @abstractmethod
@@ -76,11 +76,9 @@ class OneTimeLHSPS(ABC):
                          ) -> List[GroupElement]:
         """``prod_i M_i^{w_i}`` componentwise — the derived message."""
         dimension = len(terms[0][1])
-        out = []
-        for k in range(dimension):
-            acc = None
-            for weight, message in terms:
-                piece = message[k] ** weight
-                acc = piece if acc is None else acc * piece
-            out.append(acc)
-        return out
+        weights = [weight for weight, _message in terms]
+        return [
+            group.multi_exp(
+                [message[k] for _weight, message in terms], weights)
+            for k in range(dimension)
+        ]

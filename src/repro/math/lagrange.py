@@ -14,7 +14,8 @@ the same path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.errors import ParameterError
 
@@ -71,6 +72,19 @@ def lagrange_coefficients(indices: Iterable[int], modulus: int,
         i: numerator * inverse % modulus
         for i, numerator, inverse in zip(points, numerators, inverses)
     }
+
+
+@lru_cache(maxsize=1024)
+def lagrange_at_zero(indices: Tuple[int, ...], modulus: int
+                     ) -> Dict[int, int]:
+    """Memoized ``{i: Δ_{i,S}(0)}`` for a signer set given as a tuple.
+
+    Combine re-derives the same coefficient set for every signature
+    produced by a stable quorum; the coefficients depend only on the
+    index set, so they are cached per (sorted) set.  Callers must treat
+    the returned dict as read-only.
+    """
+    return lagrange_coefficients(sorted(indices), modulus)
 
 
 def interpolate_at(shares: Mapping[int, int], modulus: int, x: int = 0) -> int:

@@ -35,6 +35,14 @@ precomputation and memory for fewer additions per scalar.  Defaults (w = 4
 single/fixed-base, c chosen from k for Pippenger) are tuned for 254-bit
 scalars in pure Python, where a Jacobian addition costs ~16 field
 multiplications and interpreter overhead rewards fewer, fatter operations.
+
+**Mixed coordinates** (this PR): every table entry and every Pippenger
+input is batch-normalized to affine with one shared field inversion
+(:func:`~repro.curves.weierstrass.jac_batch_normalize`), so the inner
+loops run mixed Jacobian+affine additions (7M + 4S instead of 11M + 5S —
+~25% off each addition) and affine negation is free (negate y).  The
+pure-Jacobian formulas remain the agreement reference via the naive
+``jac_scalar_mul`` fold the property tests compare against.
 """
 
 from __future__ import annotations
@@ -42,8 +50,25 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.curves.weierstrass import (
-    FieldOps, jac_add, jac_double, jac_neg,
+    FieldOps, jac_add, jac_add_affine, jac_add_affine_fp,
+    jac_batch_normalize, jac_double, jac_double_fp,
 )
+
+
+def _fast_arith(ops: FieldOps):
+    """``(double, mixed_add)`` closures for the inner loops.
+
+    Prime fields carried as plain ints (``ops.modulus`` set) get the
+    specialized formulas with no per-operation lambda dispatch — worth
+    ~2x on the doubling chain in CPython; extension fields take the
+    generic path.
+    """
+    m = ops.modulus
+    if m is not None:
+        return (lambda point: jac_double_fp(point, m),
+                lambda point, aff: jac_add_affine_fp(point, aff, m))
+    return (lambda point: jac_double(ops, point),
+            lambda point, aff: jac_add_affine(ops, point, aff))
 
 
 def wnaf_digits(scalar: int, width: int = 4) -> List[int]:
@@ -74,13 +99,33 @@ def wnaf_digits(scalar: int, width: int = 4) -> List[int]:
 
 
 def _odd_multiples(ops: FieldOps, point, count: int) -> list:
-    """``[P, 3P, 5P, ..., (2*count - 1)P]`` (count entries)."""
+    """``[P, 3P, 5P, ..., (2*count - 1)P]`` (count entries, Jacobian)."""
     multiples = [point]
     if count > 1:
         twice = jac_double(ops, point)
         for _ in range(count - 1):
             multiples.append(jac_add(ops, multiples[-1], twice))
     return multiples
+
+
+def _affine_odd_multiples(ops: FieldOps, points, count: int):
+    """Affine odd-multiple tables for every point, sharing ONE inversion.
+
+    Returns ``(tables, negatives)`` lists-of-lists of affine pairs.  Odd
+    multiples below the (prime) group order are never the identity, so
+    every normalized entry exists.
+    """
+    flat = []
+    for point in points:
+        flat.extend(_odd_multiples(ops, point, count))
+    normalized = jac_batch_normalize(ops, flat)
+    tables = []
+    negatives = []
+    for start in range(0, len(flat), count):
+        row = normalized[start:start + count]
+        tables.append(row)
+        negatives.append([(x, ops.neg(y)) for x, y in row])
+    return tables, negatives
 
 
 def scalar_mul(ops: FieldOps, point, scalar: int, order: int,
@@ -91,15 +136,16 @@ def scalar_mul(ops: FieldOps, point, scalar: int, order: int,
     if scalar == 0 or ops.is_zero(point[2]):
         return infinity
     digits = wnaf_digits(scalar, width)
-    table = _odd_multiples(ops, point, 1 << (width - 2))
-    negatives = [jac_neg(ops, entry) for entry in table]
+    (table,), (negatives,) = _affine_odd_multiples(
+        ops, [point], 1 << (width - 2))
+    double, mixed_add = _fast_arith(ops)
     result = infinity
     for digit in reversed(digits):
-        result = jac_double(ops, result)
+        result = double(result)
         if digit > 0:
-            result = jac_add(ops, result, table[digit >> 1])
+            result = mixed_add(result, table[digit >> 1])
         elif digit < 0:
-            result = jac_add(ops, result, negatives[(-digit) >> 1])
+            result = mixed_add(result, negatives[(-digit) >> 1])
     return result
 
 
@@ -122,42 +168,54 @@ def multi_scalar_mul(ops: FieldOps, points: Sequence, scalars: Sequence[int],
         return (ops.one, ops.one, ops.zero)
     if len(live) == 1:
         return scalar_mul(ops, live[0][0], live[0][1], order)
-    if len(live) <= 32:
+    # Crossover measured on this interpreter with mixed additions: the
+    # shared-inversion affine tables make Straus cheaper than bucketing
+    # until k ~ 200 (Combine and batch Share-Verify all sit below it;
+    # DKG transcript aggregation at n in the hundreds sits above).
+    if len(live) <= 192:
         return _straus(ops, live)
     return _pippenger(ops, live, order.bit_length())
 
 
 def _straus(ops: FieldOps, live, width: int = 4):
-    """Interleaved w-NAF: one shared doubling chain, per-point digit adds."""
-    tables = []
-    negatives = []
-    digit_rows = []
+    """Interleaved w-NAF: one shared doubling chain, per-point digit adds
+    against batch-normalized affine tables."""
     count = 1 << (width - 2)
-    for point, scalar in live:
-        table = _odd_multiples(ops, point, count)
-        tables.append(table)
-        negatives.append([jac_neg(ops, entry) for entry in table])
-        digit_rows.append(wnaf_digits(scalar, width))
+    tables, negatives = _affine_odd_multiples(
+        ops, [point for point, _scalar in live], count)
+    digit_rows = [wnaf_digits(scalar, width) for _point, scalar in live]
     length = max(len(row) for row in digit_rows)
+    double, mixed_add = _fast_arith(ops)
     result = (ops.one, ops.one, ops.zero)
     for bit in range(length - 1, -1, -1):
-        result = jac_double(ops, result)
+        result = double(result)
         for row, table, negs in zip(digit_rows, tables, negatives):
             if bit >= len(row):
                 continue
             digit = row[bit]
             if digit > 0:
-                result = jac_add(ops, result, table[digit >> 1])
+                result = mixed_add(result, table[digit >> 1])
             elif digit < 0:
-                result = jac_add(ops, result, negs[(-digit) >> 1])
+                result = mixed_add(result, negs[(-digit) >> 1])
     return result
 
 
 def _pippenger_window(count: int) -> int:
-    """Bucket width c minimizing ~(254/c) * (count + 2^c) additions."""
+    """Bucket width c minimizing the mixed-coordinate addition cost.
+
+    Per 254/c-bit window the bucket fills are *mixed* additions (~11
+    field multiplications each, inputs are batch-normalized affine) while
+    the running-sum folds and the c doublings stay Jacobian (the fold
+    term is discounted to ~20 per bucket for partially-empty buckets).
+    Calibrated against a measured sweep at real trace sizes — DKG
+    transcript aggregation (``_vk_component``) runs at |Q|(t+1) in the
+    hundreds, where the sweep put the optimum at c = 5-6; the old
+    unit-cost model under-sized the window across that range.
+    """
     best_c, best_cost = 1, None
     for c in range(1, 17):
-        cost = (254 // c + 1) * (count + (1 << c))
+        windows = 254 // c + 1
+        cost = windows * (count * 11 + (1 << c) * 20 + c * 8)
         if best_cost is None or cost < best_cost:
             best_c, best_cost = c, cost
     return best_c
@@ -165,25 +223,35 @@ def _pippenger_window(count: int) -> int:
 
 def _pippenger(ops: FieldOps, live, scalar_bits: int):
     """Bucket MSM: per window, drop points into 2^c - 1 buckets and fold
-    them with the running-sum trick."""
+    them with the running-sum trick.  Inputs are batch-normalized once so
+    every bucket fill is a mixed addition."""
     infinity = (ops.one, ops.one, ops.zero)
+    affine = jac_batch_normalize(ops, [point for point, _scalar in live])
+    live = [
+        (aff, scalar)
+        for aff, (_point, scalar) in zip(affine, live)
+        if aff is not None
+    ]
+    if not live:
+        return infinity
     c = _pippenger_window(len(live))
     mask = (1 << c) - 1
     windows = (scalar_bits + c - 1) // c
+    double, mixed_add = _fast_arith(ops)
     result = infinity
     for w in range(windows - 1, -1, -1):
         if result is not infinity:
             for _ in range(c):
-                result = jac_double(ops, result)
+                result = double(result)
         buckets = [None] * (mask + 1)
         shift = w * c
-        for point, scalar in live:
+        for aff, scalar in live:
             digit = (scalar >> shift) & mask
             if digit == 0:
                 continue
             held = buckets[digit]
-            buckets[digit] = point if held is None else jac_add(
-                ops, held, point)
+            buckets[digit] = (aff[0], aff[1], ops.one) if held is None \
+                else mixed_add(held, aff)
         running = None
         window_sum = None
         for digit in range(mask, 0, -1):
@@ -206,7 +274,11 @@ class FixedBaseTable:
     Stores ``table[i][d] = d * 2^{window * i} * P`` for every window ``i``
     and digit ``d`` in ``[1, 2^window)``; a multiplication then reads one
     entry per window and performs ~ceil(bits/window) - 1 additions, no
-    doublings.  See the module docstring for the amortization math.
+    doublings.  Entries are batch-normalized to **affine** after the
+    build (one shared inversion), so every lookup addition is mixed.
+    Digit multiples of a sub-order point are never the identity (the
+    order is prime), so every entry normalizes.  See the module docstring
+    for the amortization math.
     """
 
     __slots__ = ("ops", "order", "window", "tables", "_infinity")
@@ -218,30 +290,45 @@ class FixedBaseTable:
         self.order = order
         self.window = window
         self._infinity = (ops.one, ops.one, ops.zero)
-        self.tables: List[list] = []
+        if ops.is_zero(point[2]):
+            # Identity base: every multiple is the identity.
+            self.tables = None
+            return
         bits = order.bit_length()
         base = point
+        rows: List[list] = []
         for _ in range((bits + window - 1) // window):
-            row = [None, base]
+            row = [base]
             for _ in range((1 << window) - 2):
                 row.append(jac_add(ops, row[-1], base))
-            self.tables.append(row)
+            rows.append(row)
             for _ in range(window):
                 base = jac_double(ops, base)
+        flat = jac_batch_normalize(
+            ops, [entry for row in rows for entry in row])
+        per_row = (1 << window) - 1
+        self.tables: List[list] = [
+            [None] + flat[start:start + per_row]
+            for start in range(0, len(flat), per_row)
+        ]
 
     def mul(self, scalar: int):
         """``scalar * P`` from the table (scalar reduced modulo the order)."""
         ops = self.ops
         scalar %= self.order
         result = self._infinity
+        if self.tables is None:
+            return result
+        _double, mixed_add = _fast_arith(ops)
         mask = (1 << self.window) - 1
         index = 0
         while scalar:
             digit = scalar & mask
             if digit:
                 entry = self.tables[index][digit]
-                result = entry if result is self._infinity else jac_add(
-                    ops, result, entry)
+                result = (entry[0], entry[1], ops.one) \
+                    if result is self._infinity \
+                    else mixed_add(result, entry)
             scalar >>= self.window
             index += 1
         return result

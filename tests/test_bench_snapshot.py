@@ -36,19 +36,54 @@ def snapshot(tmp_path_factory):
     return json.loads((out_dir / "BENCH_t2_ops.json").read_text())
 
 
-OPS = ["share_sign", "share_verify", "combine_optimistic",
-       "combine_robust", "verify"]
+#: Ops present since the seed (these alone carry seed_reference_ms).
+SEED_OPS = ["share_sign", "share_verify", "combine_optimistic",
+            "combine_robust", "verify"]
+#: Ops added by the extension-tower/batch-verification PR.
+NEW_OPS = ["batch_verify_msg", "gt_exp", "final_exp"]
 
 
 def test_snapshot_records_all_operations(snapshot):
-    for section in ("fast_ms", "naive_ms", "speedup", "seed_reference_ms"):
-        assert set(snapshot[section]) == set(OPS)
+    for section in ("fast_ms", "naive_ms", "speedup"):
+        assert set(snapshot[section]) == set(SEED_OPS + NEW_OPS)
+    assert set(snapshot["seed_reference_ms"]) == set(SEED_OPS)
     assert snapshot["meta"]["backend"] == "bn254"
+    assert snapshot["meta"]["batch_k"] >= 2
 
 
 def test_fast_paths_beat_naive(snapshot):
-    # Loose floors: measured speedups are 2.5x (verify/share-verify) and
-    # ~4.8x (robust combine); anything near 1x means a fast path broke.
+    # Loose floors: measured speedups are 3.6x (verify), 3.2x
+    # (share-verify) and ~5.8x (robust combine); anything near 1x means a
+    # fast path silently fell back to a naive implementation.
     assert snapshot["speedup"]["verify"] >= 1.5
     assert snapshot["speedup"]["share_verify"] >= 1.5
     assert snapshot["speedup"]["combine_robust"] >= 2.0
+    assert snapshot["speedup"]["final_exp"] >= 1.5
+
+
+def test_batch_verify_amortizes_below_single_verify(snapshot):
+    # The acceptance bar is <= 0.5x a single Verify; assert a looser 0.7x
+    # so scheduler noise cannot flake the suite (measured: ~0.1x).
+    assert snapshot["fast_ms"]["batch_verify_msg"] <= \
+        0.7 * snapshot["fast_ms"]["verify"]
+
+
+def test_check_mode_against_committed_snapshot(snapshot, tmp_path):
+    # --check must pass against a committed snapshot equal to the fresh
+    # run, and fail against one with impossible speedups.
+    sys.path.insert(0, str(TOOLS_DIR))
+    try:
+        import bench_snapshot
+    finally:
+        sys.path.remove(str(TOOLS_DIR))
+    committed = tmp_path / "committed.json"
+    committed.write_text(json.dumps(snapshot))
+    assert bench_snapshot.run_check(snapshot, committed) == 0
+    inflated = {
+        "speedup": {op: value * 100
+                    for op, value in snapshot["speedup"].items()}
+    }
+    committed.write_text(json.dumps(inflated))
+    assert bench_snapshot.run_check(snapshot, committed) == 1
+    assert bench_snapshot.run_check(
+        snapshot, tmp_path / "missing.json") == 1

@@ -6,12 +6,14 @@ from hypothesis import strategies as st
 
 from repro.math import tower
 from repro.math.tower import (
-    F2_ONE, F2_ZERO, F6_ONE, F12_ONE, P, XI,
-    f2_add, f2_conj, f2_eq, f2_inv, f2_mul, f2_mul_xi, f2_pow, f2_sqr,
-    f2_sqrt, f2_sub,
+    BN_X, F2_ONE, F2_ZERO, F6_ONE, F12_ONE, P, R, XI,
+    cyclotomic_exp, f2_add, f2_conj, f2_eq, f2_inv, f2_mul, f2_mul_xi,
+    f2_pow, f2_sqr, f2_sqrt, f2_sub,
     f6_add, f6_eq, f6_inv, f6_mul, f6_mul_by_v, f6_sqr, f6_sub,
-    f12_conj, f12_cyclotomic_pow, f12_eq, f12_frobenius, f12_inv,
-    f12_is_one, f12_mul, f12_pow, f12_sqr, f12_to_wvec, wvec_to_f12,
+    f12_compress, f12_compressed_sqr, f12_conj, f12_cyclotomic_pow,
+    f12_cyclotomic_sqr, f12_decompress_batch, f12_eq, f12_frobenius,
+    f12_inv, f12_is_one, f12_mul, f12_pow, f12_sqr, f12_to_wvec,
+    wvec_to_f12,
 )
 
 scalars = st.integers(min_value=0, max_value=P - 1)
@@ -182,3 +184,80 @@ class TestFp12:
     def test_frobenius_bad_power(self):
         with pytest.raises(ValueError):
             f12_frobenius(F12_ONE, 4)
+
+
+def _into_cyclotomic(a):
+    """Map an arbitrary invertible F_p12 element into the cyclotomic
+    subgroup via the easy part of the final exponentiation."""
+    eased = f12_mul(f12_conj(a), f12_inv(a))
+    return f12_mul(f12_frobenius(eased, 2), eased)
+
+
+class TestCyclotomicFastPaths:
+    """Agreement tests for the Granger-Scott / Karabina fast arithmetic
+    against the generic tower operations, on random unitary elements."""
+
+    @given(a=f12_elements)
+    @settings(max_examples=10)
+    def test_cyclotomic_sqr_matches_generic(self, a):
+        try:
+            g = _into_cyclotomic(a)
+        except ZeroDivisionError:
+            return
+        assert f12_eq(f12_cyclotomic_sqr(g), f12_sqr(g))
+
+    @given(a=f12_elements)
+    @settings(max_examples=8)
+    def test_compressed_chain_decompresses(self, a):
+        try:
+            g = _into_cyclotomic(a)
+        except ZeroDivisionError:
+            return
+        chain = f12_compress(g)
+        reference = g
+        compressed_powers = []
+        references = []
+        for _ in range(4):
+            chain = f12_compressed_sqr(chain)
+            reference = f12_sqr(reference)
+            compressed_powers.append(chain)
+            references.append(reference)
+        decompressed = f12_decompress_batch(compressed_powers)
+        assert decompressed is not None
+        for value, expected in zip(decompressed, references):
+            assert f12_eq(value, expected)
+
+    @given(a=f12_elements,
+           e=st.integers(min_value=-(2 ** 70), max_value=2 ** 70))
+    @settings(max_examples=10)
+    def test_cyclotomic_exp_matches_naive_ladder(self, a, e):
+        try:
+            g = _into_cyclotomic(a)
+        except ZeroDivisionError:
+            return
+        assert f12_eq(cyclotomic_exp(g, e), f12_cyclotomic_pow(g, e))
+
+    @given(a=f12_elements)
+    @settings(max_examples=5)
+    def test_cyclotomic_exp_bn_parameter(self, a):
+        # The exponent the final exponentiation actually uses.
+        try:
+            g = _into_cyclotomic(a)
+        except ZeroDivisionError:
+            return
+        assert f12_eq(cyclotomic_exp(g, BN_X), f12_pow(g, BN_X))
+
+    def test_identity_takes_degenerate_fallback(self):
+        # The identity compresses to all zeros (vanishing determinant),
+        # exercising the uncompressed Granger-Scott fallback.
+        assert f12_decompress_batch([f12_compress(F12_ONE)]) is None
+        assert f12_is_one(cyclotomic_exp(F12_ONE, 12345))
+        assert f12_is_one(cyclotomic_exp(F12_ONE, R - 1))
+
+    def test_small_exponents(self):
+        g = _into_cyclotomic(
+            ((( 3, 1), (4, 1), (5, 9)), ((2, 6), (5, 3), (5, 8))))
+        assert f12_is_one(cyclotomic_exp(g, 0))
+        assert f12_eq(cyclotomic_exp(g, 1), g)
+        assert f12_eq(cyclotomic_exp(g, 2), f12_sqr(g))
+        assert f12_eq(cyclotomic_exp(g, -1), f12_conj(g))

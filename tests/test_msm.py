@@ -15,10 +15,15 @@ from repro.curves import bn254
 from repro.curves.g1 import FP_OPS, G1Point
 from repro.curves.g2 import FP2_OPS, G2Point
 from repro.curves.pairing import (
-    PreparedG2, final_exponentiation, final_exponentiation_naive,
-    multi_pairing, multi_pairing_naive, prepare_g2, _miller_loop_naive,
+    GTElement, PreparedG2, final_exponentiation, final_exponentiation_naive,
+    gt_multi_exp, multi_pairing, multi_pairing_naive, prepare_g2,
+    _miller_loop_naive,
 )
-from repro.curves.weierstrass import jac_scalar_mul
+from repro.curves.weierstrass import (
+    jac_add, jac_add_affine, jac_batch_normalize, jac_double,
+    jac_normalize, jac_scalar_mul,
+)
+from repro.math.tower import f12_cyclotomic_pow, f12_pow
 from repro.errors import ParameterError
 from repro.groups import get_group
 from repro.math import msm
@@ -148,6 +153,105 @@ class TestMultiScalarMul:
     def test_length_mismatch_raises(self):
         with pytest.raises(ValueError):
             msm.multi_scalar_mul(FP_OPS, [G1Point.generator()._jac], [1, 2], R)
+
+    def test_colliding_buckets_and_repeated_points(self):
+        # Many copies of the same point with equal scalars force repeated
+        # mixed additions into the same Pippenger bucket, including the
+        # doubling corner case of jac_add_affine.
+        g = G1Point.generator()
+        points = [g] * 12 + [g * 7] * 12 + [-g] * 6
+        scalars = [5] * 12 + [5] * 12 + [5] * 6
+        fast = G1Point(_jac=msm._pippenger(
+            FP_OPS, [(p._jac, s) for p, s in zip(points, scalars)],
+            R.bit_length()))
+        assert fast == self._naive(points, scalars)
+
+    def test_pippenger_opposite_points_cancel(self):
+        # P and -P in the same bucket must fold to the identity.
+        g = G1Point.generator()
+        live = [(g._jac, 3), ((-g)._jac, 3)]
+        result = G1Point(_jac=msm._pippenger(FP_OPS, live, R.bit_length()))
+        assert result.is_identity()
+
+    def test_straus_mixed_matches_naive_with_duplicates(self):
+        rng = random.Random(77)
+        g = G1Point.generator()
+        base = g * 11
+        points = [base, base, -base, g]
+        scalars = random_scalars(rng, 4)
+        assert G1Point.multi_mul(points, scalars) == \
+            self._naive(points, scalars)
+
+
+@pytest.mark.bn254
+class TestMixedAddition:
+    """jac_add_affine against the pure-Jacobian reference formulas."""
+
+    @pytest.mark.parametrize("ops,point_cls", [
+        (FP_OPS, G1Point), (FP2_OPS, G2Point),
+    ], ids=["G1", "G2"])
+    def test_matches_full_addition(self, ops, point_cls):
+        rng = random.Random(50)
+        g = point_cls.generator()
+        for _ in range(5):
+            p = g * rng.randrange(2, R)
+            q = g * rng.randrange(2, R)
+            aff = q.affine()
+            mixed = point_cls(_jac=jac_add_affine(ops, p._jac, aff))
+            assert mixed == p + q
+
+    def test_identity_accumulator(self):
+        g = G1Point.generator() * 9
+        aff = g.affine()
+        result = G1Point(
+            _jac=jac_add_affine(FP_OPS, G1Point.identity()._jac, aff))
+        assert result == g
+
+    def test_doubling_case(self):
+        g = G1Point.generator() * 5
+        aff = g.affine()
+        result = G1Point(_jac=jac_add_affine(FP_OPS, g._jac, aff))
+        assert result == g.double()
+
+    def test_inverse_case_gives_identity(self):
+        g = G1Point.generator() * 5
+        aff = (-g).affine()
+        result = G1Point(_jac=jac_add_affine(FP_OPS, g._jac, aff))
+        assert result.is_identity()
+
+    def test_non_normalized_accumulator(self):
+        # Accumulator with Z != 1 (fresh sum) plus an affine point.
+        g = G1Point.generator()
+        acc = (g * 3)._jac
+        acc = jac_add(FP_OPS, acc, (g * 4)._jac)   # Z != 1 now
+        aff = (g * 6).affine()
+        mixed = G1Point(_jac=jac_add_affine(FP_OPS, acc, aff))
+        assert mixed == g * 13
+
+    def test_batch_normalize_matches_single(self):
+        rng = random.Random(51)
+        g = G1Point.generator()
+        jacs = []
+        for _ in range(6):
+            a = (g * rng.randrange(2, R))._jac
+            b = (g * rng.randrange(2, R))._jac
+            jacs.append(jac_add(FP_OPS, a, b))
+        jacs.append(G1Point.identity()._jac)
+        batch = jac_batch_normalize(FP_OPS, jacs)
+        singles = [jac_normalize(FP_OPS, jac) for jac in jacs]
+        assert batch == singles
+        assert batch[-1] is None
+
+    def test_point_batch_normalize_preserves_value(self):
+        rng = random.Random(52)
+        g = G2Point.generator()
+        points = [g * rng.randrange(2, R) for _ in range(4)]
+        points.append(G2Point.identity())
+        expected = [G2Point(_jac=p._jac) for p in points]
+        G2Point.batch_normalize(points)
+        for point, reference in zip(points, expected):
+            assert point == reference
+            assert point._affine
 
 
 @pytest.mark.bn254
@@ -289,6 +393,102 @@ class TestBackendMultiExp:
         e = bn254_group.pair(
             bn254_group.g1_generator(), bn254_group.g2_generator())
         assert bn254_group.multi_exp([e, e], [2, 3]) == e ** 5
+
+
+@pytest.mark.bn254
+class TestGTFastPaths:
+    """GT multi_exp / fixed-base agreement against the naive ladders."""
+
+    @pytest.fixture(scope="class")
+    def gt_elements(self, bn254_group):
+        g1 = bn254_group.g1_generator()
+        g2 = bn254_group.g2_generator()
+        return [bn254_group.pair(g1 ** k, g2) for k in (1, 5, 9)]
+
+    def test_gt_exp_matches_generic_pow(self, gt_elements):
+        rng = random.Random(60)
+        element = gt_elements[1].element
+        for exponent in [0, 1, 2, R - 1] + [rng.randrange(R)
+                                            for _ in range(3)]:
+            fast = (element ** exponent).value
+            assert f12_eq(fast, f12_pow(element.value, exponent))
+
+    def test_gt_multi_exp_matches_fold(self, bn254_group, gt_elements):
+        from repro.groups.bn254_backend import BNGT
+        rng = random.Random(61)
+        scalars = [rng.randrange(R) for _ in gt_elements]
+        fast = bn254_group.multi_exp(gt_elements, scalars)
+        expected = None
+        for base, scalar in zip(gt_elements, scalars):
+            term = BNGT(GTElement(
+                f12_cyclotomic_pow(base.element.value, scalar)))
+            expected = term if expected is None else expected * term
+        assert fast == expected
+
+    def test_gt_multi_exp_zero_scalars_and_identity(self, bn254_group,
+                                                    gt_elements):
+        identity = bn254_group.gt_identity()
+        result = bn254_group.multi_exp(
+            [gt_elements[0], identity, gt_elements[1]], [0, 55, R])
+        assert result.is_identity()
+
+    def test_gt_multi_exp_negative_digits(self, gt_elements):
+        # Scalars with NAF digits of both signs (conjugation path).
+        a, b = gt_elements[0].element, gt_elements[1].element
+        result = gt_multi_exp([a, b], [R - 3, 7])
+        expected = GTElement(f12_mul(
+            f12_cyclotomic_pow(a.value, R - 3),
+            f12_cyclotomic_pow(b.value, 7)))
+        assert result == expected
+
+    def test_gt_multi_exp_length_mismatch(self, gt_elements):
+        with pytest.raises(ValueError):
+            gt_multi_exp([e.element for e in gt_elements], [1, 2])
+
+    def test_gt_fixed_base_table(self, gt_elements):
+        rng = random.Random(62)
+        plain = gt_elements[2].element
+        primed = GTElement(plain.value).precompute()
+        for exponent in [0, 1, R - 1] + [rng.randrange(R)
+                                         for _ in range(3)]:
+            assert (primed ** exponent) == (GTElement(plain.value)
+                                            ** exponent)
+
+    def test_toy_gt_multi_exp(self, toy_group):
+        g = toy_group.pair(toy_group.g1_generator(),
+                           toy_group.g2_generator())
+        bases = [g ** 3, g ** 8]
+        assert toy_group.multi_exp(bases, [5, 7]) == g ** (15 + 56)
+
+
+@pytest.mark.bn254
+class TestPreparationCaches:
+    def test_prep_shared_across_instances(self):
+        # Two deserialized copies of one point share one PreparedG2 via
+        # the module-scope cache.
+        q = G2Point.generator() * 4321
+        data = q.to_bytes()
+        first = G2Point.from_bytes(data)
+        second = G2Point.from_bytes(data)
+        assert first is not second
+        assert prepare_g2(first) is prepare_g2(second)
+
+    def test_derived_generators_memoized(self):
+        from repro.curves.hash_to_curve import (
+            derive_generator_g1, derive_generator_g2,
+        )
+        assert derive_generator_g1("memo-test") is \
+            derive_generator_g1("memo-test")
+        assert derive_generator_g2("memo-test") is \
+            derive_generator_g2("memo-test")
+
+    def test_lagrange_at_zero_cached(self):
+        from repro.math.lagrange import (
+            lagrange_at_zero, lagrange_coefficients,
+        )
+        cached = lagrange_at_zero((1, 2, 3), 97)
+        assert cached == lagrange_coefficients([1, 2, 3], 97)
+        assert lagrange_at_zero((1, 2, 3), 97) is cached
 
 
 class TestBatchInvert:

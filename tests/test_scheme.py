@@ -246,6 +246,89 @@ class TestBatchShareVerify:
         assert first.to_bytes() == second.to_bytes()
 
 
+class TestCrossMessageBatchVerify:
+    """Adversarial tests for the server-side batch_verify/locate_invalid
+    API: forged signatures must be rejected AND localized."""
+
+    def _batch(self, toy_scheme, toy_keys, count, rng):
+        pk, shares, _vks = toy_keys
+        master = reconstruct_master_key(
+            list(shares.values()), toy_scheme.group.order, toy_scheme.params.t)
+        messages = [b"batch message %d" % i for i in range(count)]
+        signatures = [
+            toy_scheme.sign_with_master(master, message)
+            for message in messages
+        ]
+        return pk, messages, signatures
+
+    def test_valid_batch_accepted(self, toy_scheme, toy_keys, rng):
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 64, rng)
+        assert toy_scheme.batch_verify(pk, messages, signatures, rng=rng)
+        assert toy_scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == []
+
+    def test_one_forgery_in_64_rejected_and_localized(
+            self, toy_scheme, toy_keys, rng):
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 64, rng)
+        forged_at = 41
+        bad = signatures[forged_at]
+        signatures[forged_at] = type(bad)(z=bad.z * bad.z, r=bad.r)
+        assert not toy_scheme.batch_verify(pk, messages, signatures, rng=rng)
+        assert toy_scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == [forged_at]
+
+    def test_multiple_forgeries_all_localized(
+            self, toy_scheme, toy_keys, rng):
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 32, rng)
+        for index in (0, 13, 31):
+            bad = signatures[index]
+            signatures[index] = type(bad)(z=bad.z, r=bad.r * bad.z)
+        assert toy_scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == [0, 13, 31]
+
+    def test_swapped_signatures_detected(self, toy_scheme, toy_keys, rng):
+        # Valid signatures attached to the wrong messages must fail.
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 8, rng)
+        signatures[2], signatures[5] = signatures[5], signatures[2]
+        assert not toy_scheme.batch_verify(pk, messages, signatures, rng=rng)
+        assert toy_scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == [2, 5]
+
+    def test_empty_and_singleton_batches(self, toy_scheme, toy_keys, rng):
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 1, rng)
+        assert toy_scheme.batch_verify(pk, [], [], rng=rng)
+        assert toy_scheme.locate_invalid(pk, [], [], rng=rng) == []
+        assert toy_scheme.batch_verify(pk, messages, signatures, rng=rng)
+        bad = type(signatures[0])(z=signatures[0].r, r=signatures[0].z)
+        assert toy_scheme.locate_invalid(
+            pk, messages, [bad], rng=rng) == [0]
+
+    def test_length_mismatch_raises(self, toy_scheme, toy_keys, rng):
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 2, rng)
+        with pytest.raises(ParameterError):
+            toy_scheme.batch_verify(pk, messages, signatures[:1], rng=rng)
+        with pytest.raises(ParameterError):
+            toy_scheme.locate_invalid(pk, messages[:1], signatures, rng=rng)
+
+    @pytest.mark.bn254
+    def test_forgery_localized_on_real_curve(self, bn254_group, rng):
+        params = ThresholdParams.generate(bn254_group, t=1, n=3)
+        scheme = LJYThresholdScheme(params)
+        pk, shares, vks = scheme.dealer_keygen(rng=rng)
+        messages = [b"bn254 batch %d" % i for i in range(8)]
+        signatures = []
+        for message in messages:
+            partials = [scheme.share_sign(shares[i], message) for i in (1, 2)]
+            signatures.append(
+                scheme.combine(pk, vks, message, partials, rng=rng))
+        assert scheme.batch_verify(pk, messages, signatures, rng=rng)
+        bad = signatures[5]
+        signatures[5] = type(bad)(z=bad.z * bad.z, r=bad.r)
+        assert not scheme.batch_verify(pk, messages, signatures, rng=rng)
+        assert scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == [5]
+
+
 class TestHashMemoization:
     class _CountingGroup:
         """Wrap a backend and count hash_to_g1_vector invocations."""

@@ -2,20 +2,30 @@
 """Machine-readable perf snapshot of the T2 hot-path operations.
 
 Runs the T2-style micro-benchmarks (Share-Sign, Share-Verify, optimistic
-and robust Combine, Verify on BN254 with t=2, n=5) twice: once through the
-current fast paths (prepared pairings, MSM, batch verification, hash
-memoization) and once through the retained seed-equivalent naive
-implementations (inline Miller loops, blind final exponentiation, per-term
-double-and-add, per-share verification).  Because both sides run in the
-same process on the same machine, the resulting speedups are hardware-
-independent and can be asserted by future PRs.
+and robust Combine, Verify, cross-message batch Verify, GT
+exponentiation and the final exponentiation on BN254 with t=2, n=5)
+twice: once through the current fast paths (prepared pairings with a
+shared Miller-loop squaring chain, mixed-coordinate MSM, cyclotomic GT
+arithmetic, batch verification, hash memoization) and once through the
+retained seed-equivalent naive implementations (inline Miller loops,
+blind final exponentiation, per-term double-and-add, per-share and
+per-message verification).  Because both sides run in the same process on
+the same machine, the resulting speedups are hardware-independent and can
+be asserted by future PRs.
 
 Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
 record) and regenerates ``benchmarks/results/t2_ops.txt``.
 
+``--check`` re-runs the micro-benchmarks and fails (exit 1) when any
+tracked op's same-process speedup regresses more than 15% below the
+committed ``BENCH_t2_ops.json`` — the CI guard that a fast path has not
+silently fallen back to a naive implementation.  See
+``benchmarks/README.md`` for the snapshot format and how to add an op.
+
 Usage::
 
-    PYTHONPATH=src python tools/bench_snapshot.py [--rounds N] [--skip-naive]
+    PYTHONPATH=src python tools/bench_snapshot.py [--rounds N]
+        [--skip-naive] [--check]
 """
 
 from __future__ import annotations
@@ -32,19 +42,28 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.tables import Table                       # noqa: E402
 from repro.core.keys import PartialSignature, ThresholdParams  # noqa: E402
-from repro.core.scheme import LJYThresholdScheme           # noqa: E402
+from repro.core.scheme import (                            # noqa: E402
+    LJYThresholdScheme, reconstruct_master_key,
+)
 from repro.curves.g1 import FP_OPS, G1Point                # noqa: E402
-from repro.curves.pairing import multi_pairing_naive       # noqa: E402
+from repro.curves.pairing import (                         # noqa: E402
+    final_exponentiation, final_exponentiation_naive,
+    multi_pairing_naive, prepare_g2, _miller_loop_prepared_multi,
+)
 from repro.curves.weierstrass import jac_scalar_mul        # noqa: E402
 from repro.groups import get_group                         # noqa: E402
 from repro.math.lagrange import lagrange_coefficients      # noqa: E402
+from repro.math.tower import f12_cyclotomic_pow            # noqa: E402
 
 T, N = 2, 5
 MESSAGE = b"benchmark message"
+#: Cross-message batch size for the amortized server-side verification op.
+BATCH_K = 16
 
 #: Seed-commit T2 numbers (benchmarks/results/t2_ops.txt at PR 0), kept for
 #: context only — cross-machine comparisons are apples to oranges, which is
-#: why the JSON also records same-process naive timings.
+#: why the JSON also records same-process naive timings.  Ops introduced
+#: after the seed (batch_verify_msg, gt_exp, final_exp) have no entry.
 SEED_REFERENCE_MS = {
     "share_sign": 8.897,
     "share_verify": 60.183,
@@ -52,6 +71,10 @@ SEED_REFERENCE_MS = {
     "combine_robust": 212.7,
     "verify": 70.336,
 }
+
+#: Tolerated fractional slack before ``--check`` flags a speedup
+#: regression against the committed snapshot.
+CHECK_TOLERANCE = 0.15
 
 
 def timed(fn, rounds):
@@ -78,9 +101,16 @@ class NaiveReference:
         self.params = scheme.params
         self.group = scheme.group
 
-    def _hash(self):
-        return self.group.hash_to_g1_vector(
-            MESSAGE, 2, self.params.hash_domain)
+    def _hash(self, message=MESSAGE):
+        # Bypass the module-scope hash memo: the seed hashed from scratch
+        # on every call, so the naive baseline must too.
+        from repro.curves.hash_to_curve import hash_to_g1_uncached
+        from repro.groups.bn254_backend import BNG1
+        return [
+            BNG1(hash_to_g1_uncached(
+                message, domain=f"repro:{self.params.hash_domain}:{k}"))
+            for k in range(2)
+        ]
 
     def _exp(self, element, scalar):
         # Seed-style double-and-add on the underlying point.
@@ -132,8 +162,8 @@ class NaiveReference:
             r = r_term if r is None else r * r_term
         return z, r
 
-    def verify(self, public_key, signature):
-        h_1, h_2 = self._hash()
+    def verify(self, public_key, signature, message=MESSAGE):
+        h_1, h_2 = self._hash(message)
         p = self.params
         return multi_pairing_naive([
             (signature.z.point, p.g_z.point),
@@ -153,6 +183,24 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     signature = scheme.combine(pk, vks, MESSAGE, partials)
     assert scheme.verify(pk, MESSAGE, signature)
 
+    # Cross-message batch: K distinct messages signed by the master key.
+    master = reconstruct_master_key(
+        list(shares.values()), group.order, T)
+    batch_messages = [b"batch message %d" % i for i in range(BATCH_K)]
+    batch_signatures = [
+        scheme.sign_with_master(master, message)
+        for message in batch_messages
+    ]
+    assert scheme.batch_verify(pk, batch_messages, batch_signatures)
+
+    # GT / final-exponentiation micro-ops share one Miller-loop value.
+    gt_element = group.pair(group.g1_generator(), group.g2_generator())
+    gt_exponent = random.Random(11).randrange(group.order)
+    miller_value = _miller_loop_prepared_multi([
+        (signature.z.point.affine(), prepare_g2(params.g_z.point)),
+        (signature.r.point.affine(), prepare_g2(params.g_r.point)),
+    ])
+
     fast_ms = {
         "share_sign": timed(
             lambda: scheme.share_sign(shares[1], MESSAGE), rounds),
@@ -166,6 +214,14 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             lambda: scheme.combine(pk, vks, MESSAGE, partials), rounds),
         "verify": timed(
             lambda: scheme.verify(pk, MESSAGE, signature), rounds),
+        "batch_verify_msg": timed(
+            lambda: scheme.batch_verify(pk, batch_messages,
+                                        batch_signatures),
+            rounds) / BATCH_K,
+        "gt_exp": timed(
+            lambda: gt_element.element ** gt_exponent, rounds),
+        "final_exp": timed(
+            lambda: final_exponentiation(miller_value), rounds),
     }
 
     snapshot = {
@@ -174,6 +230,7 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             "t": T,
             "n": N,
             "rounds": rounds,
+            "batch_k": BATCH_K,
             "message": MESSAGE.decode(),
             "python": sys.version.split()[0],
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -186,6 +243,11 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
         naive = NaiveReference(scheme)
         assert naive.share_verify(pk, vks[1], partials[0])
         assert naive.verify(pk, signature)
+        assert all(
+            naive.verify(pk, sig, msg)
+            for msg, sig in zip(batch_messages, batch_signatures))
+        naive_gt = f12_cyclotomic_pow(gt_element.element.value, gt_exponent)
+        assert naive_gt == (gt_element.element ** gt_exponent).value
         naive_ms = {
             "share_sign": timed(
                 lambda: naive.share_sign(shares[1]), rounds),
@@ -198,6 +260,19 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
                 lambda: naive.combine(pk, vks, partials,
                                       verify_shares=True), rounds),
             "verify": timed(lambda: naive.verify(pk, signature), rounds),
+            # Seed-equivalent server: one full naive Verify per message.
+            "batch_verify_msg": timed(
+                lambda: all(
+                    naive.verify(pk, sig, msg)
+                    for msg, sig in zip(batch_messages, batch_signatures)),
+                rounds) / BATCH_K,
+            # Seed GT ladder: generic-squaring NAF exponentiation.
+            "gt_exp": timed(
+                lambda: f12_cyclotomic_pow(
+                    gt_element.element.value, gt_exponent), rounds),
+            # Seed final exponentiation: blind 2540-bit hard part.
+            "final_exp": timed(
+                lambda: final_exponentiation_naive(miller_value), rounds),
         }
         snapshot["naive_ms"] = naive_ms
         snapshot["speedup"] = {
@@ -213,6 +288,9 @@ def render_table(snapshot: dict) -> Table:
         "combine_optimistic": f"Combine (t+1 = {T + 1}, optimistic)",
         "combine_robust": "Combine (robust, share-verifying)",
         "verify": "Verify (product of 4 pairings)",
+        "batch_verify_msg": f"Batch-Verify, per message (k = {BATCH_K})",
+        "gt_exp": "GT exponentiation (254-bit)",
+        "final_exp": "Final exponentiation",
     }
     has_naive = "naive_ms" in snapshot
     columns = ["operation", "ms"]
@@ -221,6 +299,8 @@ def render_table(snapshot: dict) -> Table:
     table = Table(
         "T2: operation costs on BN254, pure Python (ms)", columns)
     for op, label in labels.items():
+        if op not in snapshot["fast_ms"]:
+            continue
         row = {"operation": label, "ms": snapshot["fast_ms"][op]}
         if has_naive:
             row["naive ms"] = snapshot["naive_ms"][op]
@@ -229,12 +309,56 @@ def render_table(snapshot: dict) -> Table:
     return table
 
 
+def run_check(snapshot: dict, committed_path: pathlib.Path) -> int:
+    """Compare fresh speedups against the committed snapshot.
+
+    Speedups (naive_ms / fast_ms measured in the same process) are the
+    hardware-independent quantity, so the check ports across machines;
+    raw milliseconds do not.  Fails when any tracked op's fresh speedup
+    drops more than ``CHECK_TOLERANCE`` below the committed one.
+    """
+    if not committed_path.exists():
+        print(f"check: no committed snapshot at {committed_path}")
+        return 1
+    committed = json.loads(committed_path.read_text())
+    tracked = committed.get("speedup", {})
+    if not tracked:
+        print("check: committed snapshot has no speedup section")
+        return 1
+    regressions = []
+    for op, reference in sorted(tracked.items()):
+        fresh = snapshot.get("speedup", {}).get(op)
+        if fresh is None:
+            regressions.append(f"{op}: missing from fresh run")
+            continue
+        floor = reference * (1.0 - CHECK_TOLERANCE)
+        status = "ok" if fresh >= floor else "REGRESSED"
+        print(f"check: {op:20s} committed {reference:6.2f}x  "
+              f"fresh {fresh:6.2f}x  floor {floor:6.2f}x  {status}")
+        if fresh < floor:
+            regressions.append(
+                f"{op}: {fresh:.2f}x < floor {floor:.2f}x "
+                f"(committed {reference:.2f}x)")
+    if regressions:
+        print("\ncheck FAILED:")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print("\ncheck passed: no tracked op regressed "
+          f">{CHECK_TOLERANCE:.0%} vs {committed_path.name}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per operation (best-of)")
     parser.add_argument("--skip-naive", action="store_true",
                         help="skip the seed-equivalent baseline timings")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed snapshot and "
+                        "exit 1 on any >15%% speedup regression (does not "
+                        "overwrite the snapshot)")
     parser.add_argument("--output", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_t2_ops.json")
     parser.add_argument("--table", type=pathlib.Path,
@@ -243,13 +367,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
+    if args.check and args.skip_naive:
+        parser.error("--check needs the naive baselines (drop --skip-naive)")
 
     snapshot = run_snapshot(args.rounds, include_naive=not args.skip_naive)
-    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     table = render_table(snapshot)
+    print(table.render())
+    if args.check:
+        print()
+        return run_check(snapshot, args.output)
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     args.table.parent.mkdir(parents=True, exist_ok=True)
     args.table.write_text(table.render() + "\n")
-    print(table.render())
     print(f"\nwrote {args.output} and {args.table}")
     return 0
 
