@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-check smoke
+.PHONY: test test-fast bench bench-check serve-smoke smoke
 
 ## Full tier-1 suite (both backends).
 test:
@@ -20,5 +20,11 @@ bench:
 bench-check:
 	$(PYTHON) tools/bench_snapshot.py --check --rounds 3
 
-## CI smoke target: tier-1 tests plus the perf-regression gate.
-smoke: test bench-check
+## Boot the async signing service in-process, push 100 requests through
+## the load generator and fail on any rejected-valid request.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
+## CI smoke target: tier-1 tests, the perf-regression gate, and the
+## signing-service contract check.
+smoke: test bench-check serve-smoke

@@ -21,6 +21,11 @@ from repro.groups import get_group
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bn254: tests that run on the real BN254 pairing (slow)")
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -16,15 +16,8 @@ aggregate signature.
 import argparse
 import json
 
-from repro import get_group
+from repro import ServiceHandle, get_group
 from repro.core.aggregation import AggThresholdParams, LJYAggregateScheme
-
-
-def issue(scheme, pk, shares, vks, subject: bytes):
-    """A threshold committee signs a certificate body."""
-    signers = list(shares)[: scheme.params.t + 1]
-    partials = [scheme.share_sign(pk, shares[i], subject) for i in signers]
-    return scheme.combine(pk, vks, subject, partials)
 
 
 def cert_body(subject: str, issuer: str, pubkey_hex: str) -> bytes:
@@ -47,14 +40,17 @@ def main() -> None:
     print("[1/3] Bootstrapping three threshold CA committees (t=1, n=3)")
     committees = {}
     for name in ("root-ca", "intermediate-ca", "issuing-ca"):
+        # Each committee lives behind a ServiceHandle: the facade owns
+        # the quorum policy and sign/verify entry points, so issuing a
+        # certificate below is one call.
         pk, shares, vks = scheme.dealer_keygen()
         assert pk.sanity_check()
-        committees[name] = (pk, shares, vks)
+        committees[name] = ServiceHandle(scheme, pk, shares, vks)
         print(f"      {name}: PK sanity check OK")
 
     print("[2/3] Issuing the certificate chain")
     chain = []
-    root_pk = committees["root-ca"][0]
+    root_pk = committees["root-ca"].public_key
     links = [
         ("root-ca", "root-ca"),                    # self-signed root
         ("intermediate-ca", "root-ca"),
@@ -62,16 +58,13 @@ def main() -> None:
         ("server.example.org", "issuing-ca"),      # end entity
     ]
     for subject, issuer in links:
-        subject_pk = (committees[subject][0].to_bytes().hex()[:24]
+        subject_pk = (committees[subject].public_key.to_bytes().hex()[:24]
                       if subject in committees else "ee-key")
         body = cert_body(subject, issuer, subject_pk)
-        issuer_pk, issuer_shares, issuer_vks = committees[issuer]
-        signature = scheme.combine(
-            issuer_pk, issuer_vks, body,
-            [scheme.share_sign(issuer_pk, issuer_shares[i], body)
-             for i in (1, 2)])
-        assert scheme.verify(issuer_pk, body, signature)
-        chain.append((issuer_pk, signature, body))
+        authority = committees[issuer]
+        signature = authority.sign(body)
+        assert authority.verify(body, signature)
+        chain.append((authority.public_key, signature, body))
         print(f"      {issuer:>15} --signs--> {subject}")
 
     print("[3/3] Compressing the chain into one aggregate signature")

@@ -6,6 +6,11 @@ trusted dealer ever sees the key), then any three of them sign a message
 without talking to each other; a combiner interpolates the partial
 signatures and anyone verifies the 512-bit result.
 
+The whole flow goes through :class:`repro.ServiceHandle` — the supported
+entry point that bundles params, scheme and key material (and that the
+async signing service in ``examples/signing_service_demo.py`` serves
+over batch windows).
+
 Run with the fast algebra backend (default) or the real BN254 pairing:
 
     python examples/quickstart.py
@@ -15,10 +20,7 @@ Run with the fast algebra backend (default) or the real BN254 pairing:
 import argparse
 import time
 
-from repro import (
-    LJYThresholdScheme, ThresholdParams, dkg_result_to_keys, get_group,
-    run_pedersen_dkg,
-)
+from repro import ServiceHandle, get_group
 
 
 def main() -> None:
@@ -33,47 +35,39 @@ def main() -> None:
     args = parser.parse_args()
 
     group = get_group(args.backend)
-    params = ThresholdParams.generate(group, t=args.t, n=args.n)
-    scheme = LJYThresholdScheme(params)
     message = args.message.encode()
 
     print(f"[1/4] Distributed key generation: {args.n} servers, "
           f"threshold {args.t} (backend: {args.backend})")
     start = time.time()
-    results, network = run_pedersen_dkg(
-        group, params.g_z, params.g_r, args.t, args.n)
+    handle, network = ServiceHandle.from_dkg(group, args.t, args.n)
     print(f"      done in {time.time() - start:.2f}s — "
           f"{network.metrics.communication_rounds} communication round(s), "
           f"{network.metrics.total_messages} messages, "
           f"{network.metrics.total_bytes} bytes")
+    print(f"      public key: {handle.public_key.to_bytes().hex()[:32]}…")
 
-    # Every server derives the same public key and verification keys.
-    public_key, _, verification_keys = dkg_result_to_keys(
-        scheme, results[1])
-    shares = {
-        i: dkg_result_to_keys(scheme, results[i])[1] for i in results
-    }
-    print(f"      public key: {public_key.to_bytes().hex()[:32]}…")
-
-    signer_set = list(range(1, args.t + 2))
+    signer_set = handle.quorum()
     print(f"[2/4] Servers {signer_set} each sign locally "
           f"(non-interactive: no server-to-server messages)")
-    partials = [scheme.share_sign(shares[i], message) for i in signer_set]
+    partials = handle.partials_for(message, signer_set)
 
     print("[3/4] Combiner checks each partial signature and interpolates")
+    scheme = handle.scheme
     for partial in partials:
         ok = scheme.share_verify(
-            public_key, verification_keys[partial.index], message, partial)
+            handle.public_key, handle.verification_keys[partial.index],
+            message, partial)
         print(f"      share {partial.index}: "
               f"{'valid' if ok else 'INVALID'}")
-    signature = scheme.combine(public_key, verification_keys, message,
-                               partials)
+    signature = scheme.combine(handle.public_key, handle.verification_keys,
+                               message, partials)
 
     print(f"[4/4] Final signature ({signature.size_bits} bits): "
           f"{signature.to_bytes().hex()[:48]}…")
-    assert scheme.verify(public_key, message, signature)
+    assert handle.verify(message, signature)
     print("      verification: OK")
-    assert not scheme.verify(public_key, b"another message", signature)
+    assert not handle.verify(b"another message", signature)
     print("      verification of a different message: rejected (good)")
 
 

@@ -19,6 +19,12 @@ True
 For the fully distributed path replace ``dealer_keygen`` with
 :func:`repro.dkg.run_pedersen_dkg` /
 :func:`repro.dkg.dkg_result_to_keys` — see ``examples/quickstart.py``.
+
+:class:`repro.ServiceHandle` bundles params/scheme/keys behind the
+task-level entry points (``sign``/``verify`` plus the window-sized batch
+paths), and :mod:`repro.service` serves a handle as a long-lived async
+signing service with batch-window amortization — see
+``examples/signing_service_demo.py``.
 """
 
 from repro.groups import get_group
@@ -26,7 +32,7 @@ from repro.core.keys import (
     PartialSignature, PrivateKeyShare, PublicKey, Signature,
     ThresholdParams, VerificationKey,
 )
-from repro.core.scheme import LJYThresholdScheme
+from repro.core.scheme import LJYThresholdScheme, ServiceHandle
 from repro.core.standard_model import LJYStandardModelScheme, SMParams
 from repro.core.dlin_scheme import DLINParams, LJYDLINScheme
 from repro.core.aggregation import AggThresholdParams, LJYAggregateScheme
@@ -38,7 +44,8 @@ __all__ = [
     "get_group",
     "ThresholdParams", "PublicKey", "PrivateKeyShare", "VerificationKey",
     "PartialSignature", "Signature",
-    "LJYThresholdScheme", "LJYStandardModelScheme", "SMParams",
+    "LJYThresholdScheme", "ServiceHandle",
+    "LJYStandardModelScheme", "SMParams",
     "DLINParams", "LJYDLINScheme",
     "AggThresholdParams", "LJYAggregateScheme",
     "run_pedersen_dkg", "dkg_result_to_keys", "run_refresh",

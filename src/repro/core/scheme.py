@@ -19,7 +19,9 @@ pairings" (Section 3.1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import (
+    Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+)
 
 from repro.core.keys import (
     KeygenOutput, PartialSignature, PrivateKeyShare, PublicKey, Signature,
@@ -344,6 +346,96 @@ class LJYThresholdScheme:
         return bisect(0, len(messages))
 
     # ------------------------------------------------------------------
+    # Window-sized entry points (the serving-layer amortization)
+    # ------------------------------------------------------------------
+    def combine_window(self, public_key: PublicKey,
+                       verification_keys: Mapping[int, VerificationKey],
+                       windows: Sequence[
+                           Tuple[bytes, Sequence[PartialSignature]]],
+                       rng=None) -> Tuple[List[Optional[Signature]],
+                                          List[int]]:
+        """Combine one batch window of ``(message, partials)`` requests.
+
+        Optimistically combines every request without share verification,
+        then checks the whole window with **one** cross-message
+        :meth:`batch_verify` — so a window of k honest requests costs k
+        cheap Lagrange MSMs plus a single multi-pairing instead of k
+        robust Combines.  When the window check fails,
+        :meth:`locate_invalid` bisects to the poisoned requests and only
+        those are re-run through the robust per-share path (which filters
+        the forged partial signatures).
+
+        Returns ``(signatures, flagged)`` where ``flagged`` lists the
+        window positions that needed the robust fallback.  A flagged
+        position whose partials do not contain t+1 valid shares gets
+        ``None`` in the signature list — the caller decides whether to
+        retry with more partial signatures (the service layer does, with
+        the full signer set).
+        """
+        windows = [(message, list(partials))
+                   for message, partials in windows]
+        signatures: List[Optional[Signature]] = []
+        broken: List[int] = []
+        for position, (message, partials) in enumerate(windows):
+            try:
+                signatures.append(self.combine(
+                    public_key, verification_keys, message, partials,
+                    verify_shares=False))
+            except CombineError:
+                # Fewer than t+1 distinct partials even before any
+                # verification: flag the position, don't abort the
+                # window's other requests.
+                signatures.append(None)
+                broken.append(position)
+        combined = [position for position, signature
+                    in enumerate(signatures) if signature is not None]
+        if self.batch_verify(
+                public_key,
+                [windows[position][0] for position in combined],
+                [signatures[position] for position in combined],
+                rng=rng):
+            invalid: List[int] = []
+        else:
+            invalid = [
+                combined[offset] for offset in self.locate_invalid(
+                    public_key,
+                    [windows[position][0] for position in combined],
+                    [signatures[position] for position in combined],
+                    rng=rng)
+            ]
+        if not invalid and not broken:
+            return signatures, []
+        # Only `invalid` positions get the robust retry: a `broken`
+        # position lacks t+1 distinct indices outright, so per-share
+        # filtering (which only shrinks the usable set) cannot save it —
+        # it stays None for the caller's own fallback.
+        for position in invalid:
+            message, partials = windows[position]
+            try:
+                signatures[position] = self.combine(
+                    public_key, verification_keys, message, partials,
+                    verify_shares=True, rng=rng)
+            except CombineError:
+                signatures[position] = None
+        return signatures, sorted(broken + invalid)
+
+    def verify_window(self, public_key: PublicKey,
+                      messages: Sequence[bytes],
+                      signatures: Sequence[Signature],
+                      rng=None) -> List[bool]:
+        """Per-request verdicts for one batch window of verify requests.
+
+        One :meth:`batch_verify` multi-pairing in the all-valid case;
+        :meth:`locate_invalid` bisection otherwise, so a window with few
+        forgeries still amortizes.
+        """
+        if len(messages) != len(signatures):
+            raise ParameterError("need exactly one signature per message")
+        invalid = set(self.locate_invalid(public_key, messages, signatures,
+                                          rng=rng))
+        return [index not in invalid for index in range(len(messages))]
+
+    # ------------------------------------------------------------------
     # Centralized signing (used by tests and the security reductions)
     # ------------------------------------------------------------------
     def sign_with_master(self, master: Tuple[int, int, int, int],
@@ -356,6 +448,162 @@ class LJYThresholdScheme:
         z = self.group.multi_exp(bases, [-a_10, -a_20])
         r = self.group.multi_exp(bases, [-b_10, -b_20])
         return Signature(z=z, r=r)
+
+
+class ServiceHandle:
+    """A facade bundling scheme, keys and quorum policy — the supported
+    entry point for applications and for the async signing service.
+
+    Applications kept re-assembling the same four objects (params,
+    scheme, key shares, verification keys) and re-deriving quorums by
+    hand; the handle owns them and exposes the task-level operations:
+    ``sign`` / ``verify`` for one-off calls, ``sign_window`` /
+    ``verify_window`` for the amortized batch paths the service layer
+    dispatches, and ``partials_for`` for callers that split signing from
+    combining (a shard worker, a distributed combiner).
+
+    The one-off paths (``sign``/``verify``/``partials_for``) work with
+    any scheme following the threshold-signature syntax — the
+    key-prefixed :class:`~repro.core.aggregation.LJYAggregateScheme`
+    (whose ``share_sign`` takes the public key first) is adapted
+    automatically.  The window-sized batch paths require a scheme with
+    ``combine_window``/``verify_window`` (i.e.
+    :class:`LJYThresholdScheme`) and raise :class:`TypeError` otherwise.
+    """
+
+    def __init__(self, scheme, public_key, shares: Mapping[int, "PrivateKeyShare"],
+                 verification_keys: Mapping[int, VerificationKey]):
+        self.scheme = scheme
+        self.public_key = public_key
+        self.shares = dict(shares)
+        self.verification_keys = dict(verification_keys)
+        self._signer_ring = sorted(self.shares)
+        # Aggregate-scheme adaptation: its hash is key-prefixed, so
+        # share_sign takes the public key as leading argument (and its
+        # combine predates the batching coins).
+        import inspect
+        parameters = inspect.signature(scheme.share_sign).parameters
+        self._key_prefixed = len(parameters) == 3
+        self._combine_accepts_rng = (
+            "rng" in inspect.signature(scheme.combine).parameters)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def dealer(cls, group: BilinearGroup, t: int, n: int,
+               rng=None, label: str = "LJY14") -> "ServiceHandle":
+        """Trusted-dealer setup: params + scheme + keys in one call."""
+        params = ThresholdParams.generate(group, t, n, label=label)
+        scheme = LJYThresholdScheme(params)
+        pk, shares, vks = scheme.dealer_keygen(rng=rng)
+        return cls(scheme, pk, shares, vks)
+
+    @classmethod
+    def from_dkg(cls, group: BilinearGroup, t: int, n: int, rng=None,
+                 adversary=None, label: str = "LJY14"):
+        """Fully distributed setup via Pedersen's one-round DKG.
+
+        Returns ``(handle, network)`` — the handle holds every honest
+        player's share (this is a local simulation; a deployment keeps
+        each share on its own server), the network carries the
+        communication metrics.
+        """
+        from repro.dkg import dkg_result_to_keys, run_pedersen_dkg
+        params = ThresholdParams.generate(group, t, n, label=label)
+        scheme = LJYThresholdScheme(params)
+        results, network = run_pedersen_dkg(
+            group, params.g_z, params.g_r, t, n,
+            adversary=adversary, rng=rng)
+        first = next(iter(results))
+        public_key, _, verification_keys = dkg_result_to_keys(
+            scheme, results[first])
+        shares = {
+            index: dkg_result_to_keys(scheme, result)[1]
+            for index, result in results.items()
+        }
+        return cls(scheme, public_key, shares, verification_keys), network
+
+    # -- quorum policy ------------------------------------------------------
+    @property
+    def threshold(self) -> int:
+        return self.scheme.params.t
+
+    def quorum(self, rotation: int = 0) -> List[int]:
+        """A t+1 signer quorum, rotated so load spreads over all servers."""
+        ring = self._signer_ring
+        size = self.threshold + 1
+        start = rotation % len(ring)
+        doubled = ring + ring
+        return doubled[start:start + size]
+
+    # -- signing ------------------------------------------------------------
+    def _share_sign(self, share, message: bytes) -> PartialSignature:
+        if self._key_prefixed:
+            return self.scheme.share_sign(self.public_key, share, message)
+        return self.scheme.share_sign(share, message)
+
+    def partials_for(self, message: bytes,
+                     signers: Optional[Sequence[int]] = None
+                     ) -> List[PartialSignature]:
+        """Partial signatures from ``signers`` (default: the first quorum)."""
+        indices = self.quorum() if signers is None else signers
+        return [
+            self._share_sign(self.shares[index], message)
+            for index in indices
+        ]
+
+    def sign(self, message: bytes,
+             signers: Optional[Sequence[int]] = None,
+             robust: bool = False, rng=None) -> Signature:
+        """Share-sign with a quorum and combine into a full signature."""
+        partials = self.partials_for(message, signers)
+        kwargs = {"rng": rng} if self._combine_accepts_rng else {}
+        if not robust:
+            kwargs["verify_shares"] = False
+        return self.scheme.combine(
+            self.public_key, self.verification_keys, message, partials,
+            **kwargs)
+
+    def sign_window(self, messages: Sequence[bytes],
+                    signers: Optional[Sequence[int]] = None,
+                    rng=None) -> List[Signature]:
+        """Sign a whole batch window with one cross-message check.
+
+        Uses :meth:`LJYThresholdScheme.combine_window`; a request whose
+        quorum contributed a forged partial falls back to a robust
+        combine over **all** n shares, so it still completes whenever
+        t+1 honest servers exist.
+        """
+        if not hasattr(self.scheme, "combine_window"):
+            raise TypeError(
+                f"{type(self.scheme).__name__} has no window-sized entry "
+                "points; use the one-off sign()/verify() paths")
+        indices = self.quorum() if signers is None else list(signers)
+        windows = [
+            (message, self.partials_for(message, indices))
+            for message in messages
+        ]
+        signatures, flagged = self.scheme.combine_window(
+            self.public_key, self.verification_keys, windows, rng=rng)
+        for position in flagged:
+            if signatures[position] is None:
+                signatures[position] = self.sign(
+                    messages[position], signers=self._signer_ring,
+                    robust=True, rng=rng)
+        return signatures
+
+    # -- verification -------------------------------------------------------
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        return self.scheme.verify(self.public_key, message, signature)
+
+    def verify_window(self, messages: Sequence[bytes],
+                      signatures: Sequence[Signature],
+                      rng=None) -> List[bool]:
+        if not hasattr(self.scheme, "verify_window"):
+            raise TypeError(
+                f"{type(self.scheme).__name__} has no window-sized entry "
+                "points; use the one-off sign()/verify() paths")
+        return self.scheme.verify_window(
+            self.public_key, messages, signatures, rng=rng)
 
 
 def random_master_key(group: BilinearGroup,

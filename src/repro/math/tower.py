@@ -224,10 +224,6 @@ def f6_mul_by_v(a: Fp6Ele) -> Fp6Ele:
     return (f2_mul_xi(a[2]), a[0], a[1])
 
 
-def f6_mul_fp2(a: Fp6Ele, k: Fp2Ele) -> Fp6Ele:
-    return (f2_mul(a[0], k), f2_mul(a[1], k), f2_mul(a[2], k))
-
-
 def f6_inv(a: Fp6Ele) -> Fp6Ele:
     """Inversion via the adjugate formula."""
     a0, a1, a2 = a
@@ -259,24 +255,143 @@ def f12_add(a: Fp12Ele, b: Fp12Ele) -> Fp12Ele:
 
 
 def f12_mul(a: Fp12Ele, b: Fp12Ele) -> Fp12Ele:
-    """Karatsuba multiplication (3 F_p6 multiplications)."""
+    """Karatsuba multiplication (3 F_p6 multiplications), int-inlined.
+
+    The three products run through :func:`_f6_mul_int` (defined below)
+    and the v-multiplication/additions stay on plain ints — ``f12_mul``
+    is the workhorse of every GT operation and every Miller-loop
+    accumulator fold, so it gets the same treatment as
+    :func:`f12_sqr`/:func:`f12_mul_line`.
+    """
     a0, a1 = a
     b0, b1 = b
-    t0 = f6_mul(a0, b0)
-    t1 = f6_mul(a1, b1)
-    c0 = f6_add(t0, f6_mul_by_v(t1))
-    c1 = f6_sub(f6_sub(f6_mul(f6_add(a0, a1), f6_add(b0, b1)), t0), t1)
+    t0 = _f6_mul_int(a0, b0)
+    t1 = _f6_mul_int(a1, b1)
+    lhs = (
+        (a0[0][0] + a1[0][0], a0[0][1] + a1[0][1]),
+        (a0[1][0] + a1[1][0], a0[1][1] + a1[1][1]),
+        (a0[2][0] + a1[2][0], a0[2][1] + a1[2][1]),
+    )
+    rhs = (
+        (b0[0][0] + b1[0][0], b0[0][1] + b1[0][1]),
+        (b0[1][0] + b1[1][0], b0[1][1] + b1[1][1]),
+        (b0[2][0] + b1[2][0], b0[2][1] + b1[2][1]),
+    )
+    ts = _f6_mul_int(lhs, rhs)
+    # c0 = t0 + v*t1 with v*(c0, c1, c2) = (xi*c2, c0, c1), xi = 9 + u.
+    c0 = (
+        ((t0[0][0] + 9 * t1[2][0] - t1[2][1]) % P,
+         (t0[0][1] + t1[2][0] + 9 * t1[2][1]) % P),
+        ((t0[1][0] + t1[0][0]) % P, (t0[1][1] + t1[0][1]) % P),
+        ((t0[2][0] + t1[1][0]) % P, (t0[2][1] + t1[1][1]) % P),
+    )
+    c1 = (
+        ((ts[0][0] - t0[0][0] - t1[0][0]) % P,
+         (ts[0][1] - t0[0][1] - t1[0][1]) % P),
+        ((ts[1][0] - t0[1][0] - t1[1][0]) % P,
+         (ts[1][1] - t0[1][1] - t1[1][1]) % P),
+        ((ts[2][0] - t0[2][0] - t1[2][0]) % P,
+         (ts[2][1] - t0[2][1] - t1[2][1]) % P),
+    )
     return (c0, c1)
 
 
+def _f6_mul_int(a: Fp6Ele, b: Fp6Ele) -> Fp6Ele:
+    """Karatsuba F_p6 multiplication fully inlined over base-field ints.
+
+    Accepts unreduced (but single-multiplication-level) coefficients and
+    reduces only the six output ints.  This is the engine behind the
+    int-inlined :func:`f12_sqr`: the Miller-loop accumulator squares once
+    per loop bit, where the call/tuple overhead of composing
+    ``f2_mul``/``f2_mul_xi`` costs as much as the arithmetic itself in
+    CPython (same motivation as :func:`_fp4_sqr`).
+    """
+    (a00, a01), (a10, a11), (a20, a21) = a
+    (b00, b01), (b10, b11), (b20, b21) = b
+    # t_k = a_k * b_k, Karatsuba over F_p2 (u^2 = -1), unreduced.
+    v0 = a00 * b00
+    v1 = a01 * b01
+    t00 = v0 - v1
+    t01 = (a00 + a01) * (b00 + b01) - v0 - v1
+    v0 = a10 * b10
+    v1 = a11 * b11
+    t10 = v0 - v1
+    t11 = (a10 + a11) * (b10 + b11) - v0 - v1
+    v0 = a20 * b20
+    v1 = a21 * b21
+    t20 = v0 - v1
+    t21 = (a20 + a21) * (b20 + b21) - v0 - v1
+    # c0 = t0 + xi * ((a1 + a2)(b1 + b2) - t1 - t2), xi = 9 + u.
+    s0 = a10 + a20
+    s1 = a11 + a21
+    r0 = b10 + b20
+    r1 = b11 + b21
+    v0 = s0 * r0
+    v1 = s1 * r1
+    x0 = v0 - v1 - t10 - t20
+    x1 = (s0 + s1) * (r0 + r1) - v0 - v1 - t11 - t21
+    c00 = (t00 + 9 * x0 - x1) % P
+    c01 = (t01 + x0 + 9 * x1) % P
+    # c1 = (a0 + a1)(b0 + b1) - t0 - t1 + xi * t2.
+    s0 = a00 + a10
+    s1 = a01 + a11
+    r0 = b00 + b10
+    r1 = b01 + b11
+    v0 = s0 * r0
+    v1 = s1 * r1
+    c10 = (v0 - v1 - t00 - t10 + 9 * t20 - t21) % P
+    c11 = ((s0 + s1) * (r0 + r1) - v0 - v1 - t01 - t11 + t20
+           + 9 * t21) % P
+    # c2 = (a0 + a2)(b0 + b2) - t0 - t2 + t1.
+    s0 = a00 + a20
+    s1 = a01 + a21
+    r0 = b00 + b20
+    r1 = b01 + b21
+    v0 = s0 * r0
+    v1 = s1 * r1
+    c20 = (v0 - v1 - t00 - t20 + t10) % P
+    c21 = ((s0 + s1) * (r0 + r1) - v0 - v1 - t01 - t21 + t11) % P
+    return ((c00, c01), (c10, c11), (c20, c21))
+
+
 def f12_sqr(a: Fp12Ele) -> Fp12Ele:
-    """Complex squaring (2 F_p6 multiplications)."""
+    """Complex squaring (2 F_p6 multiplications), int-inlined.
+
+    ``(a0 + a1 w)^2 = (a0 + a1)(a0 + v a1) - t - v t + 2 t w`` with
+    ``t = a0 a1``; the two products go through :func:`_f6_mul_int` and
+    the v-multiplications/additions stay on plain ints so the only
+    reductions are the twelve output coefficients.
+    """
     a0, a1 = a
-    t = f6_mul(a0, a1)
-    c0 = f6_sub(
-        f6_mul(f6_add(a0, a1), f6_add(a0, f6_mul_by_v(a1))),
-        f6_add(t, f6_mul_by_v(t)))
-    c1 = f6_add(t, t)
+    (a10, a11) = a1[0]
+    (a12, a13) = a1[1]
+    (a14, a15) = a1[2]
+    t = _f6_mul_int(a0, a1)
+    # a0 + a1 (unreduced sums are fine: one multiplication level below).
+    lhs = (
+        (a0[0][0] + a10, a0[0][1] + a11),
+        (a0[1][0] + a12, a0[1][1] + a13),
+        (a0[2][0] + a14, a0[2][1] + a15),
+    )
+    # a0 + v * a1 with v * (c0, c1, c2) = (xi*c2, c0, c1), xi = 9 + u.
+    rhs = (
+        (a0[0][0] + 9 * a14 - a15, a0[0][1] + a14 + 9 * a15),
+        (a0[1][0] + a10, a0[1][1] + a11),
+        (a0[2][0] + a12, a0[2][1] + a13),
+    )
+    u = _f6_mul_int(lhs, rhs)
+    t0, t1, t2 = t
+    c0 = (
+        ((u[0][0] - t0[0] - 9 * t2[0] + t2[1]) % P,
+         (u[0][1] - t0[1] - t2[0] - 9 * t2[1]) % P),
+        ((u[1][0] - t1[0] - t0[0]) % P, (u[1][1] - t1[1] - t0[1]) % P),
+        ((u[2][0] - t2[0] - t1[0]) % P, (u[2][1] - t2[1] - t1[1]) % P),
+    )
+    c1 = (
+        ((t0[0] + t0[0]) % P, (t0[1] + t0[1]) % P),
+        ((t1[0] + t1[0]) % P, (t1[1] + t1[1]) % P),
+        ((t2[0] + t2[0]) % P, (t2[1] + t2[1]) % P),
+    )
     return (c0, c1)
 
 
@@ -298,32 +413,103 @@ def _f6_mul_sparse01(a: Fp6Ele, b0: Fp2Ele, b1: Fp2Ele) -> Fp6Ele:
     )
 
 
+def _f6_mul_sparse01_int(a: Fp6Ele, b0: Fp2Ele, b1: Fp2Ele) -> Fp6Ele:
+    """Multiply by the sparse F_p6 element ``b0 + b1*v``, int-inlined.
+
+    Same 5-F_p2-multiplication schedule as :func:`_f6_mul_sparse01` but
+    over plain ints with **no reductions**: callers combine the outputs
+    further before taking a single final ``% P`` per coefficient.
+    """
+    (a00, a01), (a10, a11), (a20, a21) = a
+    b00, b01 = b0
+    b10, b11 = b1
+    # m0 = a0 * b0, m1 = a1 * b1, ms = (a0 + a1)(b0 + b1).
+    v0 = a00 * b00
+    v1 = a01 * b01
+    m00 = v0 - v1
+    m01 = (a00 + a01) * (b00 + b01) - v0 - v1
+    v0 = a10 * b10
+    v1 = a11 * b11
+    m10 = v0 - v1
+    m11 = (a10 + a11) * (b10 + b11) - v0 - v1
+    s0 = a00 + a10
+    s1 = a01 + a11
+    r0 = b00 + b10
+    r1 = b01 + b11
+    v0 = s0 * r0
+    v1 = s1 * r1
+    ms0 = v0 - v1
+    ms1 = (s0 + s1) * (r0 + r1) - v0 - v1
+    # a2 * b1 and a2 * b0.
+    v0 = a20 * b10
+    v1 = a21 * b11
+    x0 = v0 - v1
+    x1 = (a20 + a21) * (b10 + b11) - v0 - v1
+    v0 = a20 * b00
+    v1 = a21 * b01
+    y0 = v0 - v1
+    y1 = (a20 + a21) * (b00 + b01) - v0 - v1
+    # (m0 + xi*(a2 b1), ms - m0 - m1, m1 + a2 b0), xi = 9 + u.
+    return (
+        (m00 + 9 * x0 - x1, m01 + x0 + 9 * x1),
+        (ms0 - m00 - m10, ms1 - m01 - m11),
+        (m10 + y0, m11 + y1),
+    )
+
+
 def f12_mul_line(f: Fp12Ele, l0: Fp2Ele, l1: Fp2Ele,
                  l3: Fp2Ele) -> Fp12Ele:
-    """Multiply by the sparse element ``l0 + l1*w + l3*w^3``.
+    """Multiply by the sparse element ``l0 + l1*w + l3*w^3``, int-inlined.
 
     This is the shape of every Miller-loop line on BN curves (nonzero
     w-vector coefficients at w^0, w^1, w^3 only), so the pairing pays
     ~13 F_p2 multiplications per line instead of the 18 of a full
-    :func:`f12_mul` — fewer still when ``l0`` lies in F_p, which holds for
-    every chord/tangent line (``l0 = (y_P, 0)``).
+    :func:`f12_mul` — fewer still when ``l0`` lies in F_p, which holds
+    for every chord/tangent line (``l0 = (y_P, 0)``).  Like
+    :func:`_fp4_sqr`, the whole schedule runs on plain ints (this is the
+    other per-line hot op of the Miller loop, executed ~90 times per
+    pairing) and each output coefficient is reduced exactly once.
     """
     f0, f1 = f
     if l0[1] == 0:
         scalar = l0[0]
         t0 = (
-            (f0[0][0] * scalar % P, f0[0][1] * scalar % P),
-            (f0[1][0] * scalar % P, f0[1][1] * scalar % P),
-            (f0[2][0] * scalar % P, f0[2][1] * scalar % P),
+            (f0[0][0] * scalar, f0[0][1] * scalar),
+            (f0[1][0] * scalar, f0[1][1] * scalar),
+            (f0[2][0] * scalar, f0[2][1] * scalar),
         )
     else:
-        t0 = f6_mul_fp2(f0, l0)
-    t1 = _f6_mul_sparse01(f1, l1, l3)
-    tsum = _f6_mul_sparse01(f6_add(f0, f1), f2_add(l0, l1), l3)
-    return (
-        f6_add(t0, f6_mul_by_v(t1)),
-        f6_sub(f6_sub(tsum, t0), t1),
+        l00, l01 = l0
+        t0 = []
+        for c0, c1 in f0:
+            v0 = c0 * l00
+            v1 = c1 * l01
+            t0.append((v0 - v1, (c0 + c1) * (l00 + l01) - v0 - v1))
+        t0 = tuple(t0)
+    t1 = _f6_mul_sparse01_int(f1, l1, l3)
+    fsum = (
+        (f0[0][0] + f1[0][0], f0[0][1] + f1[0][1]),
+        (f0[1][0] + f1[1][0], f0[1][1] + f1[1][1]),
+        (f0[2][0] + f1[2][0], f0[2][1] + f1[2][1]),
     )
+    tsum = _f6_mul_sparse01_int(
+        fsum, (l0[0] + l1[0], l0[1] + l1[1]), l3)
+    # out0 = t0 + v*t1 with v*(c0, c1, c2) = (xi*c2, c0, c1).
+    out0 = (
+        ((t0[0][0] + 9 * t1[2][0] - t1[2][1]) % P,
+         (t0[0][1] + t1[2][0] + 9 * t1[2][1]) % P),
+        ((t0[1][0] + t1[0][0]) % P, (t0[1][1] + t1[0][1]) % P),
+        ((t0[2][0] + t1[1][0]) % P, (t0[2][1] + t1[1][1]) % P),
+    )
+    out1 = (
+        ((tsum[0][0] - t0[0][0] - t1[0][0]) % P,
+         (tsum[0][1] - t0[0][1] - t1[0][1]) % P),
+        ((tsum[1][0] - t0[1][0] - t1[1][0]) % P,
+         (tsum[1][1] - t0[1][1] - t1[1][1]) % P),
+        ((tsum[2][0] - t0[2][0] - t1[2][0]) % P,
+         (tsum[2][1] - t0[2][1] - t1[2][1]) % P),
+    )
+    return (out0, out1)
 
 
 def f12_inv(a: Fp12Ele) -> Fp12Ele:
@@ -595,15 +781,56 @@ def _cyclotomic_exp_gs(a: Fp12Ele, naf: Sequence[int]) -> Fp12Ele:
     return result
 
 
+def _cyclotomic_exp_wnaf(a: Fp12Ele, e: int) -> Fp12Ele:
+    """Dense-exponent ladder: width-4 w-NAF over Granger-Scott squarings.
+
+    Three multiplications build the odd-power table a, a^3, a^5, a^7
+    (negative digits are conjugations), then ~1 multiplication per 5
+    squarings.  For a full 254-bit exponent this beats the Karabina
+    compressed chain because a *dense* NAF forces a decompression solve
+    for every nonzero digit, which costs more than the squaring savings.
+    """
+    from repro.math.msm import wnaf_digits
+
+    twice = f12_cyclotomic_sqr(a)
+    table = [a]
+    for _ in range(3):
+        table.append(f12_mul(table[-1], twice))
+    result = None
+    for digit in reversed(wnaf_digits(e, 4)):
+        if result is not None:
+            result = f12_cyclotomic_sqr(result)
+        if digit > 0:
+            entry = table[digit >> 1]
+            result = entry if result is None else f12_mul(result, entry)
+        elif digit < 0:
+            entry = f12_conj(table[(-digit) >> 1])
+            result = entry if result is None else f12_mul(result, entry)
+    return F12_ONE if result is None else result
+
+
+#: A NAF sparser than one nonzero digit per this many bits goes through
+#: the Karabina compressed chain; denser exponents take the w-NAF
+#: Granger-Scott ladder.  The BN final-exponentiation parameter (NAF
+#: weight 24 over 63 bits) and random 254-bit exponents (weight ~85)
+#: both sit on the w-NAF side; the compressed chain wins for the very
+#: sparse exponents of small-exponent batching and subgroup-check
+#: tricks, where almost no digit forces a decompression solve.
+_COMPRESSED_SPARSITY = 8
+
+
 def cyclotomic_exp(a: Fp12Ele, e: int) -> Fp12Ele:
     """Fast exponentiation in the cyclotomic subgroup.
 
-    Recodes the exponent in NAF, runs the squaring chain on *compressed*
-    coordinates, batch-decompresses the powers that NAF digits actually
-    reference (one shared F_p2 inversion) and multiplies them together —
-    negative digits cost a conjugation.  Agreement baseline:
-    :func:`f12_cyclotomic_pow`.  Undefined outside the cyclotomic
-    subgroup, exactly like the naive ladder.
+    Recodes the exponent in NAF and picks the chain by digit density:
+    dense exponents run width-4 w-NAF over Granger-Scott squarings
+    (:func:`_cyclotomic_exp_wnaf`); sparse ones run the squaring chain
+    on *compressed* Karabina coordinates, batch-decompress the few
+    powers the NAF digits actually reference (one shared F_p2 inversion)
+    and multiply them together — negative digits cost a conjugation
+    either way.  Agreement baseline: :func:`f12_cyclotomic_pow`.
+    Undefined outside the cyclotomic subgroup, exactly like the naive
+    ladder.
     """
     if e < 0:
         return cyclotomic_exp(f12_conj(a), -e)
@@ -612,6 +839,9 @@ def cyclotomic_exp(a: Fp12Ele, e: int) -> Fp12Ele:
     naf = _naf_digits(e)
     if len(naf) == 1:
         return a
+    nonzero = sum(1 for digit in naf if digit)
+    if nonzero * _COMPRESSED_SPARSITY > len(naf):
+        return _cyclotomic_exp_wnaf(a, e)
     chain = f12_compress(a)
     needed = {}
     for position in range(1, len(naf)):

@@ -24,6 +24,8 @@ def estimate_size(payload) -> int:
         return 1
     if isinstance(payload, int):
         return 32
+    if isinstance(payload, float):
+        return 8
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):
@@ -46,6 +48,31 @@ def estimate_size(payload) -> int:
             estimate_size(getattr(payload, s)) for s in slots
             if hasattr(payload, s))
     raise TypeError(f"cannot estimate wire size of {type(payload)!r}")
+
+
+@dataclass
+class TrafficCounter:
+    """Message/byte accounting for a request stream.
+
+    The protocol simulator counts per-round traffic via
+    :class:`NetworkMetrics`; long-lived services have no rounds, so they
+    meter each direction (ingress requests, egress results) with one of
+    these.  Sizes come from the same :func:`estimate_size` accounting the
+    simulator uses, so service telemetry and protocol tables report
+    comparable bytes.
+    """
+
+    messages: int = 0
+    bytes_total: int = 0
+
+    def record(self, payload) -> int:
+        size = estimate_size(payload)
+        self.messages += 1
+        self.bytes_total += size
+        return size
+
+    def summary(self) -> Dict[str, int]:
+        return {"messages": self.messages, "bytes": self.bytes_total}
 
 
 @dataclass

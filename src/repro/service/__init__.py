@@ -1,0 +1,51 @@
+"""Async threshold-signing service: sharded request pipeline with
+batch-window amortization.
+
+PRs 1-2 made the cryptography fast in *batch* form (`batch_verify`,
+batch Share-Verify, MSM Combine) but every caller still drove the scheme
+one request at a time, so none of the amortization was realized end to
+end.  This package turns the scheme into a long-lived server in the
+Thetacrypt mold:
+
+* :class:`~repro.service.frontend.SigningService` — the asyncio frontend
+  accepting sign/verify requests with admission control and
+  backpressure: a bounded per-shard queue, load shedding with typed
+  errors (:class:`~repro.service.types.ServiceOverloadedError`).
+* :class:`~repro.service.accumulator.BatchAccumulator` — closes a batch
+  window on ``max_batch`` requests or ``max_wait_ms`` elapsed, whichever
+  comes first, so latency is bounded while full windows pay one
+  amortized crypto call for the whole batch.
+* :class:`~repro.service.shards.ShardPool` — partitions signer quorums
+  and request traffic across N workers by consistent hashing on the
+  message digest; per-shard stats.
+* :class:`~repro.service.loadgen.LoadGenerator` — open-loop Poisson
+  arrivals and closed-loop concurrency, reporting p50/p99 latency and
+  throughput.
+* :mod:`~repro.service.faults` — failure injection: a shard returning
+  forged partial signatures exercises ``locate_invalid`` bisection and
+  the robust per-share fallback without poisoning neighbors in the same
+  window.
+
+Everything here is plain asyncio over the in-process scheme — the
+network is simulated away, the scheduling policy and the amortization
+are real.
+"""
+
+from repro.service.accumulator import BatchAccumulator
+from repro.service.faults import CorruptSignerFault
+from repro.service.frontend import ServiceConfig, SigningService
+from repro.service.loadgen import LoadGenerator, LoadReport
+from repro.service.shards import HashRing, ShardPool
+from repro.service.types import (
+    RequestFailedError, ServiceClosedError, ServiceError,
+    ServiceOverloadedError, ServiceStats, ShardStats, SignResult,
+    VerifyResult,
+)
+
+__all__ = [
+    "BatchAccumulator", "CorruptSignerFault", "HashRing",
+    "LoadGenerator", "LoadReport", "RequestFailedError", "ServiceClosedError",
+    "ServiceConfig", "ServiceError", "ServiceOverloadedError", "ServiceStats",
+    "ShardPool", "ShardStats", "SigningService", "SignResult",
+    "VerifyResult",
+]

@@ -1,0 +1,61 @@
+"""The batch-window accumulator.
+
+A window closes on whichever trigger fires first:
+
+* ``max_batch`` requests have been collected (a *full* window — the best
+  amortization the crypto layer offers), or
+* ``max_wait_ms`` has elapsed since the **first** request of the window
+  (the latency bound: a lone request never waits longer than one window).
+
+This is the standard batching trade-off dial: ``max_wait_ms = 0``
+degenerates to single-request dispatch, large values approach pure
+throughput mode.  The accumulator never holds an empty window open — it
+blocks until a first request arrives, so an idle service burns no CPU.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Generic, List, TypeVar
+
+T = TypeVar("T")
+
+
+class BatchAccumulator(Generic[T]):
+    """Collects items from an :class:`asyncio.Queue` into windows."""
+
+    def __init__(self, queue: "asyncio.Queue[T]", max_batch: int,
+                 max_wait_ms: float):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+
+    async def next_window(self) -> List[T]:
+        """Block for the next non-empty window.
+
+        Greedily drains whatever is already queued (requests that
+        arrived while the worker was busy crypto-crunching the previous
+        window form the next one immediately — under sustained load the
+        window fills without ever sleeping), then waits out the
+        remainder of the time budget for stragglers.
+        """
+        window: List[T] = [await self.queue.get()]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_wait_ms / 1000.0
+        while len(window) < self.max_batch:
+            try:
+                window.append(self.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    window.append(
+                        await asyncio.wait_for(self.queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+        return window

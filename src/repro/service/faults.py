@@ -1,0 +1,50 @@
+"""Failure injection for the signing service.
+
+A fault injector is any callable
+
+    inject(shard_id, signer_index, message, partial) -> partial
+
+applied to every partial signature a shard worker produces.  Returning a
+different :class:`~repro.core.keys.PartialSignature` models a
+compromised or buggy signer/shard; returning the input unchanged models
+honesty.  The service applies the injector on the fallback path too —
+robustness must come from ``locate_invalid`` + per-share filtering, not
+from the fault conveniently disappearing on retry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.core.keys import PartialSignature
+
+
+class CorruptSignerFault:
+    """Forge the partial signatures of one signer on one shard.
+
+    The forged partial is ``(z^2, r)`` — a well-formed group element
+    pair that fails Share-Verify, i.e. an adversarial contribution
+    rather than a transport error.  ``shard_id=None`` corrupts the
+    signer on every shard (a compromised server); ``messages`` restricts
+    the fault to specific messages (a targeted attack).
+    """
+
+    def __init__(self, signer_index: int, shard_id: Optional[int] = None,
+                 messages: Optional[Set[bytes]] = None):
+        self.signer_index = signer_index
+        self.shard_id = shard_id
+        self.messages = messages
+        #: Every (shard, message) pair actually corrupted, for tests.
+        self.injected: Set[Tuple[int, bytes]] = set()
+
+    def __call__(self, shard_id: int, signer_index: int, message: bytes,
+                 partial: PartialSignature) -> PartialSignature:
+        if signer_index != self.signer_index:
+            return partial
+        if self.shard_id is not None and shard_id != self.shard_id:
+            return partial
+        if self.messages is not None and message not in self.messages:
+            return partial
+        self.injected.add((shard_id, message))
+        return PartialSignature(
+            index=partial.index, z=partial.z * partial.z, r=partial.r)

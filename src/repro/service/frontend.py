@@ -1,0 +1,150 @@
+"""The service frontend: admission control, backpressure, lifecycle.
+
+``SigningService`` is the single entry point: ``await service.sign(msg)``
+/ ``await service.verify(msg, sig)`` from any number of client
+coroutines.  Admission is O(1): route by consistent hash, try a
+non-blocking put into the shard's bounded queue, and either return a
+future or shed the request with a typed
+:class:`~repro.service.types.ServiceOverloadedError` — the service never
+buffers unboundedly and never blocks the caller on a full queue
+(backpressure is explicit, so an open-loop client sees rejections rather
+than silently growing latency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.keys import Signature
+from repro.core.scheme import ServiceHandle
+from repro.service.shards import ShardPool
+from repro.service.types import (
+    PendingRequest, RequestKind, ServiceClosedError, ServiceOverloadedError,
+    ServiceStats, SignResult, VerifyResult,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Scheduling policy knobs.
+
+    * ``num_shards`` — worker count; traffic partitions by consistent
+      hashing on the message digest.
+    * ``max_batch`` / ``max_wait_ms`` — the batch-window close triggers
+      (count or age, whichever first).
+    * ``queue_depth`` — per-shard admission bound; beyond it requests
+      are shed with :class:`ServiceOverloadedError`.
+    """
+
+    num_shards: int = 2
+    max_batch: int = 16
+    max_wait_ms: float = 5.0
+    queue_depth: int = 256
+    #: Optional fault injector (see :mod:`repro.service.faults`).
+    fault_injector: Optional[Callable] = None
+    #: RNG driving the small-exponent batching coins (tests pin it).
+    rng: Optional[object] = None
+
+
+class SigningService:
+    """Long-lived async facade over a :class:`ServiceHandle`."""
+
+    def __init__(self, handle: ServiceHandle,
+                 config: Optional[ServiceConfig] = None):
+        self.handle = handle
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._pool: Optional[ShardPool] = None
+        self._outstanding = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._pool is not None
+
+    async def start(self) -> None:
+        if self.running:
+            raise ServiceClosedError("service already started")
+        config = self.config
+        self._pool = ShardPool(
+            self.handle, config.num_shards, config.max_batch,
+            config.max_wait_ms, config.queue_depth,
+            fault_injector=config.fault_injector, rng=config.rng)
+        self._pool.start()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: finish every accepted request, then halt."""
+        if not self.running:
+            return
+        pool, self._pool = self._pool, None   # reject new admissions now
+        while self._outstanding:
+            await asyncio.sleep(0.001)
+        await pool.stop()
+        self.stats.shards = pool.stats()
+
+    async def __aenter__(self) -> "SigningService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- admission ----------------------------------------------------------
+    def _admit(self, request: PendingRequest) -> None:
+        if not self.running:
+            raise ServiceClosedError("service is not running")
+        worker = self._pool.worker_for(request.message)
+        try:
+            worker.queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise ServiceOverloadedError(
+                worker.shard_id, worker.queue.qsize()) from None
+        self.stats.accepted += 1
+        self._outstanding += 1
+        request.future.add_done_callback(self._on_done)
+
+    def _on_done(self, future: asyncio.Future) -> None:
+        self._outstanding -= 1
+        if future.cancelled() or future.exception() is not None:
+            self.stats.failed += 1
+        else:
+            self.stats.completed += 1
+            self.stats.egress.record(future.result())
+
+    # -- the request API ----------------------------------------------------
+    async def sign(self, message: bytes) -> SignResult:
+        """Request a full threshold signature on ``message``.
+
+        Raises :class:`ServiceOverloadedError` (shed at admission),
+        :class:`ServiceClosedError`, or :class:`RequestFailedError`
+        (fewer than t+1 valid shares even via the robust fallback).
+        """
+        loop = asyncio.get_running_loop()
+        request = PendingRequest(
+            kind=RequestKind.SIGN, message=message,
+            enqueued_at=loop.time(), future=loop.create_future())
+        self.stats.ingress.record(message)
+        self._admit(request)
+        return await request.future
+
+    async def verify(self, message: bytes,
+                     signature: Signature) -> VerifyResult:
+        """Request verification of ``(message, signature)``."""
+        loop = asyncio.get_running_loop()
+        request = PendingRequest(
+            kind=RequestKind.VERIFY, message=message,
+            enqueued_at=loop.time(), future=loop.create_future(),
+            signature=signature)
+        self.stats.ingress.record((message, signature))
+        self._admit(request)
+        return await request.future
+
+    # -- telemetry ----------------------------------------------------------
+    def snapshot_stats(self) -> ServiceStats:
+        """Current stats (shard breakdown live while running)."""
+        if self._pool is not None:
+            self.stats.shards = self._pool.stats()
+        return self.stats

@@ -1,0 +1,146 @@
+"""Client-side load generation and latency measurement.
+
+Two classic load models:
+
+* **closed loop** — ``concurrency`` virtual clients, each issuing its
+  next request the moment the previous one completes.  Offered load
+  adapts to service speed; this is the model that fills batch windows
+  deterministically and measures peak throughput.
+* **open loop** — Poisson arrivals at ``rate_rps``, independent of
+  completions (the "millions of users" model: users do not wait for each
+  other).  Under overload the bounded queues shed requests, which the
+  report counts rather than hides.
+
+Latency is measured per request from submission to completion and
+reported as p50/p99/mean plus throughput over the wall-clock span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, List, Optional
+
+from repro.service.types import (
+    RequestFailedError, ServiceOverloadedError, VerifyResult,
+)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The q-th percentile (0 < q <= 100) by the nearest-rank method."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    sent: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    invalid: int = 0
+    duration_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_ms, 50)
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_ms, 99)
+
+    @property
+    def mean_ms(self) -> float:
+        return (sum(self.latencies_ms) / len(self.latencies_ms)
+                if self.latencies_ms else float("nan"))
+
+    def summary(self) -> dict:
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "invalid": self.invalid,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+#: A workload maps the request ordinal to an awaitable service call.
+Workload = Callable[[int], Awaitable[object]]
+
+
+class LoadGenerator:
+    """Drives a workload against the service and measures it."""
+
+    def __init__(self, workload: Workload, rng: Optional[random.Random] = None):
+        self.workload = workload
+        self.rng = rng or random.Random()
+
+    async def _issue(self, ordinal: int, report: LoadReport,
+                     loop) -> None:
+        report.sent += 1
+        started = loop.time()
+        try:
+            result = await self.workload(ordinal)
+        except ServiceOverloadedError:
+            report.rejected += 1
+            return
+        except RequestFailedError:
+            report.failed += 1
+            return
+        report.completed += 1
+        report.latencies_ms.append((loop.time() - started) * 1000.0)
+        if isinstance(result, VerifyResult) and not result.valid:
+            report.invalid += 1
+
+    async def run_closed(self, total: int, concurrency: int) -> LoadReport:
+        """Closed loop: ``concurrency`` clients, ``total`` requests."""
+        report = LoadReport()
+        loop = asyncio.get_running_loop()
+        counter = iter(range(total))
+        started = loop.time()
+
+        async def client() -> None:
+            for ordinal in counter:
+                await self._issue(ordinal, report, loop)
+
+        await asyncio.gather(*(client() for _ in range(concurrency)))
+        report.duration_s = loop.time() - started
+        return report
+
+    async def run_open(self, total: int, rate_rps: float) -> LoadReport:
+        """Open loop: Poisson arrivals at ``rate_rps``, ``total`` requests.
+
+        Inter-arrival gaps are exponential with mean ``1/rate_rps``;
+        requests are fired without waiting for completions, so queueing
+        delay and load shedding show up instead of throttling the
+        source.
+        """
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        report = LoadReport()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        tasks = []
+        for ordinal in range(total):
+            tasks.append(loop.create_task(
+                self._issue(ordinal, report, loop)))
+            if ordinal + 1 < total:
+                await asyncio.sleep(self.rng.expovariate(rate_rps))
+        await asyncio.gather(*tasks)
+        report.duration_s = loop.time() - started
+        return report

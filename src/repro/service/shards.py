@@ -1,0 +1,245 @@
+"""The shard pool: consistent hashing, signer quorums, window workers.
+
+Each shard is one asyncio worker with a bounded queue, a
+:class:`~repro.service.accumulator.BatchAccumulator`, and a rotated t+1
+signer quorum, so signing load spreads across all n servers while any
+single window is produced by one quorum (one Lagrange coefficient set,
+memoized across windows).  Requests are routed by **consistent hashing**
+on the SHA-256 digest of the message: adding or removing a shard remaps
+only ~1/N of the key space, which is what lets a deployment resize the
+pool without a global reshuffle (and is why the ring, not ``hash % N``,
+is used even in this in-process simulation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.keys import PartialSignature
+from repro.core.scheme import ServiceHandle
+from repro.service.accumulator import BatchAccumulator
+from repro.service.types import (
+    PendingRequest, RequestFailedError, RequestKind, ShardStats, SignResult,
+    VerifyResult,
+)
+
+#: Virtual nodes per shard on the hash ring; enough that load imbalance
+#: between shards stays within a few percent.
+VNODES_PER_SHARD = 64
+
+
+def _ring_position(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping message digests to shard ids."""
+
+    def __init__(self, shard_ids: Sequence[int],
+                 vnodes: int = VNODES_PER_SHARD):
+        if not shard_ids:
+            raise ValueError("need at least one shard")
+        points = []
+        for shard_id in shard_ids:
+            for vnode in range(vnodes):
+                points.append((_ring_position(
+                    b"shard:%d:vnode:%d" % (shard_id, vnode)), shard_id))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard_id for _, shard_id in points]
+
+    def shard_for(self, message: bytes) -> int:
+        """First shard clockwise from the message's ring position."""
+        position = _ring_position(message)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+
+class ShardWorker:
+    """One shard: queue -> batch windows -> amortized crypto calls."""
+
+    def __init__(self, shard_id: int, handle: ServiceHandle,
+                 max_batch: int, max_wait_ms: float, queue_depth: int,
+                 fault_injector: Optional[Callable] = None, rng=None):
+        self.shard_id = shard_id
+        self.handle = handle
+        self.queue: "asyncio.Queue[PendingRequest]" = asyncio.Queue(
+            maxsize=queue_depth)
+        self.accumulator = BatchAccumulator(self.queue, max_batch,
+                                            max_wait_ms)
+        self.max_batch = max_batch
+        self.stats = ShardStats(shard_id=shard_id)
+        self.fault_injector = fault_injector
+        self.rng = rng
+        #: Quorum rotation: shard i starts its signer window at offset i,
+        #: so different shards exercise different (overlapping) quorums.
+        self.quorum = handle.quorum(rotation=shard_id)
+        self._task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"shard-{self.shard_id}")
+
+    async def stop(self) -> None:
+        """Cancel the worker.  The frontend waits for all outstanding
+        requests to resolve before calling this, so no accepted request
+        is ever dropped mid-window."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    # -- request processing -------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            window = await self.accumulator.next_window()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            self._record_window(window)
+            try:
+                self._process_window(window, loop)
+            except Exception as exc:  # defensive: fail requests, not shard
+                for request in window:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            RequestFailedError(str(exc)))
+            self.stats.busy_ms += (loop.time() - started) * 1000.0
+            # One cooperative yield per window so admission and other
+            # shards interleave with the (synchronous) crypto calls.
+            await asyncio.sleep(0)
+
+    def _record_window(self, window: List[PendingRequest]) -> None:
+        self.stats.windows += 1
+        size = len(window)
+        self.stats.batched_requests += size
+        self.stats.requests += size
+        self.stats.max_batch_seen = max(self.stats.max_batch_seen, size)
+        if size >= self.max_batch:
+            self.stats.full_windows += 1
+
+    def _process_window(self, window: List[PendingRequest], loop) -> None:
+        signs = [r for r in window if r.kind is RequestKind.SIGN]
+        verifies = [r for r in window if r.kind is RequestKind.VERIFY]
+        if signs:
+            self._process_signs(signs, len(window), loop)
+        if verifies:
+            self._process_verifies(verifies, len(window), loop)
+
+    def _partials(self, message: bytes,
+                  signers: Sequence[int]) -> List[PartialSignature]:
+        partials = []
+        for index in signers:
+            partial = self.handle._share_sign(
+                self.handle.shares[index], message)
+            if self.fault_injector is not None:
+                partial = self.fault_injector(
+                    self.shard_id, index, message, partial)
+            partials.append(partial)
+        return partials
+
+    @staticmethod
+    def _resolve(request: PendingRequest, result) -> None:
+        """Complete a request future unless the client already gave up
+        (a cancelled/timed-out awaiter must not poison the window)."""
+        if request.future.done():
+            return
+        if isinstance(result, Exception):
+            request.future.set_exception(result)
+        else:
+            request.future.set_result(result)
+
+    def _process_signs(self, requests: List[PendingRequest],
+                       window_size: int, loop) -> None:
+        self.stats.sign_requests += len(requests)
+        scheme = self.handle.scheme
+        windows = [
+            (request.message, self._partials(request.message, self.quorum))
+            for request in requests
+        ]
+        signatures, flagged = scheme.combine_window(
+            self.handle.public_key, self.handle.verification_keys,
+            windows, rng=self.rng)
+        self.stats.faults_localized += len(flagged)
+        flagged_set = set(flagged)
+        for position, request in enumerate(requests):
+            signature = signatures[position]
+            if signature is None:
+                # The quorum did not contain t+1 valid shares: per-share
+                # fallback over the full signer ring (injector still
+                # applied — robustness must survive a persistent fault).
+                self.stats.fallback_combines += 1
+                try:
+                    signature = scheme.combine(
+                        self.handle.public_key,
+                        self.handle.verification_keys, request.message,
+                        self._partials(request.message,
+                                       self.handle._signer_ring),
+                        verify_shares=True, rng=self.rng)
+                except Exception as exc:
+                    self._resolve(request, RequestFailedError(
+                        f"sign failed even with the full signer set: {exc}"))
+                    continue
+            latency_ms = (loop.time() - request.enqueued_at) * 1000.0
+            self._resolve(request, SignResult(
+                message=request.message, signature=signature,
+                shard_id=self.shard_id, batch_size=window_size,
+                fallback=position in flagged_set, latency_ms=latency_ms))
+
+    def _process_verifies(self, requests: List[PendingRequest],
+                          window_size: int, loop) -> None:
+        self.stats.verify_requests += len(requests)
+        verdicts = self.handle.verify_window(
+            [request.message for request in requests],
+            [request.signature for request in requests], rng=self.rng)
+        invalid = sum(1 for verdict in verdicts if not verdict)
+        self.stats.faults_localized += invalid
+        for request, verdict in zip(requests, verdicts):
+            latency_ms = (loop.time() - request.enqueued_at) * 1000.0
+            self._resolve(request, VerifyResult(
+                message=request.message, valid=verdict,
+                shard_id=self.shard_id, batch_size=window_size,
+                latency_ms=latency_ms))
+
+
+class ShardPool:
+    """All shard workers plus the consistent-hash routing between them."""
+
+    def __init__(self, handle: ServiceHandle, num_shards: int,
+                 max_batch: int, max_wait_ms: float, queue_depth: int,
+                 fault_injector: Optional[Callable] = None, rng=None):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.workers: Dict[int, ShardWorker] = {
+            shard_id: ShardWorker(
+                shard_id, handle, max_batch, max_wait_ms, queue_depth,
+                fault_injector=fault_injector, rng=rng)
+            for shard_id in range(num_shards)
+        }
+        self.ring = HashRing(sorted(self.workers))
+
+    def worker_for(self, message: bytes) -> ShardWorker:
+        return self.workers[self.ring.shard_for(message)]
+
+    def start(self) -> None:
+        for worker in self.workers.values():
+            worker.start()
+
+    async def stop(self) -> None:
+        await asyncio.gather(
+            *(worker.stop() for worker in self.workers.values()))
+
+    def stats(self) -> Dict[int, ShardStats]:
+        return {
+            shard_id: worker.stats
+            for shard_id, worker in self.workers.items()
+        }

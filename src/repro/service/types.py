@@ -1,0 +1,133 @@
+"""Request/response types, typed errors and stats for the signing service.
+
+The service promises *typed* failure modes: an overloaded shard rejects
+at admission (:class:`ServiceOverloadedError`, the load-shedding path), a
+stopped service rejects immediately (:class:`ServiceClosedError`), and a
+sign request that cannot reach t+1 valid partial signatures even through
+the robust fallback fails with :class:`RequestFailedError`.  Anything
+else is a bug, not an error code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.keys import Signature
+from repro.errors import ReproError
+from repro.net.metrics import TrafficCounter
+
+
+class ServiceError(ReproError):
+    """Base class for signing-service errors."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request (bounded queue was full)."""
+
+    def __init__(self, shard_id: int, depth: int):
+        super().__init__(
+            f"shard {shard_id} queue full ({depth} pending requests)")
+        self.shard_id = shard_id
+        self.depth = depth
+
+
+class ServiceClosedError(ServiceError):
+    """The service is not accepting requests (not started, or stopped)."""
+
+
+class RequestFailedError(ServiceError):
+    """A sign request could not be completed (not enough valid shares)."""
+
+
+class RequestKind(enum.Enum):
+    SIGN = "sign"
+    VERIFY = "verify"
+
+
+@dataclass(frozen=True)
+class SignResult:
+    """Outcome of one sign request."""
+
+    message: bytes
+    signature: Signature
+    shard_id: int
+    batch_size: int
+    #: True when the window check flagged this request and it was
+    #: re-combined through the robust per-share path.
+    fallback: bool
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of one verify request."""
+
+    message: bytes
+    valid: bool
+    shard_id: int
+    batch_size: int
+    latency_ms: float
+
+
+@dataclass
+class ShardStats:
+    """Per-shard scheduling and amortization accounting."""
+
+    shard_id: int
+    requests: int = 0
+    sign_requests: int = 0
+    verify_requests: int = 0
+    windows: int = 0
+    full_windows: int = 0
+    max_batch_seen: int = 0
+    #: Sum of window sizes; ``requests_per_window`` derives the mean.
+    batched_requests: int = 0
+    faults_localized: int = 0
+    fallback_combines: int = 0
+    busy_ms: float = 0.0
+
+    @property
+    def requests_per_window(self) -> float:
+        return self.batched_requests / self.windows if self.windows else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated service telemetry (admission + shards + traffic)."""
+
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    ingress: TrafficCounter = field(default_factory=TrafficCounter)
+    egress: TrafficCounter = field(default_factory=TrafficCounter)
+    shards: Dict[int, ShardStats] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "ingress": self.ingress.summary(),
+            "egress": self.egress.summary(),
+            "windows": sum(s.windows for s in self.shards.values()),
+            "faults_localized": sum(
+                s.faults_localized for s in self.shards.values()),
+            "mean_batch": (
+                sum(s.batched_requests for s in self.shards.values())
+                / max(1, sum(s.windows for s in self.shards.values()))),
+        }
+
+
+@dataclass
+class PendingRequest:
+    """A queued request: payload plus its completion future and clock."""
+
+    kind: RequestKind
+    message: bytes
+    enqueued_at: float
+    future: "object"
+    signature: Optional[Signature] = None

@@ -41,14 +41,18 @@ SEED_OPS = ["share_sign", "share_verify", "combine_optimistic",
             "combine_robust", "verify"]
 #: Ops added by the extension-tower/batch-verification PR.
 NEW_OPS = ["batch_verify_msg", "gt_exp", "final_exp"]
+#: Service ops added by the serving-layer PR (fast = batch window of
+#: meta.batch_k, naive = the same pipeline in single-request mode).
+SVC_OPS = ["svc_sign_p50", "svc_verify_req", "svc_throughput"]
 
 
 def test_snapshot_records_all_operations(snapshot):
     for section in ("fast_ms", "naive_ms", "speedup"):
-        assert set(snapshot[section]) == set(SEED_OPS + NEW_OPS)
+        assert set(snapshot[section]) == set(SEED_OPS + NEW_OPS + SVC_OPS)
     assert set(snapshot["seed_reference_ms"]) == set(SEED_OPS)
     assert snapshot["meta"]["backend"] == "bn254"
     assert snapshot["meta"]["batch_k"] >= 2
+    assert snapshot["meta"]["svc_total"] >= snapshot["meta"]["batch_k"]
 
 
 def test_fast_paths_beat_naive(snapshot):
@@ -66,6 +70,19 @@ def test_batch_verify_amortizes_below_single_verify(snapshot):
     # so scheduler noise cannot flake the suite (measured: ~0.1x).
     assert snapshot["fast_ms"]["batch_verify_msg"] <= \
         0.7 * snapshot["fast_ms"]["verify"]
+
+
+def test_service_window_amortizes_verify_traffic(snapshot):
+    # The acceptance bar is <= 0.25x of single-request mode at a batch
+    # window >= 16; assert a looser 0.5x so a loaded machine cannot
+    # flake the suite (measured: ~0.1-0.2x).
+    assert snapshot["meta"]["batch_k"] >= 16
+    assert snapshot["fast_ms"]["svc_verify_req"] <= \
+        0.5 * snapshot["naive_ms"]["svc_verify_req"]
+    # Mixed sign+verify traffic must amortize too, if less dramatically
+    # (signing cost is dominated by the t+1 Share-Signs either way).
+    assert snapshot["fast_ms"]["svc_throughput"] <= \
+        0.8 * snapshot["naive_ms"]["svc_throughput"]
 
 
 def test_check_mode_against_committed_snapshot(snapshot, tmp_path):

@@ -12,8 +12,8 @@ from repro.math.tower import (
     f6_add, f6_eq, f6_inv, f6_mul, f6_mul_by_v, f6_sqr, f6_sub,
     f12_compress, f12_compressed_sqr, f12_conj, f12_cyclotomic_pow,
     f12_cyclotomic_sqr, f12_decompress_batch, f12_eq, f12_frobenius,
-    f12_inv, f12_is_one, f12_mul, f12_pow, f12_sqr, f12_to_wvec,
-    wvec_to_f12,
+    f12_inv, f12_is_one, f12_mul, f12_mul_line, f12_pow, f12_sqr,
+    f12_to_wvec, wvec_to_f12,
 )
 
 scalars = st.integers(min_value=0, max_value=P - 1)
@@ -184,6 +184,56 @@ class TestFp12:
     def test_frobenius_bad_power(self):
         with pytest.raises(ValueError):
             f12_frobenius(F12_ONE, 4)
+
+
+class TestIntInlinedHotOps:
+    """Agreement tests for the int-inlined Miller-loop accumulator ops
+    (`f12_sqr`, `f12_mul_line` and their `_f6_mul_int` /
+    `_f6_mul_sparse01_int` engines) against the generic tower
+    arithmetic."""
+
+    @given(a=f6_elements, b=f6_elements)
+    @settings(max_examples=20)
+    def test_f6_mul_int_matches_generic(self, a, b):
+        assert f6_eq(tower._f6_mul_int(a, b), f6_mul(a, b))
+
+    @given(a=f6_elements, b0=f2_elements, b1=f2_elements)
+    @settings(max_examples=20)
+    def test_f6_mul_sparse01_int_matches_composed(self, a, b0, b1):
+        inlined = tower._f6_mul_sparse01_int(a, b0, b1)
+        reduced = tuple((c0 % P, c1 % P) for c0, c1 in inlined)
+        composed = tower._f6_mul_sparse01(a, b0, b1)
+        assert f6_eq(reduced, composed)
+
+    @given(a=f12_elements, l0=f2_elements, l1=f2_elements, l3=f2_elements)
+    @settings(max_examples=15)
+    def test_mul_line_matches_full_mul(self, a, l0, l1, l3):
+        sparse = wvec_to_f12((l0, l1, F2_ZERO, l3, F2_ZERO, F2_ZERO))
+        assert f12_eq(f12_mul_line(a, l0, l1, l3), f12_mul(a, sparse))
+
+    @given(a=f12_elements, y=scalars, l1=f2_elements, l3=f2_elements)
+    @settings(max_examples=15)
+    def test_mul_line_scalar_l0_branch(self, a, y, l1, l3):
+        # Every chord/tangent line has l0 = (y_P, 0) in F_p — the branch
+        # the Miller loop actually takes.
+        l0 = (y, 0)
+        sparse = wvec_to_f12((l0, l1, F2_ZERO, l3, F2_ZERO, F2_ZERO))
+        assert f12_eq(f12_mul_line(a, l0, l1, l3), f12_mul(a, sparse))
+
+    @given(a=f12_elements)
+    @settings(max_examples=15)
+    def test_sqr_against_pow(self, a):
+        assert f12_eq(f12_sqr(a), f12_pow(a, 2))
+
+    def test_unreduced_sum_inputs(self):
+        # _f6_mul_int accepts one level of unreduced sums (as produced
+        # inside f12_sqr); the reduction must still land on the same
+        # residue.
+        a = ((P + 3, 2 * P + 1), (P - 1, P + 7), (5, P + 11))
+        b = ((2 * P + 2, 4), (P + 9, 3), (P + 1, P - 2))
+        reduced_a = tuple((x % P, y % P) for x, y in a)
+        reduced_b = tuple((x % P, y % P) for x, y in b)
+        assert f6_eq(tower._f6_mul_int(a, b), f6_mul(reduced_a, reduced_b))
 
 
 def _into_cyclotomic(a):

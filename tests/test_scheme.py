@@ -310,6 +310,42 @@ class TestCrossMessageBatchVerify:
         with pytest.raises(ParameterError):
             toy_scheme.locate_invalid(pk, messages[:1], signatures, rng=rng)
 
+    def test_all_invalid_batch(self, toy_scheme, toy_keys, rng):
+        # Worst case for the bisection: every half fails all the way
+        # down, so the result must enumerate the entire batch.
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 8, rng)
+        forged = [
+            type(signature)(z=signature.z * signature.z, r=signature.r)
+            for signature in signatures
+        ]
+        assert not toy_scheme.batch_verify(pk, messages, forged, rng=rng)
+        assert toy_scheme.locate_invalid(
+            pk, messages, forged, rng=rng) == list(range(8))
+        assert toy_scheme.verify_window(
+            pk, messages, forged, rng=rng) == [False] * 8
+
+    def test_duplicate_messages_in_one_window(
+            self, toy_scheme, toy_keys, rng):
+        # A service batch window routinely carries the same message
+        # twice (two clients requesting the same document).  Duplicates
+        # must verify independently, and a forgery on one copy must not
+        # condemn the other.
+        pk, messages, signatures = self._batch(toy_scheme, toy_keys, 4, rng)
+        messages = messages + [messages[1], messages[2]]
+        signatures = signatures + [signatures[1], signatures[2]]
+        assert toy_scheme.batch_verify(pk, messages, signatures, rng=rng)
+        assert toy_scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == []
+        bad = signatures[4]
+        signatures[4] = type(bad)(z=bad.z * bad.z, r=bad.r)
+        assert not toy_scheme.batch_verify(pk, messages, signatures, rng=rng)
+        assert toy_scheme.locate_invalid(
+            pk, messages, signatures, rng=rng) == [4]
+        # The untouched duplicate of the same message still verifies.
+        assert toy_scheme.verify_window(pk, messages, signatures,
+                                        rng=rng) == \
+            [True, True, True, True, False, True]
+
     @pytest.mark.bn254
     def test_forgery_localized_on_real_curve(self, bn254_group, rng):
         params = ThresholdParams.generate(bn254_group, t=1, n=3)

@@ -1,0 +1,522 @@
+"""Tests for the async signing service (frontend, accumulator, shards,
+load generator, fault injection) and the ServiceHandle facade.
+
+Protocol logic runs on the toy backend; one end-to-end test (marked
+``bn254``) exercises the real pairing.  No asyncio test plugin is
+assumed: each test drives its own event loop via ``asyncio.run``.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.scheme import ServiceHandle
+from repro.service import (
+    BatchAccumulator, CorruptSignerFault, HashRing, LoadGenerator,
+    ServiceConfig, ServiceClosedError, ServiceOverloadedError,
+    SigningService,
+)
+
+
+@pytest.fixture
+def handle(toy_group):
+    return ServiceHandle.dealer(toy_group, 2, 5, rng=random.Random(11))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------------------
+# ServiceHandle facade
+# ---------------------------------------------------------------------------
+
+class TestServiceHandle:
+    def test_sign_verify_roundtrip(self, handle):
+        signature = handle.sign(b"facade message")
+        assert handle.verify(b"facade message", signature)
+        assert not handle.verify(b"other message", signature)
+
+    def test_quorum_rotates_over_all_signers(self, handle):
+        quorums = [handle.quorum(rotation=r) for r in range(5)]
+        assert all(len(q) == handle.threshold + 1 for q in quorums)
+        assert set().union(*quorums) == {1, 2, 3, 4, 5}
+        assert quorums[0] != quorums[1]
+
+    def test_sign_window_matches_single_signs(self, handle):
+        messages = [b"window %d" % i for i in range(6)]
+        signatures = handle.sign_window(messages, rng=random.Random(1))
+        for message, signature in zip(messages, signatures):
+            assert handle.verify(message, signature)
+        assert handle.verify_window(messages, signatures) == [True] * 6
+
+    def test_from_dkg_produces_working_handle(self, toy_group):
+        dkg_handle, network = ServiceHandle.from_dkg(
+            toy_group, 1, 4, rng=random.Random(2))
+        assert network.metrics.communication_rounds == 1
+        signature = dkg_handle.sign(b"dkg message")
+        assert dkg_handle.verify(b"dkg message", signature)
+
+    def test_wraps_aggregate_scheme(self, toy_group):
+        from repro.core.aggregation import (
+            AggThresholdParams, LJYAggregateScheme,
+        )
+        params = AggThresholdParams.generate(toy_group, t=1, n=3)
+        scheme = LJYAggregateScheme(params)
+        pk, shares, vks = scheme.dealer_keygen(rng=random.Random(3))
+        agg_handle = ServiceHandle(scheme, pk, shares, vks)
+        signature = agg_handle.sign(b"agg message")
+        assert agg_handle.verify(b"agg message", signature)
+        robust = agg_handle.sign(b"agg message", robust=True)
+        assert robust.to_bytes() == signature.to_bytes()
+        # Window-sized paths are LJYThresholdScheme-only: typed error,
+        # not an AttributeError from deep inside a shard worker.
+        with pytest.raises(TypeError):
+            agg_handle.sign_window([b"agg message"])
+        with pytest.raises(TypeError):
+            agg_handle.verify_window([b"agg message"], [signature])
+
+
+# ---------------------------------------------------------------------------
+# Window-sized scheme entry points
+# ---------------------------------------------------------------------------
+
+class TestWindowEntryPoints:
+    def test_combine_window_all_honest_single_batch_check(self, handle):
+        scheme = handle.scheme
+        messages = [b"cw %d" % i for i in range(5)]
+        windows = [
+            (message, handle.partials_for(message)) for message in messages
+        ]
+        signatures, flagged = scheme.combine_window(
+            handle.public_key, handle.verification_keys, windows,
+            rng=random.Random(4))
+        assert flagged == []
+        for message, signature in zip(messages, signatures):
+            assert handle.verify(message, signature)
+
+    def test_combine_window_flags_poisoned_request_only(self, handle):
+        scheme = handle.scheme
+        messages = [b"pw %d" % i for i in range(4)]
+        windows = []
+        for position, message in enumerate(messages):
+            partials = handle.partials_for(message, signers=(1, 2, 3, 4))
+            if position == 2:
+                bad = partials[0]
+                partials[0] = type(bad)(
+                    index=bad.index, z=bad.z * bad.z, r=bad.r)
+            windows.append((message, partials))
+        signatures, flagged = scheme.combine_window(
+            handle.public_key, handle.verification_keys, windows,
+            rng=random.Random(5))
+        assert flagged == [2]
+        # The poisoned request recovered through the robust per-share
+        # path (4 partials, 3 valid >= t+1), the rest stayed optimistic.
+        for message, signature in zip(messages, signatures):
+            assert signature is not None
+            assert handle.verify(message, signature)
+
+    def test_combine_window_returns_none_when_quorum_exhausted(self, handle):
+        scheme = handle.scheme
+        message = b"exhausted"
+        partials = handle.partials_for(message, signers=(1, 2, 3))
+        bad = partials[1]
+        partials[1] = type(bad)(index=bad.index, z=bad.z * bad.z, r=bad.r)
+        signatures, flagged = scheme.combine_window(
+            handle.public_key, handle.verification_keys,
+            [(message, partials)], rng=random.Random(6))
+        assert flagged == [0]
+        assert signatures == [None]
+
+    def test_combine_window_underprovisioned_request_isolated(self, handle):
+        # A request with fewer than t+1 distinct partials must be
+        # flagged (None), not abort the rest of the window.
+        scheme = handle.scheme
+        good_message, short_message = b"good req", b"short req"
+        windows = [
+            (good_message, handle.partials_for(good_message)),
+            (short_message,
+             handle.partials_for(short_message, signers=(1, 1, 2))),
+        ]
+        signatures, flagged = scheme.combine_window(
+            handle.public_key, handle.verification_keys, windows,
+            rng=random.Random(21))
+        assert flagged == [1]
+        assert signatures[1] is None
+        assert handle.verify(good_message, signatures[0])
+
+    def test_verify_window_verdicts(self, handle):
+        messages = [b"vw %d" % i for i in range(6)]
+        signatures = [handle.sign(message) for message in messages]
+        bad = signatures[3]
+        signatures[3] = type(bad)(z=bad.z * bad.z, r=bad.r)
+        verdicts = handle.verify_window(messages, signatures,
+                                        rng=random.Random(7))
+        assert verdicts == [True, True, True, False, True, True]
+
+
+# ---------------------------------------------------------------------------
+# Batch accumulator
+# ---------------------------------------------------------------------------
+
+class TestBatchAccumulator:
+    def test_closes_on_max_batch(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            accumulator = BatchAccumulator(queue, max_batch=3,
+                                           max_wait_ms=10_000)
+            for item in range(7):
+                queue.put_nowait(item)
+            first = await accumulator.next_window()
+            second = await accumulator.next_window()
+            return first, second
+
+        first, second = run(scenario())
+        assert first == [0, 1, 2]
+        assert second == [3, 4, 5]
+
+    def test_closes_on_deadline_with_partial_window(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            accumulator = BatchAccumulator(queue, max_batch=64,
+                                           max_wait_ms=20)
+            queue.put_nowait("only")
+            return await accumulator.next_window()
+
+        assert run(scenario()) == ["only"]
+
+    def test_blocks_until_first_item(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            accumulator = BatchAccumulator(queue, max_batch=4,
+                                           max_wait_ms=5)
+
+            async def feeder():
+                await asyncio.sleep(0.01)
+                queue.put_nowait("late")
+
+            feeder_task = asyncio.get_running_loop().create_task(feeder())
+            window = await accumulator.next_window()
+            await feeder_task
+            return window
+
+        assert run(scenario()) == ["late"]
+
+    def test_rejects_bad_parameters(self):
+        queue = asyncio.Queue()
+        with pytest.raises(ValueError):
+            BatchAccumulator(queue, max_batch=0, max_wait_ms=1)
+        with pytest.raises(ValueError):
+            BatchAccumulator(queue, max_batch=1, max_wait_ms=-1)
+
+
+# ---------------------------------------------------------------------------
+# Consistent hashing
+# ---------------------------------------------------------------------------
+
+class TestHashRing:
+    def test_deterministic_and_total(self):
+        ring = HashRing([0, 1, 2, 3])
+        messages = [b"m%d" % i for i in range(200)]
+        owners = [ring.shard_for(message) for message in messages]
+        assert owners == [ring.shard_for(message) for message in messages]
+        assert set(owners) == {0, 1, 2, 3}
+
+    def test_resize_moves_only_a_fraction(self):
+        small = HashRing([0, 1, 2, 3])
+        grown = HashRing([0, 1, 2, 3, 4])
+        messages = [b"key%d" % i for i in range(500)]
+        moved = sum(
+            1 for message in messages
+            if small.shard_for(message) != grown.shard_for(message))
+        # Consistent hashing: only ~1/5 of keys move to the new shard;
+        # modulo hashing would remap ~4/5.  Allow generous slack.
+        assert moved < len(messages) * 0.4
+        for message in messages:
+            if small.shard_for(message) != grown.shard_for(message):
+                assert grown.shard_for(message) == 4
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+# ---------------------------------------------------------------------------
+# The service itself
+# ---------------------------------------------------------------------------
+
+class TestSigningService:
+    def test_sign_and_verify_requests(self, handle):
+        async def scenario():
+            config = ServiceConfig(num_shards=2, max_batch=8,
+                                   max_wait_ms=2.0, rng=random.Random(8))
+            async with SigningService(handle, config) as service:
+                results = await asyncio.gather(*(
+                    service.sign(b"svc %d" % i) for i in range(20)))
+                verdicts = await asyncio.gather(*(
+                    service.verify(result.message, result.signature)
+                    for result in results))
+            return service, results, verdicts
+
+        service, results, verdicts = run(scenario())
+        assert all(handle.verify(r.message, r.signature) for r in results)
+        assert all(v.valid for v in verdicts)
+        stats = service.snapshot_stats()
+        assert stats.accepted == 40
+        assert stats.completed == 40
+        assert stats.rejected == 0
+        # Batching happened: strictly fewer windows than requests.
+        assert 0 < sum(s.windows for s in stats.shards.values()) < 40
+        assert stats.ingress.messages == 40
+        assert stats.egress.bytes_total > 0
+
+    def test_batch_window_amortization_counts(self, handle):
+        """A full window of k requests costs one batch check, not k."""
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=16,
+                                   max_wait_ms=50.0, rng=random.Random(9))
+            async with SigningService(handle, config) as service:
+                results = await asyncio.gather(*(
+                    service.sign(b"amortize %d" % i) for i in range(16)))
+            return service, results
+
+        service, results = run(scenario())
+        stats = service.snapshot_stats()
+        shard = stats.shards[0]
+        assert shard.windows == 1
+        assert shard.full_windows == 1
+        assert shard.requests_per_window == 16
+        assert all(result.batch_size == 16 for result in results)
+
+    def test_load_shedding_typed_and_counted(self, handle):
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=4,
+                                   max_wait_ms=1.0, queue_depth=2,
+                                   rng=random.Random(10))
+            async with SigningService(handle, config) as service:
+                outcomes = await asyncio.gather(
+                    *(service.sign(b"shed %d" % i) for i in range(10)),
+                    return_exceptions=True)
+            return service, outcomes
+
+        service, outcomes = run(scenario())
+        rejected = [o for o in outcomes
+                    if isinstance(o, ServiceOverloadedError)]
+        completed = [o for o in outcomes
+                     if not isinstance(o, Exception)]
+        assert rejected and completed
+        assert rejected[0].shard_id == 0
+        stats = service.snapshot_stats()
+        assert stats.rejected == len(rejected)
+        assert stats.completed == len(completed)
+
+    def test_closed_service_rejects(self, handle):
+        async def scenario():
+            service = SigningService(handle)
+            with pytest.raises(ServiceClosedError):
+                await service.sign(b"early")
+            async with service:
+                await service.sign(b"during")
+            with pytest.raises(ServiceClosedError):
+                await service.sign(b"late")
+
+        run(scenario())
+
+    def test_traffic_partitions_across_shards(self, handle):
+        async def scenario():
+            config = ServiceConfig(num_shards=4, max_batch=4,
+                                   max_wait_ms=1.0, rng=random.Random(12))
+            async with SigningService(handle, config) as service:
+                await asyncio.gather(*(
+                    service.sign(b"partition %d" % i) for i in range(64)))
+            return service
+
+        service = run(scenario())
+        stats = service.snapshot_stats()
+        busy_shards = [s for s in stats.shards.values() if s.requests]
+        assert len(busy_shards) >= 3
+        assert sum(s.requests for s in stats.shards.values()) == 64
+
+    def test_forged_partial_localized_window_completes(self, handle):
+        """The acceptance scenario: a shard injecting one forged partial
+        into a full window is localized via locate_invalid and every
+        request in the window still completes with a valid signature."""
+        fault = CorruptSignerFault(signer_index=1, shard_id=0)
+
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=8,
+                                   max_wait_ms=50.0, fault_injector=fault,
+                                   rng=random.Random(13))
+            async with SigningService(handle, config) as service:
+                results = await asyncio.gather(*(
+                    service.sign(b"fault %d" % i) for i in range(8)))
+            return service, results
+
+        service, results = run(scenario())
+        assert fault.injected
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+        stats = service.snapshot_stats()
+        shard = stats.shards[0]
+        assert shard.faults_localized > 0
+        assert shard.fallback_combines > 0
+        assert stats.failed == 0
+
+    def test_targeted_fault_leaves_neighbors_optimistic(self, handle):
+        """A forgery against one message must not drag the rest of its
+        window through the robust path."""
+        target = b"targeted 3"
+        fault = CorruptSignerFault(signer_index=2, messages={target})
+
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=8,
+                                   max_wait_ms=50.0, fault_injector=fault,
+                                   rng=random.Random(14))
+            async with SigningService(handle, config) as service:
+                results = await asyncio.gather(*(
+                    service.sign(b"targeted %d" % i) for i in range(8)))
+            return service, results
+
+        service, results = run(scenario())
+        by_message = {result.message: result for result in results}
+        # Signer 2 is in shard 0's quorum (1, 2, 3), so the fault fired.
+        assert fault.injected
+        assert by_message[target].fallback
+        untouched = [r for m, r in by_message.items() if m != target]
+        assert all(not r.fallback for r in untouched)
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+
+    def test_cancelled_client_does_not_poison_window(self, handle):
+        # One client timing out must not fail its window neighbors.
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=8,
+                                   max_wait_ms=50.0, rng=random.Random(22))
+            async with SigningService(handle, config) as service:
+                doomed = asyncio.get_running_loop().create_task(
+                    service.sign(b"cancelled req"))
+                survivors = [
+                    asyncio.get_running_loop().create_task(
+                        service.sign(b"survivor %d" % i))
+                    for i in range(7)
+                ]
+                await asyncio.sleep(0)   # let all requests enqueue
+                doomed.cancel()
+                results = await asyncio.gather(*survivors)
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+            return results
+
+        results = run(scenario())
+        assert len(results) == 7
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+
+    def test_invalid_signature_reported_not_failed(self, handle):
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=4,
+                                   max_wait_ms=1.0, rng=random.Random(15))
+            async with SigningService(handle, config) as service:
+                good = await service.sign(b"good message")
+                bad_signature = type(good.signature)(
+                    z=good.signature.z * good.signature.z,
+                    r=good.signature.r)
+                mixed = await asyncio.gather(
+                    service.verify(b"good message", good.signature),
+                    service.verify(b"good message", bad_signature))
+            return mixed
+
+        ok, bad = run(scenario())
+        assert ok.valid and not bad.valid
+
+
+# ---------------------------------------------------------------------------
+# Load generator
+# ---------------------------------------------------------------------------
+
+class TestLoadGenerator:
+    def test_closed_loop_report(self, handle):
+        async def scenario():
+            config = ServiceConfig(num_shards=2, max_batch=8,
+                                   max_wait_ms=2.0, rng=random.Random(16))
+            async with SigningService(handle, config) as service:
+                generator = LoadGenerator(
+                    lambda i: service.sign(b"closed %d" % i))
+                return await generator.run_closed(total=24, concurrency=8)
+
+        report = run(scenario())
+        assert report.sent == 24
+        assert report.completed == 24
+        assert report.rejected == 0
+        assert report.throughput_rps > 0
+        assert report.p50_ms <= report.p99_ms
+        assert len(report.latencies_ms) == 24
+
+    def test_open_loop_poisson_counts_shedding(self, handle):
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=2,
+                                   max_wait_ms=0.0, queue_depth=1,
+                                   rng=random.Random(17))
+            async with SigningService(handle, config) as service:
+                generator = LoadGenerator(
+                    lambda i: service.sign(b"open %d" % i),
+                    rng=random.Random(18))
+                return await generator.run_open(total=40, rate_rps=20_000)
+
+        report = run(scenario())
+        assert report.sent == 40
+        assert report.completed + report.rejected + report.failed == 40
+        assert report.completed > 0
+
+    def test_invalid_verifies_counted(self, handle):
+        signature = handle.sign(b"valid message")
+        forged = type(signature)(z=signature.z * signature.z, r=signature.r)
+
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=4,
+                                   max_wait_ms=1.0, rng=random.Random(19))
+            async with SigningService(handle, config) as service:
+                generator = LoadGenerator(
+                    lambda i: service.verify(
+                        b"valid message",
+                        forged if i % 2 else signature))
+                return await generator.run_closed(total=8, concurrency=4)
+
+        report = run(scenario())
+        assert report.completed == 8
+        assert report.invalid == 4
+
+    def test_percentile_nearest_rank(self):
+        from repro.service.loadgen import percentile
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile([7.0], 50) == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Real curve end to end
+# ---------------------------------------------------------------------------
+
+@pytest.mark.bn254
+def test_service_end_to_end_on_bn254(bn254_group):
+    handle = ServiceHandle.dealer(bn254_group, 1, 3, rng=random.Random(20))
+    fault = CorruptSignerFault(signer_index=1, shard_id=0)
+
+    async def scenario():
+        config = ServiceConfig(num_shards=1, max_batch=4,
+                               max_wait_ms=100.0, fault_injector=fault,
+                               rng=random.Random(21))
+        async with SigningService(handle, config) as service:
+            results = await asyncio.gather(*(
+                service.sign(b"bn254 svc %d" % i) for i in range(4)))
+            verdicts = await asyncio.gather(*(
+                service.verify(result.message, result.signature)
+                for result in results))
+        return results, verdicts
+
+    results, verdicts = asyncio.run(scenario())
+    assert fault.injected
+    assert all(handle.verify(r.message, r.signature) for r in results)
+    assert all(v.valid for v in verdicts)

@@ -13,6 +13,12 @@ per-message verification).  Because both sides run in the same process on
 the same machine, the resulting speedups are hardware-independent and can
 be asserted by future PRs.
 
+The ``svc_*`` ops additionally measure the async signing service
+end to end: the same closed-loop workload through the same pipeline,
+batched (window = BATCH_K) versus single-request mode (window = 1), so
+their speedups isolate the batch-window amortization of the serving
+layer.  See ``benchmarks/README.md`` for the methodology.
+
 Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
 record) and regenerates ``benchmarks/results/t2_ops.txt``.
 
@@ -31,6 +37,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import pathlib
 import random
@@ -43,7 +50,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.bench.tables import Table                       # noqa: E402
 from repro.core.keys import PartialSignature, ThresholdParams  # noqa: E402
 from repro.core.scheme import (                            # noqa: E402
-    LJYThresholdScheme, reconstruct_master_key,
+    LJYThresholdScheme, ServiceHandle, reconstruct_master_key,
+)
+from repro.service import (                                # noqa: E402
+    LoadGenerator, ServiceConfig, SigningService,
 )
 from repro.curves.g1 import FP_OPS, G1Point                # noqa: E402
 from repro.curves.pairing import (                         # noqa: E402
@@ -59,6 +69,11 @@ T, N = 2, 5
 MESSAGE = b"benchmark message"
 #: Cross-message batch size for the amortized server-side verification op.
 BATCH_K = 16
+#: Requests per service measurement (3 full windows, so the pipeline is
+#: warm and p50 reflects steady state rather than the first window).
+SVC_TOTAL = 3 * BATCH_K
+#: Closed-loop client concurrency driving the service ops.
+SVC_CONCURRENCY = BATCH_K
 
 #: Seed-commit T2 numbers (benchmarks/results/t2_ops.txt at PR 0), kept for
 #: context only — cross-machine comparisons are apples to oranges, which is
@@ -173,6 +188,78 @@ class NaiveReference:
         ]).is_one()
 
 
+def _drive_service(handle: ServiceHandle, max_batch: int,
+                   sign_messages, verify_pairs) -> dict:
+    """Push one closed-loop workload through the signing service.
+
+    ``max_batch=BATCH_K`` is the batched serving mode; ``max_batch=1``
+    is single-request mode (every window degenerates to one request) —
+    the baseline the batch-window amortization is measured against.
+    Returns per-request sign/verify/mixed costs and the sign p50.
+    """
+    config = ServiceConfig(
+        num_shards=1, max_batch=max_batch,
+        max_wait_ms=25.0 if max_batch > 1 else 0.0,
+        queue_depth=4 * SVC_TOTAL, rng=random.Random(77))
+
+    async def scenario():
+        async with SigningService(handle, config) as service:
+            sign_report = await LoadGenerator(
+                lambda i: service.sign(sign_messages[i])).run_closed(
+                    len(sign_messages), SVC_CONCURRENCY)
+            verify_report = await LoadGenerator(
+                lambda i: service.verify(*verify_pairs[i])).run_closed(
+                    len(verify_pairs), SVC_CONCURRENCY)
+
+            def mixed(ordinal):
+                if ordinal % 2:
+                    return service.verify(*verify_pairs[ordinal // 2])
+                return service.sign(sign_messages[ordinal // 2])
+
+            mixed_report = await LoadGenerator(mixed).run_closed(
+                2 * (SVC_TOTAL // 2), SVC_CONCURRENCY)
+        return sign_report, verify_report, mixed_report
+
+    sign_report, verify_report, mixed_report = asyncio.run(scenario())
+    assert sign_report.completed == len(sign_messages)
+    assert verify_report.completed == len(verify_pairs)
+    assert verify_report.invalid == 0
+    return {
+        "svc_sign_p50": sign_report.p50_ms,
+        "svc_verify_req": (verify_report.duration_s * 1000.0
+                           / verify_report.completed),
+        "svc_throughput": (mixed_report.duration_s * 1000.0
+                           / mixed_report.completed),
+    }
+
+
+def run_service_ops(scheme: LJYThresholdScheme, pk, shares, vks, master,
+                    include_naive: bool = True) -> "tuple[dict, dict | None]":
+    """The ``svc_*`` ops: service-measured request costs.
+
+    Both sides run the *same* service code path; only the batch-window
+    size differs (BATCH_K vs 1), so the speedups isolate exactly the
+    batch-window amortization the serving layer exists for.  Hashes are
+    pre-warmed for every message so neither mode pays the one-time
+    hash-to-curve seeding inside the timed section.  The single-request
+    baseline is skipped under ``--skip-naive`` (it is the slowest
+    configuration of the whole snapshot).
+    """
+    handle = ServiceHandle(scheme, pk, shares, vks)
+    sign_messages = [b"svc sign %d" % i for i in range(SVC_TOTAL)]
+    verify_messages = [b"svc verify %d" % i for i in range(SVC_TOTAL)]
+    verify_pairs = [
+        (message, scheme.sign_with_master(master, message))
+        for message in verify_messages
+    ]
+    for message in sign_messages + verify_messages:
+        scheme.params.hash_message(message)
+    fast = _drive_service(handle, BATCH_K, sign_messages, verify_pairs)
+    naive = _drive_service(handle, 1, sign_messages, verify_pairs) \
+        if include_naive else None
+    return fast, naive
+
+
 def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     group = get_group("bn254")
     rng = random.Random(3)
@@ -224,6 +311,12 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             lambda: final_exponentiation(miller_value), rounds),
     }
 
+    # Service ops: one pass each (the workloads already aggregate
+    # SVC_TOTAL requests, so best-of-rounds adds nothing but runtime).
+    svc_fast, svc_naive = run_service_ops(
+        scheme, pk, shares, vks, master, include_naive=include_naive)
+    fast_ms.update(svc_fast)
+
     snapshot = {
         "meta": {
             "backend": group.name,
@@ -231,6 +324,8 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             "n": N,
             "rounds": rounds,
             "batch_k": BATCH_K,
+            "svc_total": SVC_TOTAL,
+            "svc_concurrency": SVC_CONCURRENCY,
             "message": MESSAGE.decode(),
             "python": sys.version.split()[0],
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -274,6 +369,10 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             "final_exp": timed(
                 lambda: final_exponentiation_naive(miller_value), rounds),
         }
+        # Service baselines: the same pipeline in single-request mode
+        # (max_batch=1), i.e. what a caller driving the scheme one
+        # request at a time pays.
+        naive_ms.update(svc_naive)
         snapshot["naive_ms"] = naive_ms
         snapshot["speedup"] = {
             op: round(naive_ms[op] / fast_ms[op], 2) for op in fast_ms
@@ -291,6 +390,9 @@ def render_table(snapshot: dict) -> Table:
         "batch_verify_msg": f"Batch-Verify, per message (k = {BATCH_K})",
         "gt_exp": "GT exponentiation (254-bit)",
         "final_exp": "Final exponentiation",
+        "svc_sign_p50": f"Service sign p50 (window {BATCH_K} vs 1)",
+        "svc_verify_req": f"Service verify, per request (window {BATCH_K})",
+        "svc_throughput": "Service mixed load, per request",
     }
     has_naive = "naive_ms" in snapshot
     columns = ["operation", "ms"]

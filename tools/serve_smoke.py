@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI smoke test for the async signing service.
+
+Boots the service in-process, pushes requests through the load generator
+(half closed-loop signs, half open-loop verifies, one fault-injected
+window) and asserts the service contract:
+
+* **zero rejected-valid requests** — the queues are provisioned for the
+  offered load, so nothing is shed and nothing fails;
+* every signature produced is valid under the public key;
+* verify traffic returns the right verdicts (including for the one
+  deliberately forged signature);
+* the forged-partial window is localized and still completes.
+
+Exit code 0 on success, 1 with a reason on any violation.  Wired into
+``make serve-smoke`` (and ``make smoke`` alongside the perf gate).
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--backend bn254]
+        [--requests 100] [--shards 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import random
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import ServiceHandle, get_group                 # noqa: E402
+from repro.service import (                                # noqa: E402
+    CorruptSignerFault, LoadGenerator, ServiceConfig, SigningService,
+)
+
+
+async def run_smoke(backend: str, requests: int, shards: int) -> int:
+    group = get_group(backend)
+    handle = ServiceHandle.dealer(group, 2, 5, rng=random.Random(1))
+    failures = []
+
+    def check(condition: bool, reason: str) -> None:
+        if not condition:
+            failures.append(reason)
+
+    # -- act 1: closed-loop signing, amply provisioned queues -----------
+    config = ServiceConfig(num_shards=shards, max_batch=16,
+                           max_wait_ms=10.0, queue_depth=4 * requests,
+                           rng=random.Random(2))
+    signed = {}
+    async with SigningService(handle, config) as service:
+
+        async def sign(ordinal):
+            result = await service.sign(b"smoke doc %d" % ordinal)
+            signed[ordinal] = result
+            return result
+
+        report = await LoadGenerator(sign).run_closed(requests, 16)
+        check(report.rejected == 0,
+              f"{report.rejected} valid sign requests rejected")
+        check(report.failed == 0,
+              f"{report.failed} sign requests failed")
+        check(report.completed == requests,
+              f"only {report.completed}/{requests} signs completed")
+        for ordinal, result in signed.items():
+            check(handle.verify(result.message, result.signature),
+                  f"service returned an invalid signature for #{ordinal}")
+
+        # -- act 2: open-loop verification with one forgery ------------
+        forged_at = requests // 2
+        good = signed[forged_at].signature
+        forged = type(good)(z=good.z * good.z, r=good.r)
+
+        def verify(ordinal):
+            result = signed[ordinal]
+            signature = forged if ordinal == forged_at else result.signature
+            return service.verify(result.message, signature)
+
+        verify_report = await LoadGenerator(
+            verify, rng=random.Random(3)).run_open(requests, 2000.0)
+        check(verify_report.rejected == 0,
+              f"{verify_report.rejected} valid verify requests rejected")
+        check(verify_report.completed == requests,
+              f"only {verify_report.completed}/{requests} verifies "
+              f"completed")
+        check(verify_report.invalid == 1,
+              f"expected exactly 1 invalid verdict, got "
+              f"{verify_report.invalid}")
+    stats = service.snapshot_stats()
+    check(stats.rejected == 0, "service counted rejections")
+    windows = sum(s.windows for s in stats.shards.values())
+    check(windows < stats.accepted,
+          "no batching happened (windows == requests)")
+
+    # -- act 3: a forged partial inside a full window ------------------
+    fault = CorruptSignerFault(signer_index=1, shard_id=0)
+    faulty = ServiceConfig(num_shards=1, max_batch=8, max_wait_ms=10.0,
+                           queue_depth=64, fault_injector=fault,
+                           rng=random.Random(4))
+    async with SigningService(handle, faulty) as service:
+        report = await LoadGenerator(
+            lambda i: service.sign(b"contested doc %d" % i)
+        ).run_closed(8, 8)
+        check(report.completed == 8 and report.failed == 0,
+              "fault-injected window dropped requests")
+    faulty_stats = service.snapshot_stats()
+    shard = faulty_stats.shards[0]
+    check(len(fault.injected) > 0, "fault injector never fired")
+    check(shard.faults_localized > 0, "forged partials not localized")
+
+    print(f"serve-smoke [{backend}]: {stats.accepted} requests, "
+          f"{windows} windows, 0 rejected, 0 failed; forged window "
+          f"localized ({shard.faults_localized} flags, "
+          f"{shard.fallback_combines} robust fallbacks)")
+    if failures:
+        print("serve-smoke FAILED:")
+        for reason in failures:
+            print(f"  - {reason}")
+        return 1
+    print("serve-smoke passed: zero rejected-valid requests")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", default="bn254",
+                        choices=["toy", "bn254"],
+                        help="bilinear group backend (default: the real "
+                        "curve — this is the CI gate)")
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--shards", type=int, default=2)
+    args = parser.parse_args(argv)
+    return asyncio.run(
+        run_smoke(args.backend, args.requests, args.shards))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
