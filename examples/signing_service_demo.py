@@ -39,9 +39,12 @@ async def demo(args) -> None:
                                   rng=random.Random(1))
 
     config = ServiceConfig(num_shards=args.shards, max_batch=16,
-                           max_wait_ms=10.0, rng=random.Random(2))
+                           max_wait_ms=10.0, workers=args.workers,
+                           rng=random.Random(2))
+    tier = (f"{args.workers} worker process(es)" if args.workers
+            else "in-process")
     print(f"[2/4] Closed-loop signing: {args.requests} requests, "
-          f"16 clients, {args.shards} shard(s), window 16")
+          f"16 clients, {args.shards} shard(s), window 16, {tier}")
     async with SigningService(handle, config) as service:
         generator = LoadGenerator(
             lambda i: service.sign(b"demo message %d" % i))
@@ -74,6 +77,11 @@ async def demo(args) -> None:
         print(f"      {report.completed} verified, "
               f"{report.invalid} invalid | p50 {report.p50_ms:.1f} ms, "
               f"p99 {report.p99_ms:.1f} ms")
+        if args.workers:
+            stats = service.snapshot_stats()
+            print(f"      worker pool: {stats.workers.jobs} window jobs "
+                  f"over {stats.workers.workers} processes, "
+                  f"{stats.workers.crashes} crashes")
 
     fault = CorruptSignerFault(signer_index=1)
     print("[4/4] Fault injection: signer 1 forges every partial "
@@ -103,6 +111,10 @@ def main() -> None:
     parser.add_argument("-t", type=int, default=2)
     parser.add_argument("-n", type=int, default=5)
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the window crypto "
+                        "(0 = in-process; N = process-parallel tier, "
+                        "try N = your core count with --backend bn254)")
     parser.add_argument("--requests", type=int, default=48)
     parser.add_argument("--rate", type=float, default=2000.0,
                         help="open-loop arrival rate (requests/second)")

@@ -551,6 +551,84 @@ class ServiceHandle:
             for index in indices
         ]
 
+    def partials_with_faults(self, message: bytes,
+                             signers: Sequence[int],
+                             fault_injector=None,
+                             shard_id: int = 0
+                             ) -> List[PartialSignature]:
+        """Like :meth:`partials_for`, with every partial run through a
+        service-layer fault injector (see :mod:`repro.service.faults`).
+        The single producer both the in-process shard workers and the
+        process workers use, so injector semantics cannot diverge
+        between the two execution tiers.
+        """
+        produced = []
+        for index in signers:
+            partial = self._share_sign(self.shares[index], message)
+            if fault_injector is not None:
+                partial = fault_injector(shard_id, index, message, partial)
+            produced.append(partial)
+        return produced
+
+    def process_sign_window(self, messages: Sequence[bytes],
+                            quorum: Optional[Sequence[int]] = None,
+                            fault_injector=None, shard_id: int = 0,
+                            rng=None):
+        """Serve one batch window of sign requests end to end.
+
+        Produces the quorum's partial signatures per message (running
+        ``fault_injector`` over each, when given — see
+        :mod:`repro.service.faults`), combines the window through
+        :meth:`LJYThresholdScheme.combine_window` (one cross-message
+        batch check), and re-runs any request that still lacks a
+        signature through a robust combine over the **full** signer
+        ring, so a request completes whenever t+1 honest servers exist.
+
+        Returns a :class:`~repro.serialization.SignWindowOutcome` — the
+        shard workers of :mod:`repro.service.shards` and the process
+        workers of :mod:`repro.service.workers` both dispatch here, so
+        in-process and multi-process modes serve the identical contract.
+        """
+        from repro.serialization import SignWindowOutcome
+        if not hasattr(self.scheme, "combine_window"):
+            raise TypeError(
+                f"{type(self.scheme).__name__} has no window-sized entry "
+                "points; use the one-off sign()/verify() paths")
+        indices = self.quorum() if quorum is None else list(quorum)
+        windows = [
+            (message, self.partials_with_faults(
+                message, indices, fault_injector=fault_injector,
+                shard_id=shard_id))
+            for message in messages
+        ]
+        signatures, flagged = self.scheme.combine_window(
+            self.public_key, self.verification_keys, windows, rng=rng)
+        failures = []
+        fallback_combines = 0
+        for position, signature in enumerate(signatures):
+            if signature is not None:
+                continue
+            # The quorum did not contain t+1 valid shares: per-share
+            # fallback over the full signer ring (injector still
+            # applied — robustness must survive a persistent fault).
+            fallback_combines += 1
+            try:
+                signatures[position] = self.scheme.combine(
+                    self.public_key, self.verification_keys,
+                    messages[position],
+                    self.partials_with_faults(
+                        messages[position], self._signer_ring,
+                        fault_injector=fault_injector,
+                        shard_id=shard_id),
+                    verify_shares=True, rng=rng)
+            except Exception as exc:
+                failures.append((
+                    position,
+                    f"sign failed even with the full signer set: {exc}"))
+        return SignWindowOutcome(
+            signatures=tuple(signatures), flagged=tuple(flagged),
+            failures=tuple(failures), fallback_combines=fallback_combines)
+
     def sign(self, message: bytes,
              signers: Optional[Sequence[int]] = None,
              robust: bool = False, rng=None) -> Signature:

@@ -1,16 +1,35 @@
-"""Canonical sizes and encodings for the T1/T5 comparison experiments.
+"""Canonical sizes, encodings and the service wire format.
 
-The paper's size claims (Section 3.1 and Section 4) are stated for
-Barreto-Naehrig curves at the 128-bit level: G elements take 256 bits,
-G_hat elements 512 bits.  The functions here measure the *actual* encoded
-sizes of this library's objects so the experiment tables report measured
-numbers rather than constants copied from the paper.
+Two layers live here:
+
+* **Size accounting** (the original contents): the paper's size claims
+  (Section 3.1 and Section 4) are stated for Barreto-Naehrig curves at
+  the 128-bit level: G elements take 256 bits, G_hat elements 512 bits.
+  The ``measure_*`` functions report the *actual* encoded sizes of this
+  library's objects so the experiment tables report measured numbers
+  rather than constants copied from the paper.
+
+* **The wire format** (:class:`WireCodec` and the job dataclasses): a
+  round-trippable byte encoding for partial signatures, signatures,
+  verification keys, key shares and the window-sized jobs the
+  process-parallel worker tier (:mod:`repro.service.workers`) ships
+  across process boundaries.  Group elements already know their
+  canonical encodings (``to_bytes`` / ``g1_from_bytes`` /
+  ``g2_from_bytes``); the codec frames them with fixed-width element
+  fields, 4-byte big-endian integers and length-prefixed byte strings,
+  so ``decode(encode(x))`` reproduces ``x`` and
+  ``encode(decode(blob)) == blob`` on both backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.keys import PartialSignature, PrivateKeyShare, Signature, \
+    VerificationKey
+from repro.errors import SerializationError
+from repro.groups.api import BilinearGroup
 
 
 @dataclass(frozen=True)
@@ -103,3 +122,403 @@ def measure_shoup(scheme, public_key, partial, signature) -> SizeReport:
         share_bits=((modulus_bits + 7) // 8) * 8,
         partial_signature_bits=bits(partial),
     )
+
+
+# ---------------------------------------------------------------------------
+# The wire format
+# ---------------------------------------------------------------------------
+
+#: Job/outcome kind tags (one byte each).  Uppercase = job, lowercase =
+#: the matching outcome, ``C`` = a full service context.
+KIND_SIGN_JOB = b"S"
+KIND_VERIFY_JOB = b"V"
+KIND_PARTIAL_JOB = b"P"
+KIND_SIGN_OUTCOME = b"s"
+KIND_VERIFY_OUTCOME = b"v"
+KIND_PARTIAL_OUTCOME = b"p"
+KIND_CONTEXT = b"C"
+
+
+@dataclass(frozen=True)
+class SignWindowJob:
+    """One batch window of sign requests: produce a full signature per
+    message using the given signer quorum (partial signing, the
+    cross-message window check and the robust fallback all happen on the
+    executing side — the job carries only what a dispatcher knows)."""
+
+    shard_id: int
+    messages: Tuple[bytes, ...]
+    quorum: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class VerifyWindowJob:
+    """One batch window of verify requests."""
+
+    shard_id: int
+    messages: Tuple[bytes, ...]
+    signatures: Tuple[Signature, ...]
+
+
+@dataclass(frozen=True)
+class PartialSignJob:
+    """Produce the partial signatures of ``signers`` on one message —
+    the building block for a combiner that is *not* co-located with the
+    signers (a distributed deployment over real sockets)."""
+
+    shard_id: int
+    message: bytes
+    signers: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SignWindowOutcome:
+    """Result of a :class:`SignWindowJob`.
+
+    ``signatures[i]`` is ``None`` exactly when position ``i`` appears in
+    ``failures``; ``flagged`` lists the positions that needed a robust
+    fallback (they still completed), and ``fallback_combines`` counts
+    the full-signer-ring recombines that ran.
+    """
+
+    signatures: Tuple[Optional[Signature], ...]
+    flagged: Tuple[int, ...]
+    failures: Tuple[Tuple[int, str], ...]
+    fallback_combines: int
+
+    @property
+    def faults_localized(self) -> int:
+        return len(self.flagged)
+
+
+@dataclass(frozen=True)
+class VerifyWindowOutcome:
+    """Result of a :class:`VerifyWindowJob`: one verdict per message."""
+
+    verdicts: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class PartialSignOutcome:
+    """Result of a :class:`PartialSignJob`."""
+
+    partials: Tuple[PartialSignature, ...]
+
+
+class _Reader:
+    """Sequential reader over one wire blob (bounds-checked)."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, length: int) -> bytes:
+        end = self.offset + length
+        if end > len(self.data):
+            raise SerializationError(
+                f"truncated wire blob: wanted {length} bytes at offset "
+                f"{self.offset}, have {len(self.data) - self.offset}")
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def u32(self) -> int:
+        return int.from_bytes(self.take(4), "big")
+
+    def packed(self) -> bytes:
+        return self.take(self.u32())
+
+    def done(self) -> None:
+        if self.offset != len(self.data):
+            raise SerializationError(
+                f"{len(self.data) - self.offset} trailing bytes after "
+                "wire blob")
+
+
+def _u32(value: int) -> bytes:
+    if value < 0 or value >= 1 << 32:
+        raise SerializationError(f"field {value} does not fit in u32")
+    return value.to_bytes(4, "big")
+
+
+def _packed(data: bytes) -> bytes:
+    return _u32(len(data)) + data
+
+
+class WireCodec:
+    """Round-trippable codecs for one bilinear-group backend.
+
+    Element fields are fixed-width (``group.g1_bytes`` /
+    ``group.g2_bytes`` — both backends define canonical fixed-size
+    encodings), scalars take the group order's byte length, everything
+    else is framed with 4-byte big-endian integers.
+    """
+
+    def __init__(self, group: BilinearGroup):
+        self.group = group
+        self.scalar_bytes = scalar_bits(group.order) // 8
+
+    # -- scalars ------------------------------------------------------------
+    def encode_scalar(self, value: int) -> bytes:
+        return (value % self.group.order).to_bytes(self.scalar_bytes, "big")
+
+    def decode_scalar(self, reader: _Reader) -> int:
+        return int.from_bytes(reader.take(self.scalar_bytes), "big")
+
+    # -- protocol objects ---------------------------------------------------
+    def encode_partial(self, partial: PartialSignature) -> bytes:
+        return _u32(partial.index) + partial.z.to_bytes() + \
+            partial.r.to_bytes()
+
+    def _read_partial(self, reader: _Reader) -> PartialSignature:
+        index = reader.u32()
+        z = self.group.g1_from_bytes(reader.take(self.group.g1_bytes))
+        r = self.group.g1_from_bytes(reader.take(self.group.g1_bytes))
+        return PartialSignature(index=index, z=z, r=r)
+
+    def decode_partial(self, blob: bytes) -> PartialSignature:
+        reader = _Reader(blob)
+        partial = self._read_partial(reader)
+        reader.done()
+        return partial
+
+    def encode_signature(self, signature: Signature) -> bytes:
+        return signature.z.to_bytes() + signature.r.to_bytes()
+
+    def _read_signature(self, reader: _Reader) -> Signature:
+        z = self.group.g1_from_bytes(reader.take(self.group.g1_bytes))
+        r = self.group.g1_from_bytes(reader.take(self.group.g1_bytes))
+        return Signature(z=z, r=r)
+
+    def decode_signature(self, blob: bytes) -> Signature:
+        reader = _Reader(blob)
+        signature = self._read_signature(reader)
+        reader.done()
+        return signature
+
+    def encode_verification_key(self, vk: VerificationKey) -> bytes:
+        return _u32(vk.index) + vk.v_1.to_bytes() + vk.v_2.to_bytes()
+
+    def _read_verification_key(self, reader: _Reader) -> VerificationKey:
+        index = reader.u32()
+        v_1 = self.group.g2_from_bytes(reader.take(self.group.g2_bytes))
+        v_2 = self.group.g2_from_bytes(reader.take(self.group.g2_bytes))
+        return VerificationKey(index=index, v_1=v_1, v_2=v_2)
+
+    def decode_verification_key(self, blob: bytes) -> VerificationKey:
+        reader = _Reader(blob)
+        vk = self._read_verification_key(reader)
+        reader.done()
+        return vk
+
+    def encode_share(self, share: PrivateKeyShare) -> bytes:
+        return _u32(share.index) + b"".join(
+            self.encode_scalar(value)
+            for value in (share.a_1, share.b_1, share.a_2, share.b_2))
+
+    def _read_share(self, reader: _Reader) -> PrivateKeyShare:
+        index = reader.u32()
+        a_1, b_1, a_2, b_2 = (self.decode_scalar(reader) for _ in range(4))
+        return PrivateKeyShare(index=index, a_1=a_1, b_1=b_1,
+                               a_2=a_2, b_2=b_2)
+
+    def decode_share(self, blob: bytes) -> PrivateKeyShare:
+        reader = _Reader(blob)
+        share = self._read_share(reader)
+        reader.done()
+        return share
+
+    # -- window jobs ----------------------------------------------------------
+    def encode_job(self, job) -> bytes:
+        if isinstance(job, SignWindowJob):
+            return KIND_SIGN_JOB + _u32(job.shard_id) + \
+                _u32(len(job.messages)) + \
+                b"".join(_packed(message) for message in job.messages) + \
+                _u32(len(job.quorum)) + \
+                b"".join(_u32(index) for index in job.quorum)
+        if isinstance(job, VerifyWindowJob):
+            if len(job.messages) != len(job.signatures):
+                raise SerializationError(
+                    "verify job needs one signature per message")
+            return KIND_VERIFY_JOB + _u32(job.shard_id) + \
+                _u32(len(job.messages)) + \
+                b"".join(
+                    _packed(message) + self.encode_signature(signature)
+                    for message, signature
+                    in zip(job.messages, job.signatures))
+        if isinstance(job, PartialSignJob):
+            return KIND_PARTIAL_JOB + _u32(job.shard_id) + \
+                _packed(job.message) + _u32(len(job.signers)) + \
+                b"".join(_u32(index) for index in job.signers)
+        raise SerializationError(f"unknown job type {type(job).__name__}")
+
+    def decode_job(self, blob: bytes):
+        reader = _Reader(blob)
+        kind = reader.take(1)
+        shard_id = reader.u32()
+        if kind == KIND_SIGN_JOB:
+            messages = tuple(reader.packed() for _ in range(reader.u32()))
+            quorum = tuple(reader.u32() for _ in range(reader.u32()))
+            job = SignWindowJob(shard_id=shard_id, messages=messages,
+                                quorum=quorum)
+        elif kind == KIND_VERIFY_JOB:
+            count = reader.u32()
+            messages, signatures = [], []
+            for _ in range(count):
+                messages.append(reader.packed())
+                signatures.append(self._read_signature(reader))
+            job = VerifyWindowJob(shard_id=shard_id,
+                                  messages=tuple(messages),
+                                  signatures=tuple(signatures))
+        elif kind == KIND_PARTIAL_JOB:
+            message = reader.packed()
+            signers = tuple(reader.u32() for _ in range(reader.u32()))
+            job = PartialSignJob(shard_id=shard_id, message=message,
+                                 signers=signers)
+        else:
+            raise SerializationError(f"unknown job kind {kind!r}")
+        reader.done()
+        return job
+
+    # -- job outcomes ---------------------------------------------------------
+    def encode_outcome(self, outcome) -> bytes:
+        if isinstance(outcome, SignWindowOutcome):
+            failures = dict(outcome.failures)
+            body = [_u32(len(outcome.signatures))]
+            for position, signature in enumerate(outcome.signatures):
+                if signature is None:
+                    if position not in failures:
+                        raise SerializationError(
+                            f"missing signature at position {position} "
+                            "without a failure record")
+                    body.append(b"\x00" + _packed(
+                        failures[position].encode("utf-8")))
+                else:
+                    body.append(b"\x01" + self.encode_signature(signature))
+            body.append(_u32(len(outcome.flagged)))
+            body.extend(_u32(position) for position in outcome.flagged)
+            body.append(_u32(outcome.fallback_combines))
+            return KIND_SIGN_OUTCOME + b"".join(body)
+        if isinstance(outcome, VerifyWindowOutcome):
+            return KIND_VERIFY_OUTCOME + _u32(len(outcome.verdicts)) + \
+                bytes(1 if verdict else 0 for verdict in outcome.verdicts)
+        if isinstance(outcome, PartialSignOutcome):
+            return KIND_PARTIAL_OUTCOME + _u32(len(outcome.partials)) + \
+                b"".join(self.encode_partial(partial)
+                         for partial in outcome.partials)
+        raise SerializationError(
+            f"unknown outcome type {type(outcome).__name__}")
+
+    def decode_outcome(self, blob: bytes):
+        reader = _Reader(blob)
+        kind = reader.take(1)
+        if kind == KIND_SIGN_OUTCOME:
+            count = reader.u32()
+            signatures: List[Optional[Signature]] = []
+            failures = []
+            for position in range(count):
+                status = reader.take(1)
+                if status == b"\x00":
+                    signatures.append(None)
+                    failures.append(
+                        (position, reader.packed().decode("utf-8")))
+                elif status == b"\x01":
+                    signatures.append(self._read_signature(reader))
+                else:
+                    # Strict one-byte flags keep the encoding canonical
+                    # (encode(decode(blob)) == blob), like the rejection
+                    # of unknown kinds and trailing bytes.
+                    raise SerializationError(
+                        f"invalid sign-outcome status byte {status!r}")
+            flagged = tuple(reader.u32() for _ in range(reader.u32()))
+            fallback_combines = reader.u32()
+            outcome = SignWindowOutcome(
+                signatures=tuple(signatures), flagged=flagged,
+                failures=tuple(failures),
+                fallback_combines=fallback_combines)
+        elif kind == KIND_VERIFY_OUTCOME:
+            flags = reader.take(reader.u32())
+            if any(byte > 1 for byte in flags):
+                raise SerializationError(
+                    "invalid verdict byte in verify outcome")
+            outcome = VerifyWindowOutcome(verdicts=tuple(
+                byte == 1 for byte in flags))
+        elif kind == KIND_PARTIAL_OUTCOME:
+            outcome = PartialSignOutcome(partials=tuple(
+                self._read_partial(reader) for _ in range(reader.u32())))
+        else:
+            raise SerializationError(f"unknown outcome kind {kind!r}")
+        reader.done()
+        return outcome
+
+
+def encode_service_context(handle) -> bytes:
+    """Serialize everything a worker process needs to rebuild a
+    :class:`~repro.core.scheme.ServiceHandle`: backend name, threshold
+    parameters (with the derived generators inline, so no derivation
+    assumptions survive the wire), public key, key shares and
+    verification keys.
+
+    This is the simulation's stand-in for deployment provisioning; a
+    real deployment ships each server only its own share.
+    """
+    scheme = handle.scheme
+    if not hasattr(scheme, "combine_window"):
+        raise TypeError(
+            f"{type(scheme).__name__} has no window-sized entry points; "
+            "the worker tier serves LJYThresholdScheme handles only")
+    group = scheme.group
+    params = scheme.params
+    codec = WireCodec(group)
+    body = [
+        KIND_CONTEXT,
+        _packed(group.name.encode("utf-8")),
+        _u32(params.t), _u32(params.n),
+        _packed(params.hash_domain.encode("utf-8")),
+        params.g_z.to_bytes(), params.g_r.to_bytes(),
+        handle.public_key.g_1.to_bytes(), handle.public_key.g_2.to_bytes(),
+        _u32(len(handle.shares)),
+    ]
+    body.extend(codec.encode_share(share)
+                for _, share in sorted(handle.shares.items()))
+    body.append(_u32(len(handle.verification_keys)))
+    body.extend(codec.encode_verification_key(vk)
+                for _, vk in sorted(handle.verification_keys.items()))
+    return b"".join(body)
+
+
+def decode_service_context(blob: bytes):
+    """Rebuild a :class:`~repro.core.scheme.ServiceHandle` from
+    :func:`encode_service_context` output (used as the per-process
+    warm-state seed by :mod:`repro.service.workers`)."""
+    from repro.core.keys import PublicKey, ThresholdParams
+    from repro.core.scheme import LJYThresholdScheme, ServiceHandle
+    from repro.groups import get_group
+
+    reader = _Reader(blob)
+    if reader.take(1) != KIND_CONTEXT:
+        raise SerializationError("not a service-context blob")
+    group = get_group(reader.packed().decode("utf-8"))
+    codec = WireCodec(group)
+    t, n = reader.u32(), reader.u32()
+    hash_domain = reader.packed().decode("utf-8")
+    g_z = group.g2_from_bytes(reader.take(group.g2_bytes))
+    g_r = group.g2_from_bytes(reader.take(group.g2_bytes))
+    g_1 = group.g2_from_bytes(reader.take(group.g2_bytes))
+    g_2 = group.g2_from_bytes(reader.take(group.g2_bytes))
+    params = ThresholdParams(group=group, t=t, n=n, g_z=g_z, g_r=g_r,
+                             hash_domain=hash_domain)
+    shares = {}
+    for _ in range(reader.u32()):
+        share = codec._read_share(reader)
+        shares[share.index] = share
+    verification_keys = {}
+    for _ in range(reader.u32()):
+        vk = codec._read_verification_key(reader)
+        verification_keys[vk.index] = vk
+    reader.done()
+    scheme = LJYThresholdScheme(params)
+    public_key = PublicKey(params=params, g_1=g_1, g_2=g_2)
+    return ServiceHandle(scheme, public_key, shares, verification_keys)

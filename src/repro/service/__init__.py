@@ -21,31 +21,39 @@ Thetacrypt mold:
 * :class:`~repro.service.loadgen.LoadGenerator` — open-loop Poisson
   arrivals and closed-loop concurrency, reporting p50/p99 latency and
   throughput.
+* :class:`~repro.service.workers.WorkerPool` — the process-parallel
+  execution tier: shard workers encode their windows into the wire
+  format of :mod:`repro.serialization` and dispatch them to a pool of
+  warm worker processes (``ServiceConfig(workers=N)``), with crash
+  detection and job resubmission.
 * :mod:`~repro.service.faults` — failure injection: a shard returning
   forged partial signatures exercises ``locate_invalid`` bisection and
   the robust per-share fallback without poisoning neighbors in the same
-  window.
+  window; a worker process dying mid-window
+  (:class:`~repro.service.faults.WorkerCrashFault`) exercises the
+  pool's crash recovery.
 
-Everything here is plain asyncio over the in-process scheme — the
-network is simulated away, the scheduling policy and the amortization
-are real.
+Scheduling policy, amortization and (with ``workers=N``) process
+parallelism are real; only the client/server network is simulated away.
 """
 
 from repro.service.accumulator import BatchAccumulator
-from repro.service.faults import CorruptSignerFault
+from repro.service.faults import CorruptSignerFault, WorkerCrashFault
 from repro.service.frontend import ServiceConfig, SigningService
 from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.shards import HashRing, ShardPool
 from repro.service.types import (
     RequestFailedError, ServiceClosedError, ServiceError,
     ServiceOverloadedError, ServiceStats, ShardStats, SignResult,
-    VerifyResult,
+    VerifyResult, WorkerCrashError, WorkerPoolStats,
 )
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "BatchAccumulator", "CorruptSignerFault", "HashRing",
     "LoadGenerator", "LoadReport", "RequestFailedError", "ServiceClosedError",
     "ServiceConfig", "ServiceError", "ServiceOverloadedError", "ServiceStats",
     "ShardPool", "ShardStats", "SigningService", "SignResult",
-    "VerifyResult",
+    "VerifyResult", "WorkerCrashError", "WorkerCrashFault", "WorkerPool",
+    "WorkerPoolStats",
 ]

@@ -19,6 +19,39 @@ from typing import Optional, Set, Tuple
 from repro.core.keys import PartialSignature
 
 
+class WorkerCrashFault:
+    """Kill the executing worker *process* the first time it signs.
+
+    Models a worker OOM-killed or segfaulting mid-window: the process
+    dies hard (``os._exit``, no exception propagation, no cleanup), the
+    executor breaks, and :class:`~repro.service.workers.WorkerPool` must
+    detect the crash and resubmit the window to a rebuilt pool.
+
+    Crash-once bookkeeping cannot live in instance state — the fault
+    object is copied into every worker process, and the resubmitted job
+    lands in a *fresh* process with a fresh copy.  A sentinel file
+    marks "already crashed" across process generations instead: the
+    first worker to fire creates it and dies; the retried job sees it
+    and proceeds honestly.
+    """
+
+    def __init__(self, sentinel_path, signer_index: Optional[int] = None):
+        self.sentinel_path = str(sentinel_path)
+        self.signer_index = signer_index
+
+    def __call__(self, shard_id: int, signer_index: int, message: bytes,
+                 partial: PartialSignature) -> PartialSignature:
+        import os
+        if self.signer_index is not None and \
+                signer_index != self.signer_index:
+            return partial
+        if not os.path.exists(self.sentinel_path):
+            with open(self.sentinel_path, "w") as sentinel:
+                sentinel.write("crashed\n")
+            os._exit(1)
+        return partial
+
+
 class CorruptSignerFault:
     """Forge the partial signatures of one signer on one shard.
 

@@ -36,15 +36,26 @@ class ServiceConfig:
       (count or age, whichever first).
     * ``queue_depth`` — per-shard admission bound; beyond it requests
       are shed with :class:`ServiceOverloadedError`.
+    * ``workers`` — worker *processes* for the window crypto.  0 (the
+      default) runs every window on the event loop; N > 0 dispatches
+      windows to a shared :class:`~repro.service.workers.WorkerPool` of
+      N warm processes, so up to min(num_shards, N) windows run in
+      parallel on separate cores.
     """
 
     num_shards: int = 2
     max_batch: int = 16
     max_wait_ms: float = 5.0
     queue_depth: int = 256
-    #: Optional fault injector (see :mod:`repro.service.faults`).
+    #: Process-parallel tier: 0 = in-process, N = pool of N processes.
+    workers: int = 0
+    #: Optional fault injector (see :mod:`repro.service.faults`).  With
+    #: ``workers > 0`` it is applied inside the worker processes, so any
+    #: state it keeps (e.g. ``CorruptSignerFault.injected``) lives there.
     fault_injector: Optional[Callable] = None
     #: RNG driving the small-exponent batching coins (tests pin it).
+    #: Worker processes draw their own coins — an adversary must not be
+    #: able to predict them from a parent-visible seed anyway.
     rng: Optional[object] = None
 
 
@@ -71,7 +82,8 @@ class SigningService:
         self._pool = ShardPool(
             self.handle, config.num_shards, config.max_batch,
             config.max_wait_ms, config.queue_depth,
-            fault_injector=config.fault_injector, rng=config.rng)
+            fault_injector=config.fault_injector, rng=config.rng,
+            workers=config.workers)
         self._pool.start()
 
     async def stop(self) -> None:
@@ -83,6 +95,8 @@ class SigningService:
             await asyncio.sleep(0.001)
         await pool.stop()
         self.stats.shards = pool.stats()
+        if pool.worker_pool is not None:
+            self.stats.workers = pool.worker_pool.stats
 
     async def __aenter__(self) -> "SigningService":
         await self.start()
@@ -147,4 +161,6 @@ class SigningService:
         """Current stats (shard breakdown live while running)."""
         if self._pool is not None:
             self.stats.shards = self._pool.stats()
+            if self._pool.worker_pool is not None:
+                self.stats.workers = self._pool.worker_pool.stats
         return self.stats

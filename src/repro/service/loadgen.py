@@ -13,6 +13,12 @@ Two classic load models:
 
 Latency is measured per request from submission to completion and
 reported as p50/p99/mean plus throughput over the wall-clock span.
+
+The generator is execution-tier agnostic: the same workload drives an
+in-process service or the process-parallel worker tier — the knob is
+``ServiceConfig(workers=N)`` on the service under test, which is how
+``tools/bench_snapshot.py`` (``svc_mp_*``) and the F6d experiment
+measure multi-core scaling at fixed offered load.
 """
 
 from __future__ import annotations

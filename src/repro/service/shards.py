@@ -18,13 +18,14 @@ import bisect
 import hashlib
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.keys import PartialSignature
 from repro.core.scheme import ServiceHandle
+from repro.serialization import SignWindowJob, VerifyWindowJob
 from repro.service.accumulator import BatchAccumulator
 from repro.service.types import (
     PendingRequest, RequestFailedError, RequestKind, ShardStats, SignResult,
     VerifyResult,
 )
+from repro.service.workers import WorkerPool
 
 #: Virtual nodes per shard on the hash ring; enough that load imbalance
 #: between shards stays within a few percent.
@@ -65,7 +66,8 @@ class ShardWorker:
 
     def __init__(self, shard_id: int, handle: ServiceHandle,
                  max_batch: int, max_wait_ms: float, queue_depth: int,
-                 fault_injector: Optional[Callable] = None, rng=None):
+                 fault_injector: Optional[Callable] = None, rng=None,
+                 worker_pool: Optional[WorkerPool] = None):
         self.shard_id = shard_id
         self.handle = handle
         self.queue: "asyncio.Queue[PendingRequest]" = asyncio.Queue(
@@ -76,6 +78,9 @@ class ShardWorker:
         self.stats = ShardStats(shard_id=shard_id)
         self.fault_injector = fault_injector
         self.rng = rng
+        #: When set, windows are encoded into wire jobs and dispatched
+        #: to the shared process pool instead of running on this loop.
+        self.worker_pool = worker_pool
         #: Quorum rotation: shard i starts its signer window at offset i,
         #: so different shards exercise different (overlapping) quorums.
         self.quorum = handle.quorum(rotation=shard_id)
@@ -107,7 +112,10 @@ class ShardWorker:
             started = loop.time()
             self._record_window(window)
             try:
-                self._process_window(window, loop)
+                if self.worker_pool is None:
+                    self._process_window(window, loop)
+                else:
+                    await self._process_window_mp(window, loop)
             except Exception as exc:  # defensive: fail requests, not shard
                 for request in window:
                     if not request.future.done():
@@ -127,25 +135,58 @@ class ShardWorker:
         if size >= self.max_batch:
             self.stats.full_windows += 1
 
-    def _process_window(self, window: List[PendingRequest], loop) -> None:
+    @staticmethod
+    def _split(window: List[PendingRequest]):
         signs = [r for r in window if r.kind is RequestKind.SIGN]
         verifies = [r for r in window if r.kind is RequestKind.VERIFY]
-        if signs:
-            self._process_signs(signs, len(window), loop)
-        if verifies:
-            self._process_verifies(verifies, len(window), loop)
+        return signs, verifies
 
-    def _partials(self, message: bytes,
-                  signers: Sequence[int]) -> List[PartialSignature]:
-        partials = []
-        for index in signers:
-            partial = self.handle._share_sign(
-                self.handle.shares[index], message)
-            if self.fault_injector is not None:
-                partial = self.fault_injector(
-                    self.shard_id, index, message, partial)
-            partials.append(partial)
-        return partials
+    def _process_window(self, window: List[PendingRequest], loop) -> None:
+        """In-process mode: run the window's crypto on this event loop."""
+        signs, verifies = self._split(window)
+        if signs:
+            self.stats.sign_requests += len(signs)
+            outcome = self.handle.process_sign_window(
+                [request.message for request in signs], quorum=self.quorum,
+                fault_injector=self.fault_injector,
+                shard_id=self.shard_id, rng=self.rng)
+            self._apply_sign_outcome(signs, outcome, len(window), loop)
+        if verifies:
+            self.stats.verify_requests += len(verifies)
+            verdicts = self.handle.verify_window(
+                [request.message for request in verifies],
+                [request.signature for request in verifies], rng=self.rng)
+            self._apply_verify_verdicts(verifies, verdicts,
+                                        len(window), loop)
+
+    async def _process_window_mp(self, window: List[PendingRequest],
+                                 loop) -> None:
+        """Multi-process mode: encode the window into wire jobs and
+        dispatch them to the shared worker pool.  The sign and verify
+        halves of a mixed window run concurrently (they are independent
+        jobs, possibly on different worker processes)."""
+        signs, verifies = self._split(window)
+        jobs = []
+        if signs:
+            self.stats.sign_requests += len(signs)
+            jobs.append(self.worker_pool.run_job(SignWindowJob(
+                shard_id=self.shard_id,
+                messages=tuple(request.message for request in signs),
+                quorum=tuple(self.quorum))))
+        if verifies:
+            self.stats.verify_requests += len(verifies)
+            jobs.append(self.worker_pool.run_job(VerifyWindowJob(
+                shard_id=self.shard_id,
+                messages=tuple(request.message for request in verifies),
+                signatures=tuple(
+                    request.signature for request in verifies))))
+        outcomes = await asyncio.gather(*jobs)
+        if signs:
+            self._apply_sign_outcome(signs, outcomes.pop(0),
+                                     len(window), loop)
+        if verifies:
+            self._apply_verify_verdicts(verifies, outcomes.pop(0).verdicts,
+                                        len(window), loop)
 
     @staticmethod
     def _resolve(request: PendingRequest, result) -> None:
@@ -158,49 +199,28 @@ class ShardWorker:
         else:
             request.future.set_result(result)
 
-    def _process_signs(self, requests: List[PendingRequest],
-                       window_size: int, loop) -> None:
-        self.stats.sign_requests += len(requests)
-        scheme = self.handle.scheme
-        windows = [
-            (request.message, self._partials(request.message, self.quorum))
-            for request in requests
-        ]
-        signatures, flagged = scheme.combine_window(
-            self.handle.public_key, self.handle.verification_keys,
-            windows, rng=self.rng)
-        self.stats.faults_localized += len(flagged)
-        flagged_set = set(flagged)
+    def _apply_sign_outcome(self, requests: List[PendingRequest],
+                            outcome, window_size: int, loop) -> None:
+        """Resolve sign futures from a SignWindowOutcome (either mode)."""
+        self.stats.faults_localized += outcome.faults_localized
+        self.stats.fallback_combines += outcome.fallback_combines
+        flagged_set = set(outcome.flagged)
+        failures = dict(outcome.failures)
         for position, request in enumerate(requests):
-            signature = signatures[position]
+            signature = outcome.signatures[position]
             if signature is None:
-                # The quorum did not contain t+1 valid shares: per-share
-                # fallback over the full signer ring (injector still
-                # applied — robustness must survive a persistent fault).
-                self.stats.fallback_combines += 1
-                try:
-                    signature = scheme.combine(
-                        self.handle.public_key,
-                        self.handle.verification_keys, request.message,
-                        self._partials(request.message,
-                                       self.handle._signer_ring),
-                        verify_shares=True, rng=self.rng)
-                except Exception as exc:
-                    self._resolve(request, RequestFailedError(
-                        f"sign failed even with the full signer set: {exc}"))
-                    continue
+                self._resolve(request, RequestFailedError(
+                    failures.get(position, "sign request failed")))
+                continue
             latency_ms = (loop.time() - request.enqueued_at) * 1000.0
             self._resolve(request, SignResult(
                 message=request.message, signature=signature,
                 shard_id=self.shard_id, batch_size=window_size,
                 fallback=position in flagged_set, latency_ms=latency_ms))
 
-    def _process_verifies(self, requests: List[PendingRequest],
-                          window_size: int, loop) -> None:
-        self.stats.verify_requests += len(requests)
-        verdicts = self.handle.verify_window(
-            [request.message for request in requests],
-            [request.signature for request in requests], rng=self.rng)
+    def _apply_verify_verdicts(self, requests: List[PendingRequest],
+                               verdicts: Sequence[bool],
+                               window_size: int, loop) -> None:
         invalid = sum(1 for verdict in verdicts if not verdict)
         self.stats.faults_localized += invalid
         for request, verdict in zip(requests, verdicts):
@@ -216,13 +236,24 @@ class ShardPool:
 
     def __init__(self, handle: ServiceHandle, num_shards: int,
                  max_batch: int, max_wait_ms: float, queue_depth: int,
-                 fault_injector: Optional[Callable] = None, rng=None):
+                 fault_injector: Optional[Callable] = None, rng=None,
+                 workers: int = 0):
         if num_shards < 1:
             raise ValueError("need at least one shard")
+        # ``workers > 0`` adds the process-parallel tier: one pool of
+        # warm worker processes shared by all shards, so up to
+        # min(num_shards, workers) windows run crypto concurrently.  In
+        # that mode the fault injector runs inside the worker processes
+        # (its call-count state is per-process) and ``rng`` only drives
+        # the in-parent paths — worker coins are process-local.
+        self.worker_pool = (
+            WorkerPool(handle, workers, fault_injector=fault_injector)
+            if workers > 0 else None)
         self.workers: Dict[int, ShardWorker] = {
             shard_id: ShardWorker(
                 shard_id, handle, max_batch, max_wait_ms, queue_depth,
-                fault_injector=fault_injector, rng=rng)
+                fault_injector=fault_injector, rng=rng,
+                worker_pool=self.worker_pool)
             for shard_id in range(num_shards)
         }
         self.ring = HashRing(sorted(self.workers))
@@ -231,12 +262,19 @@ class ShardPool:
         return self.workers[self.ring.shard_for(message)]
 
     def start(self) -> None:
+        if self.worker_pool is not None:
+            self.worker_pool.start()
         for worker in self.workers.values():
             worker.start()
 
     async def stop(self) -> None:
         await asyncio.gather(
             *(worker.stop() for worker in self.workers.values()))
+        if self.worker_pool is not None:
+            # Joining N worker processes can take a while; keep the
+            # event loop cooperative by shutting down off-loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.worker_pool.shutdown)
 
     def stats(self) -> Dict[int, ShardStats]:
         return {

@@ -41,6 +41,12 @@ class RequestFailedError(ServiceError):
     """A sign request could not be completed (not enough valid shares)."""
 
 
+class WorkerCrashError(ServiceError):
+    """A window job kept landing on crashing worker processes (the pool
+    rebuilds and resubmits on a crash; this fires only when the retry
+    budget is exhausted, or the pool is not running)."""
+
+
 class RequestKind(enum.Enum):
     SIGN = "sign"
     VERIFY = "verify"
@@ -94,6 +100,19 @@ class ShardStats:
 
 
 @dataclass
+class WorkerPoolStats:
+    """Process-pool accounting (the multi-process execution tier)."""
+
+    workers: int = 0
+    #: Window jobs that completed on a worker process.
+    jobs: int = 0
+    #: Worker-process deaths observed (each poisons one executor).
+    crashes: int = 0
+    #: Jobs resubmitted to a rebuilt pool after a crash.
+    resubmissions: int = 0
+
+
+@dataclass
 class ServiceStats:
     """Aggregated service telemetry (admission + shards + traffic)."""
 
@@ -104,9 +123,11 @@ class ServiceStats:
     ingress: TrafficCounter = field(default_factory=TrafficCounter)
     egress: TrafficCounter = field(default_factory=TrafficCounter)
     shards: Dict[int, ShardStats] = field(default_factory=dict)
+    #: Present only when the service runs the process-parallel tier.
+    workers: Optional[WorkerPoolStats] = None
 
     def summary(self) -> Dict[str, object]:
-        return {
+        summary = {
             "accepted": self.accepted,
             "rejected": self.rejected,
             "completed": self.completed,
@@ -120,6 +141,10 @@ class ServiceStats:
                 sum(s.batched_requests for s in self.shards.values())
                 / max(1, sum(s.windows for s in self.shards.values()))),
         }
+        if self.workers is not None:
+            summary["worker_jobs"] = self.workers.jobs
+            summary["worker_crashes"] = self.workers.crashes
+        return summary
 
 
 @dataclass

@@ -1,12 +1,20 @@
-"""Tests for size accounting and the bench table renderer."""
+"""Tests for size accounting, the bench table renderer, and the wire
+format (round-trippable codecs for partials, signatures, verification
+keys, shares, service contexts and window jobs on both backends)."""
+
+import random
 
 import pytest
 
 from repro.bench.tables import Table, format_table
 from repro.core.keys import ThresholdParams
-from repro.core.scheme import LJYThresholdScheme
+from repro.core.scheme import LJYThresholdScheme, ServiceHandle
+from repro.errors import SerializationError
 from repro.serialization import (
-    bits, measure_bls, measure_ljy_rom, scalar_bits,
+    PartialSignJob, PartialSignOutcome, SignWindowJob, SignWindowOutcome,
+    VerifyWindowJob, VerifyWindowOutcome, WireCodec, bits,
+    decode_service_context, encode_service_context, measure_bls,
+    measure_ljy_rom, scalar_bits,
 )
 
 
@@ -53,6 +61,146 @@ class TestSizeAccounting:
                               signature).as_row()
         assert set(row) == {"scheme", "signature_bits", "public_key_bits",
                             "share_bits", "partial_bits"}
+
+
+# ---------------------------------------------------------------------------
+# Wire format round trips (both backends)
+# ---------------------------------------------------------------------------
+
+#: Messages chosen to stress the framing: empty, binary, long, and
+#: byte strings that look like the format's own field markers.
+WIRE_MESSAGES = [b"", b"plain", b"\x00" * 7, b"\xff\x00S V P", b"x" * 3000]
+
+
+def _handles(request):
+    """A (handle, codec, rng) triple on the requested backend."""
+    group = request.getfixturevalue(
+        "bn254_group" if request.param == "bn254" else "toy_group")
+    handle = ServiceHandle.dealer(group, 2, 5, rng=random.Random(99))
+    return handle, WireCodec(group), random.Random(7)
+
+
+@pytest.fixture(params=["toy", pytest.param("bn254",
+                                            marks=pytest.mark.bn254)])
+def wire(request):
+    return _handles(request)
+
+
+class TestWireRoundTrips:
+    """encode -> decode -> encode identity for every wire object.
+
+    Both directions are asserted: the decoded object equals the
+    original (object identity of the value), and re-encoding the
+    decoded object reproduces the blob byte for byte (encoding
+    canonicity — what lets a combiner hash/deduplicate blobs).
+    """
+
+    def test_partial_signature(self, wire):
+        handle, codec, _ = wire
+        for message in WIRE_MESSAGES:
+            for partial in handle.partials_for(message):
+                blob = codec.encode_partial(partial)
+                decoded = codec.decode_partial(blob)
+                assert decoded == partial
+                assert codec.encode_partial(decoded) == blob
+
+    def test_signature(self, wire):
+        handle, codec, _ = wire
+        for message in WIRE_MESSAGES:
+            signature = handle.sign(message)
+            blob = codec.encode_signature(signature)
+            decoded = codec.decode_signature(blob)
+            assert decoded == signature
+            assert codec.encode_signature(decoded) == blob
+            assert handle.verify(message, decoded)
+
+    def test_verification_key(self, wire):
+        handle, codec, _ = wire
+        for vk in handle.verification_keys.values():
+            blob = codec.encode_verification_key(vk)
+            decoded = codec.decode_verification_key(blob)
+            assert decoded == vk
+            assert codec.encode_verification_key(decoded) == blob
+
+    def test_private_key_share(self, wire):
+        handle, codec, _ = wire
+        order = handle.scheme.group.order
+        for share in handle.shares.values():
+            blob = codec.encode_share(share)
+            decoded = codec.decode_share(blob)
+            assert decoded == share.reduce(order)
+            assert codec.encode_share(decoded) == blob
+
+    def test_window_jobs(self, wire):
+        handle, codec, rng = wire
+        jobs = [
+            SignWindowJob(shard_id=3, messages=tuple(WIRE_MESSAGES),
+                          quorum=tuple(handle.quorum())),
+            SignWindowJob(shard_id=0, messages=(), quorum=()),
+            VerifyWindowJob(
+                shard_id=1, messages=tuple(WIRE_MESSAGES),
+                signatures=tuple(handle.sign(message)
+                                 for message in WIRE_MESSAGES)),
+            PartialSignJob(shard_id=2, message=b"\x00partial",
+                           signers=(5, 1, 3)),
+        ]
+        for job in jobs:
+            blob = codec.encode_job(job)
+            decoded = codec.decode_job(blob)
+            assert decoded == job
+            assert codec.encode_job(decoded) == blob
+
+    def test_window_outcomes(self, wire):
+        handle, codec, rng = wire
+        signatures = [handle.sign(message) for message in WIRE_MESSAGES]
+        outcomes = [
+            SignWindowOutcome(
+                signatures=(signatures[0], None, signatures[2]),
+                flagged=(1, 2), failures=((1, "no quorum: bad shares"),),
+                fallback_combines=2),
+            VerifyWindowOutcome(verdicts=(True, False, True, True)),
+            VerifyWindowOutcome(verdicts=()),
+            PartialSignOutcome(partials=tuple(
+                handle.partials_for(b"outcome partials"))),
+        ]
+        for outcome in outcomes:
+            blob = codec.encode_outcome(outcome)
+            decoded = codec.decode_outcome(blob)
+            assert decoded == outcome
+            assert codec.encode_outcome(decoded) == blob
+
+    def test_service_context(self, wire):
+        handle, codec, _ = wire
+        blob = encode_service_context(handle)
+        rebuilt = decode_service_context(blob)
+        # Same keys, same parameters, and interoperable artifacts:
+        # a signature produced by the rebuilt handle verifies under the
+        # original and vice versa.
+        assert rebuilt.public_key.g_1 == handle.public_key.g_1
+        assert rebuilt.verification_keys == handle.verification_keys
+        assert sorted(rebuilt.shares) == sorted(handle.shares)
+        assert encode_service_context(rebuilt) == blob
+        message = b"cross-process interop"
+        assert handle.verify(message, rebuilt.sign(message))
+        assert rebuilt.verify(message, handle.sign(message))
+
+    def test_truncated_and_trailing_blobs_rejected(self, wire):
+        handle, codec, _ = wire
+        blob = codec.encode_partial(handle.partials_for(b"m")[0])
+        with pytest.raises(SerializationError):
+            codec.decode_partial(blob[:-1])
+        with pytest.raises(SerializationError):
+            codec.decode_partial(blob + b"\x00")
+        with pytest.raises(SerializationError):
+            codec.decode_job(b"Z" + blob)
+
+    def test_sign_outcome_requires_failure_reason_for_none(self, wire):
+        handle, codec, _ = wire
+        incomplete = SignWindowOutcome(
+            signatures=(None,), flagged=(0,), failures=(),
+            fallback_combines=1)
+        with pytest.raises(SerializationError):
+            codec.encode_outcome(incomplete)
 
 
 class TestTables:

@@ -10,15 +10,20 @@ window) and asserts the service contract:
 * every signature produced is valid under the public key;
 * verify traffic returns the right verdicts (including for the one
   deliberately forged signature);
-* the forged-partial window is localized and still completes.
+* the forged-partial window is localized and still completes;
+* the process-parallel worker tier (``workers=N``) serves the same
+  contract over the wire format: signatures produced in worker
+  processes verify in the parent, nothing is rejected or failed.
 
-Exit code 0 on success, 1 with a reason on any violation.  Wired into
-``make serve-smoke`` (and ``make smoke`` alongside the perf gate).
+Exit-code contract (CI depends on it): **every** failure path exits
+nonzero — contract violations return 1 with a reason per line, and any
+unexpected exception propagates (Python exits 1).  Only a fully clean
+run exits 0.
 
 Usage::
 
     PYTHONPATH=src python tools/serve_smoke.py [--backend bn254]
-        [--requests 100] [--shards 2]
+        [--requests 100] [--shards 2] [--workers 2]
 """
 
 from __future__ import annotations
@@ -38,7 +43,8 @@ from repro.service import (                                # noqa: E402
 )
 
 
-async def run_smoke(backend: str, requests: int, shards: int) -> int:
+async def run_smoke(backend: str, requests: int, shards: int,
+                    workers: int) -> int:
     group = get_group(backend)
     handle = ServiceHandle.dealer(group, 2, 5, rng=random.Random(1))
     failures = []
@@ -72,6 +78,15 @@ async def run_smoke(backend: str, requests: int, shards: int) -> int:
 
         # -- act 2: open-loop verification with one forgery ------------
         forged_at = requests // 2
+        if forged_at not in signed:
+            # Act 1 already recorded the failure above; bail out rather
+            # than crash on the missing signature (the exit code would
+            # still be nonzero either way — this keeps the reason list
+            # readable).
+            print("serve-smoke FAILED:")
+            for reason in failures:
+                print(f"  - {reason}")
+            return 1
         good = signed[forged_at].signature
         forged = type(good)(z=good.z * good.z, r=good.r)
 
@@ -112,10 +127,47 @@ async def run_smoke(backend: str, requests: int, shards: int) -> int:
     check(len(fault.injected) > 0, "fault injector never fired")
     check(shard.faults_localized > 0, "forged partials not localized")
 
+    # -- act 4: the process-parallel worker tier -----------------------
+    mp_requests = min(requests, 16)
+    mp_config = ServiceConfig(num_shards=max(2, shards), max_batch=8,
+                              max_wait_ms=10.0, queue_depth=4 * requests,
+                              workers=workers)
+    async with SigningService(handle, mp_config) as service:
+        mp_signed = {}
+
+        async def mp_sign(ordinal):
+            result = await service.sign(b"mp doc %d" % ordinal)
+            mp_signed[ordinal] = result
+            return result
+
+        mp_report = await LoadGenerator(mp_sign).run_closed(
+            mp_requests, 8)
+        check(mp_report.rejected == 0 and mp_report.failed == 0,
+              f"worker tier shed/failed requests "
+              f"({mp_report.rejected} rejected, {mp_report.failed} failed)")
+        for ordinal, result in mp_signed.items():
+            check(handle.verify(result.message, result.signature),
+                  f"worker tier produced an invalid signature for "
+                  f"#{ordinal}")
+        mp_verify = await LoadGenerator(
+            lambda i: service.verify(mp_signed[i].message,
+                                     mp_signed[i].signature)
+        ).run_closed(mp_requests, 8)
+        check(mp_verify.completed == mp_requests
+              and mp_verify.invalid == 0,
+              "worker tier returned wrong verify verdicts")
+    mp_stats = service.snapshot_stats()
+    check(mp_stats.workers is not None and mp_stats.workers.jobs > 0,
+          "worker tier dispatched no jobs")
+    check(mp_stats.workers is not None and mp_stats.workers.crashes == 0,
+          "worker processes crashed during the smoke run")
+
     print(f"serve-smoke [{backend}]: {stats.accepted} requests, "
           f"{windows} windows, 0 rejected, 0 failed; forged window "
           f"localized ({shard.faults_localized} flags, "
-          f"{shard.fallback_combines} robust fallbacks)")
+          f"{shard.fallback_combines} robust fallbacks); worker tier "
+          f"[{workers} procs] served "
+          f"{mp_stats.workers.jobs if mp_stats.workers else 0} window jobs")
     if failures:
         print("serve-smoke FAILED:")
         for reason in failures:
@@ -133,9 +185,15 @@ def main(argv=None) -> int:
                         "curve — this is the CI gate)")
     parser.add_argument("--requests", type=int, default=100)
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the process-parallel "
+                        "act (must be >= 1; the tier is part of the "
+                        "service contract this smoke gates)")
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     return asyncio.run(
-        run_smoke(args.backend, args.requests, args.shards))
+        run_smoke(args.backend, args.requests, args.shards, args.workers))
 
 
 if __name__ == "__main__":
