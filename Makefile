@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-check serve-smoke smoke
+.PHONY: test test-fast bench bench-check serve-smoke docs-check smoke
 
 ## Full tier-1 suite (both backends).
 test:
@@ -23,11 +23,17 @@ bench-check:
 	$(PYTHON) tools/bench_snapshot.py --check --rounds 3
 
 ## Boot the async signing service, push 100+ requests through the load
-## generator (in-process shards and the process-parallel worker tier)
-## and fail on any rejected-valid request.
+## generator (in-process shards, the process-parallel worker tier and
+## the loopback-TCP remote-worker tier — including a mid-window worker
+## kill) and fail on any rejected-valid request.
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 
-## CI smoke target: tier-1 tests, the perf-regression gate, and the
-## signing-service contract check.
-smoke: test bench-check serve-smoke
+## Docs sanity: every internal link / anchor / code path reference in
+## docs/*.md, README.md and benchmarks/README.md resolves.
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+## CI smoke target: tier-1 tests, the perf-regression gate, the
+## signing-service contract check and the docs sanity check.
+smoke: test bench-check serve-smoke docs-check

@@ -23,6 +23,7 @@ acts:
 
 import argparse
 import asyncio
+import pathlib
 import random
 
 from repro import ServiceHandle, get_group
@@ -32,17 +33,35 @@ from repro.service import (
 
 
 async def demo(args) -> None:
-    group = get_group(args.backend)
-    print(f"[1/4] Dealer keygen: t={args.t}, n={args.n} "
-          f"(backend: {args.backend})")
-    handle = ServiceHandle.dealer(group, args.t, args.n,
-                                  rng=random.Random(1))
+    if args.context is not None:
+        # Multi-machine mode: load the same provisioned context the
+        # remote workers serve (the HELLO handshake enforces the match).
+        from repro.serialization import decode_service_context
+        handle = decode_service_context(args.context.read_bytes())
+        params = handle.scheme.params
+        print(f"[1/4] Loaded service context from {args.context}: "
+              f"t={params.t}, n={params.n} "
+              f"(backend: {handle.scheme.group.name})")
+    else:
+        group = get_group(args.backend)
+        print(f"[1/4] Dealer keygen: t={args.t}, n={args.n} "
+              f"(backend: {args.backend})")
+        handle = ServiceHandle.dealer(group, args.t, args.n,
+                                      rng=random.Random(1))
 
+    remote_workers = tuple(
+        address for address in (args.remote_workers or "").split(",")
+        if address)
     config = ServiceConfig(num_shards=args.shards, max_batch=16,
                            max_wait_ms=10.0, workers=args.workers,
+                           remote_workers=remote_workers,
                            rng=random.Random(2))
-    tier = (f"{args.workers} worker process(es)" if args.workers
-            else "in-process")
+    if remote_workers:
+        tier = f"remote TCP workers {', '.join(remote_workers)}"
+    elif args.workers:
+        tier = f"{args.workers} worker process(es)"
+    else:
+        tier = "in-process"
     print(f"[2/4] Closed-loop signing: {args.requests} requests, "
           f"16 clients, {args.shards} shard(s), window 16, {tier}")
     async with SigningService(handle, config) as service:
@@ -77,11 +96,13 @@ async def demo(args) -> None:
         print(f"      {report.completed} verified, "
               f"{report.invalid} invalid | p50 {report.p50_ms:.1f} ms, "
               f"p99 {report.p99_ms:.1f} ms")
-        if args.workers:
+        if args.workers or remote_workers:
             stats = service.snapshot_stats()
+            what = "remote workers" if remote_workers else "processes"
             print(f"      worker pool: {stats.workers.jobs} window jobs "
-                  f"over {stats.workers.workers} processes, "
-                  f"{stats.workers.crashes} crashes")
+                  f"over {stats.workers.workers} {what}, "
+                  f"{stats.workers.crashes} crashes, "
+                  f"{stats.workers.reconnects} reconnects")
 
     fault = CorruptSignerFault(signer_index=1)
     print("[4/4] Fault injection: signer 1 forges every partial "
@@ -115,6 +136,16 @@ def main() -> None:
                         help="worker processes for the window crypto "
                         "(0 = in-process; N = process-parallel tier, "
                         "try N = your core count with --backend bn254)")
+    parser.add_argument("--remote-workers", default=None,
+                        metavar="HOST:PORT[,HOST:PORT...]",
+                        help="TCP tier: comma-separated addresses of "
+                        "running remote workers (python -m "
+                        "repro.service.remote_worker); combine with "
+                        "--context so both ends hold the same keys")
+    parser.add_argument("--context", type=pathlib.Path, default=None,
+                        help="load the ServiceHandle from an encoded "
+                        "service context instead of dealer keygen (see "
+                        "remote_worker --write-context)")
     parser.add_argument("--requests", type=int, default=48)
     parser.add_argument("--rate", type=float, default=2000.0,
                         help="open-loop arrival rate (requests/second)")

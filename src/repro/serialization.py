@@ -19,10 +19,17 @@ Two layers live here:
   fields, 4-byte big-endian integers and length-prefixed byte strings,
   so ``decode(encode(x))`` reproduces ``x`` and
   ``encode(decode(blob)) == blob`` on both backends.
+
+* **The TCP frame layer** (``encode_frame`` / ``decode_frame_header``
+  and the HELLO handshake payload): a length-prefixed, versioned
+  framing for shipping the wire-format blobs over a byte stream — what
+  the multi-machine transport (:mod:`repro.service.transport`) puts on
+  real sockets.  Byte-level spec: ``docs/WIRE_FORMAT.md``.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -522,3 +529,117 @@ def decode_service_context(blob: bytes):
     scheme = LJYThresholdScheme(params)
     public_key = PublicKey(params=params, g_1=g_1, g_2=g_2)
     return ServiceHandle(scheme, public_key, shares, verification_keys)
+
+
+# ---------------------------------------------------------------------------
+# The TCP frame layer
+# ---------------------------------------------------------------------------
+#
+# A frame is a fixed 10-byte header followed by the payload:
+#
+#   offset  size  field
+#   0       4     magic    b"LJYW"
+#   4       1     version  0x01 (FRAME_VERSION)
+#   5       1     kind     H (hello) | J (job) | O (outcome) | E (error)
+#   6       4     length   payload bytes, u32 big-endian, <= MAX_FRAME_BYTES
+#   10      ...   payload  a WireCodec blob (J/O), a HELLO payload (H) or
+#                          a UTF-8 error message (E)
+#
+# The header carries everything a receiver needs to reject garbage
+# *before* touching the payload: a wrong magic or version means the
+# peer speaks a different protocol (close the connection — stream
+# framing cannot be trusted past this point), an oversized length means
+# a corrupt or hostile peer (never allocate it).  See
+# ``docs/WIRE_FORMAT.md`` for the full spec and the compatibility rule.
+
+FRAME_MAGIC = b"LJYW"
+FRAME_VERSION = 1
+FRAME_HEADER_BYTES = 10
+#: Upper bound on one frame's payload.  The largest legitimate payload
+#: is a service context (a few KiB at n in the hundreds); 16 MiB leaves
+#: three orders of magnitude of headroom while keeping a hostile length
+#: field from turning into an allocation attack.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+FRAME_KIND_HELLO = b"H"
+FRAME_KIND_JOB = b"J"
+FRAME_KIND_OUTCOME = b"O"
+FRAME_KIND_ERROR = b"E"
+FRAME_KINDS = (FRAME_KIND_HELLO, FRAME_KIND_JOB, FRAME_KIND_OUTCOME,
+               FRAME_KIND_ERROR)
+
+
+def encode_frame(kind: bytes, payload: bytes) -> bytes:
+    """One wire frame: header (magic, version, kind, length) + payload."""
+    if kind not in FRAME_KINDS:
+        raise SerializationError(f"unknown frame kind {kind!r}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise SerializationError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    return FRAME_MAGIC + bytes([FRAME_VERSION]) + kind + \
+        _u32(len(payload)) + payload
+
+
+def decode_frame_header(header: bytes) -> Tuple[bytes, int]:
+    """Validate a frame header; returns ``(kind, payload_length)``.
+
+    Raises :class:`~repro.errors.SerializationError` on anything that
+    is not a well-formed current-version header.  A failure here means
+    the byte stream cannot be re-synchronized (the length field is
+    untrustworthy), so transports must close the connection rather than
+    skip the frame.
+    """
+    if len(header) != FRAME_HEADER_BYTES:
+        raise SerializationError(
+            f"truncated frame header: {len(header)} of "
+            f"{FRAME_HEADER_BYTES} bytes")
+    if header[:4] != FRAME_MAGIC:
+        raise SerializationError(
+            f"bad frame magic {header[:4]!r} (expected {FRAME_MAGIC!r})")
+    version = header[4]
+    if version != FRAME_VERSION:
+        raise SerializationError(
+            f"unsupported frame version {version} (this end speaks "
+            f"{FRAME_VERSION})")
+    kind = header[5:6]
+    if kind not in FRAME_KINDS:
+        raise SerializationError(f"unknown frame kind {kind!r}")
+    length = int.from_bytes(header[6:10], "big")
+    if length > MAX_FRAME_BYTES:
+        raise SerializationError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            "cap")
+    return kind, length
+
+
+def service_context_digest(context_blob: bytes) -> bytes:
+    """SHA-256 of an encoded service context — the handshake's identity.
+
+    Two endpoints agree on scheme, curve, threshold parameters, public
+    key, shares and verification keys iff their context blobs are
+    byte-identical (the encoding is canonical), so comparing digests at
+    HELLO time catches every misprovisioning — wrong keys, wrong
+    backend, stale committee — before any job is accepted.
+    """
+    return hashlib.sha256(context_blob).digest()
+
+
+def encode_hello(group_name: str, digest: bytes) -> bytes:
+    """The HELLO frame payload: backend name + service-context digest."""
+    if len(digest) != 32:
+        raise SerializationError(
+            f"context digest must be 32 bytes, got {len(digest)}")
+    return _packed(group_name.encode("utf-8")) + _packed(digest)
+
+
+def decode_hello(payload: bytes) -> Tuple[str, bytes]:
+    """Parse a HELLO payload; returns ``(group_name, digest)``."""
+    reader = _Reader(payload)
+    group_name = reader.packed().decode("utf-8")
+    digest = reader.packed()
+    reader.done()
+    if len(digest) != 32:
+        raise SerializationError(
+            f"context digest must be 32 bytes, got {len(digest)}")
+    return group_name, digest

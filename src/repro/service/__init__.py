@@ -26,6 +26,12 @@ Thetacrypt mold:
   format of :mod:`repro.serialization` and dispatch them to a pool of
   warm worker processes (``ServiceConfig(workers=N)``), with crash
   detection and job resubmission.
+* :mod:`~repro.service.transport` — the multi-machine tier: the same
+  wire-format jobs over framed asyncio TCP
+  (``ServiceConfig(remote_workers=["host:port", ...])``), served by
+  standalone ``python -m repro.service.remote_worker`` processes, with
+  a context-digest handshake and reconnect-with-backoff + resubmission
+  on dropped connections.
 * :mod:`~repro.service.faults` — failure injection: a shard returning
   forged partial signatures exercises ``locate_invalid`` bisection and
   the robust per-share fallback without poisoning neighbors in the same
@@ -42,18 +48,21 @@ from repro.service.faults import CorruptSignerFault, WorkerCrashFault
 from repro.service.frontend import ServiceConfig, SigningService
 from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.shards import HashRing, ShardPool
+from repro.service.transport import RemoteWorkerPool, WorkerServer
 from repro.service.types import (
-    RequestFailedError, ServiceClosedError, ServiceError,
-    ServiceOverloadedError, ServiceStats, ShardStats, SignResult,
-    VerifyResult, WorkerCrashError, WorkerPoolStats,
+    HandshakeError, RemoteJobError, RequestFailedError, ServiceClosedError,
+    ServiceError, ServiceOverloadedError, ServiceStats, ShardStats,
+    SignResult, TransportError, VerifyResult, WorkerCrashError,
+    WorkerPoolStats,
 )
 from repro.service.workers import WorkerPool
 
 __all__ = [
-    "BatchAccumulator", "CorruptSignerFault", "HashRing",
-    "LoadGenerator", "LoadReport", "RequestFailedError", "ServiceClosedError",
+    "BatchAccumulator", "CorruptSignerFault", "HandshakeError", "HashRing",
+    "LoadGenerator", "LoadReport", "RemoteJobError", "RemoteWorkerPool",
+    "RequestFailedError", "ServiceClosedError",
     "ServiceConfig", "ServiceError", "ServiceOverloadedError", "ServiceStats",
     "ShardPool", "ShardStats", "SigningService", "SignResult",
-    "VerifyResult", "WorkerCrashError", "WorkerCrashFault", "WorkerPool",
-    "WorkerPoolStats",
+    "TransportError", "VerifyResult", "WorkerCrashError", "WorkerCrashFault",
+    "WorkerPool", "WorkerPoolStats", "WorkerServer",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.keys import Signature
 from repro.core.scheme import ServiceHandle
@@ -41,6 +41,11 @@ class ServiceConfig:
       windows to a shared :class:`~repro.service.workers.WorkerPool` of
       N warm processes, so up to min(num_shards, N) windows run in
       parallel on separate cores.
+    * ``remote_workers`` — the multi-*machine* tier: ``host:port``
+      addresses of standalone TCP workers
+      (``python -m repro.service.remote_worker``), dispatched through
+      :class:`~repro.service.transport.RemoteWorkerPool`.  Mutually
+      exclusive with ``workers`` (a window has one execution tier).
     """
 
     num_shards: int = 2
@@ -49,6 +54,11 @@ class ServiceConfig:
     queue_depth: int = 256
     #: Process-parallel tier: 0 = in-process, N = pool of N processes.
     workers: int = 0
+    #: TCP tier: "host:port" addresses of remote workers provisioned
+    #: with the same service context (the HELLO handshake enforces the
+    #: match).  Fault injectors are not shipped over the wire — a
+    #: remote worker configures its own (e.g. ``--crash-sentinel``).
+    remote_workers: Sequence[str] = ()
     #: Optional fault injector (see :mod:`repro.service.faults`).  With
     #: ``workers > 0`` it is applied inside the worker processes, so any
     #: state it keeps (e.g. ``CorruptSignerFault.injected``) lives there.
@@ -83,7 +93,7 @@ class SigningService:
             self.handle, config.num_shards, config.max_batch,
             config.max_wait_ms, config.queue_depth,
             fault_injector=config.fault_injector, rng=config.rng,
-            workers=config.workers)
+            workers=config.workers, remote_workers=config.remote_workers)
         self._pool.start()
 
     async def stop(self) -> None:

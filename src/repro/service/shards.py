@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.scheme import ServiceHandle
 from repro.serialization import SignWindowJob, VerifyWindowJob
 from repro.service.accumulator import BatchAccumulator
+from repro.service.transport import RemoteWorkerPool
 from repro.service.types import (
     PendingRequest, RequestFailedError, RequestKind, ShardStats, SignResult,
     VerifyResult,
@@ -237,18 +238,31 @@ class ShardPool:
     def __init__(self, handle: ServiceHandle, num_shards: int,
                  max_batch: int, max_wait_ms: float, queue_depth: int,
                  fault_injector: Optional[Callable] = None, rng=None,
-                 workers: int = 0):
+                 workers: int = 0, remote_workers: Sequence[str] = ()):
         if num_shards < 1:
             raise ValueError("need at least one shard")
+        if workers > 0 and remote_workers:
+            raise ValueError(
+                "configure either worker processes (workers=N) or remote "
+                "workers (remote_workers=[...]), not both — a window "
+                "must have one execution tier")
         # ``workers > 0`` adds the process-parallel tier: one pool of
         # warm worker processes shared by all shards, so up to
         # min(num_shards, workers) windows run crypto concurrently.  In
         # that mode the fault injector runs inside the worker processes
         # (its call-count state is per-process) and ``rng`` only drives
         # the in-parent paths — worker coins are process-local.
-        self.worker_pool = (
-            WorkerPool(handle, workers, fault_injector=fault_injector)
-            if workers > 0 else None)
+        # ``remote_workers`` swaps that pool for TCP endpoints
+        # (standalone ``repro.service.remote_worker`` processes, possibly
+        # on other machines); fault injectors are NOT shipped over the
+        # wire — a remote worker configures its own at launch.
+        if remote_workers:
+            self.worker_pool = RemoteWorkerPool(handle, remote_workers)
+        elif workers > 0:
+            self.worker_pool = WorkerPool(
+                handle, workers, fault_injector=fault_injector)
+        else:
+            self.worker_pool = None
         self.workers: Dict[int, ShardWorker] = {
             shard_id: ShardWorker(
                 shard_id, handle, max_batch, max_wait_ms, queue_depth,
@@ -271,10 +285,11 @@ class ShardPool:
         await asyncio.gather(
             *(worker.stop() for worker in self.workers.values()))
         if self.worker_pool is not None:
-            # Joining N worker processes can take a while; keep the
-            # event loop cooperative by shutting down off-loop.
-            await asyncio.get_running_loop().run_in_executor(
-                None, self.worker_pool.shutdown)
+            # Both tiers expose the async shutdown: the process pool
+            # joins its workers off-loop, the remote pool closes its
+            # connections (the worker processes themselves live on —
+            # they belong to their machines' supervisors, not to us).
+            await self.worker_pool.aclose()
 
     def stats(self) -> Dict[int, ShardStats]:
         return {

@@ -1,0 +1,560 @@
+"""TCP transport for the worker tier: multi-machine shard workers.
+
+The process-parallel tier (:mod:`repro.service.workers`) already ships
+every job as canonical wire bytes — the encoding was built to cross
+machine boundaries, but PR 4 only ever carried it over a
+``ProcessPoolExecutor`` pipe on one host.  This module puts the same
+bytes on real sockets:
+
+* :func:`read_frame` / :func:`write_frame` — length-prefixed, versioned
+  framing over asyncio streams (header layout and compatibility rule:
+  ``docs/WIRE_FORMAT.md``; the byte-level codecs live in
+  :mod:`repro.serialization`).
+* :class:`WorkerServer` — the accept loop a standalone worker process
+  (:mod:`repro.service.remote_worker`) runs: handshake, then a
+  read-job/execute/write-outcome loop per connection, dispatching
+  through the same :func:`~repro.service.workers.execute_job` the
+  process tier uses.
+* :class:`RemoteWorkerPool` — the dispatcher side, a drop-in for
+  :class:`~repro.service.workers.WorkerPool` behind the shard workers
+  (``ServiceConfig(remote_workers=["host:port", ...])``): round-robin
+  over configured endpoints, lazy dialing, and the same
+  crash-recovery contract as the process pool — a dropped connection
+  is detected, the endpoint is re-dialed with exponential backoff, and
+  the window job is resubmitted (to the reconnected worker or any
+  other live endpoint), so a killed worker costs latency, never a
+  lost request.
+
+**Handshake.**  A connection is useless unless both ends hold the same
+service context (scheme, curve, threshold parameters, keys), so the
+first frame each way is a HELLO carrying the backend name and the
+SHA-256 digest of the encoded context
+(:func:`~repro.serialization.service_context_digest`).  A mismatch is
+misprovisioning, not a transient fault: the server refuses with an
+error frame and the client raises a typed
+:class:`~repro.service.types.HandshakeError` instead of retrying.
+
+**Failure taxonomy** (mirrors the process tier's
+``BrokenProcessPool`` handling):
+
+===========================  ============================================
+observation                  reaction
+===========================  ============================================
+dial refused / timed out     try the next endpoint; backoff when all down
+connection drops mid-job     count a crash, re-dial, resubmit the job
+garbage frame (bad magic,    the stream cannot be re-synchronized: close
+version, oversized length)   the connection, resubmit elsewhere
+``E`` frame from the server  :class:`~repro.service.types.RemoteJobError`
+                             — resubmitting identical bytes cannot help
+HELLO mismatch               :class:`~repro.service.types.HandshakeError`
+retry budget exhausted       :class:`~repro.service.types.TransportError`
+===========================  ============================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import select
+import subprocess
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SerializationError
+from repro.serialization import (
+    FRAME_HEADER_BYTES, FRAME_KIND_ERROR, FRAME_KIND_HELLO, FRAME_KIND_JOB,
+    FRAME_KIND_OUTCOME, WireCodec, decode_frame_header, decode_hello,
+    encode_frame, encode_hello, encode_service_context,
+    service_context_digest,
+)
+from repro.service.types import (
+    HandshakeError, RemoteJobError, TransportError, WorkerPoolStats,
+)
+from repro.service.workers import execute_job
+
+#: Errors that mean "this connection is gone" (``IncompleteReadError``
+#: is an ``EOFError``; ``ConnectionError`` and timeouts are ``OSError``
+#: subclasses or raised alongside them).
+_CONNECTION_ERRORS = (OSError, EOFError)
+
+
+# ---------------------------------------------------------------------------
+# Stream framing
+# ---------------------------------------------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[bytes, bytes]:
+    """Read one frame; returns ``(kind, payload)``.
+
+    Raises :class:`asyncio.IncompleteReadError` when the peer closes
+    (cleanly between frames or mid-frame — the transport treats both as
+    a drop) and :class:`~repro.errors.SerializationError` on a header
+    that fails validation, after which the stream must be closed: the
+    length field of a garbage header cannot be trusted, so there is no
+    way to find the next frame boundary.
+    """
+    header = await reader.readexactly(FRAME_HEADER_BYTES)
+    kind, length = decode_frame_header(header)
+    payload = await reader.readexactly(length)
+    return kind, payload
+
+
+def write_frame(writer: asyncio.StreamWriter, kind: bytes,
+                payload: bytes) -> None:
+    """Queue one frame on the writer (callers ``await writer.drain()``)."""
+    writer.write(encode_frame(kind, payload))
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` (the last colon, so bare IPv6 literals
+    work; the conventional bracketed form ``[::1]:9401`` is unwrapped —
+    ``getaddrinfo`` wants the brackets gone)."""
+    host, sep, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    if not sep or not host or not 0 < port < 65536:
+        raise ValueError(
+            f"remote worker address must look like 'host:port', "
+            f"got {address!r}")
+    return host, port
+
+
+# ---------------------------------------------------------------------------
+# The server side (what a remote worker process runs)
+# ---------------------------------------------------------------------------
+
+class WorkerServer:
+    """Serve window jobs over TCP for one service context.
+
+    One instance per worker process; any number of dispatcher
+    connections, each handled by its own coroutine (handshake, then a
+    job/outcome loop).  The crypto itself runs synchronously on the
+    loop — a worker process exists to burn its core on pairings, and
+    back-to-back jobs on separate connections simply queue, exactly
+    like a process-pool worker's mailbox.
+    """
+
+    def __init__(self, handle, host: str = "127.0.0.1", port: int = 0,
+                 fault_injector=None):
+        # Raises TypeError for schemes without window entry points —
+        # fail at construction, like WorkerPool.
+        self._context = encode_service_context(handle)
+        self._digest = service_context_digest(self._context)
+        self._handle = handle
+        self._codec = WireCodec(handle.scheme.group)
+        self._group_name = handle.scheme.group.name
+        self.host = host
+        self.port = port
+        self.fault_injector = fault_injector
+        self.jobs_served = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> "WorkerServer":
+        """Bind and start accepting; resolves ``port`` when it was 0."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- per-connection protocol -------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            if not await self._handshake(reader, writer):
+                return
+            while True:
+                try:
+                    kind, payload = await read_frame(reader)
+                except _CONNECTION_ERRORS:
+                    return                      # dispatcher went away
+                except SerializationError as exc:
+                    # Garbage header: framing is lost, close after a
+                    # best-effort explanation.
+                    await self._refuse(writer, str(exc))
+                    return
+                if kind != FRAME_KIND_JOB:
+                    await self._refuse(
+                        writer, f"expected a job frame, got {kind!r}")
+                    return
+                try:
+                    job = self._codec.decode_job(payload)
+                    outcome_blob = self._codec.encode_outcome(execute_job(
+                        self._handle, job,
+                        fault_injector=self.fault_injector))
+                except Exception as exc:
+                    # The frame arrived intact, so the stream is still
+                    # in sync: report the job-level failure and keep
+                    # serving this connection (the dispatcher raises
+                    # RemoteJobError instead of resubmitting).
+                    write_frame(writer, FRAME_KIND_ERROR,
+                                f"{type(exc).__name__}: {exc}".encode(
+                                    "utf-8"))
+                    await writer.drain()
+                    continue
+                write_frame(writer, FRAME_KIND_OUTCOME, outcome_blob)
+                await writer.drain()
+                self.jobs_served += 1
+        except _CONNECTION_ERRORS:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except _CONNECTION_ERRORS:
+                pass
+
+    async def _handshake(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> bool:
+        """First frame must be a HELLO matching our context digest."""
+        try:
+            kind, payload = await read_frame(reader)
+        except _CONNECTION_ERRORS:
+            return False
+        except SerializationError as exc:
+            await self._refuse(writer, str(exc))
+            return False
+        if kind != FRAME_KIND_HELLO:
+            await self._refuse(
+                writer, f"expected HELLO as the first frame, got {kind!r}")
+            return False
+        try:
+            group_name, digest = decode_hello(payload)
+        except SerializationError as exc:
+            await self._refuse(writer, f"bad HELLO payload: {exc}")
+            return False
+        if group_name != self._group_name or digest != self._digest:
+            await self._refuse(
+                writer,
+                f"service-context mismatch: this worker serves backend "
+                f"{self._group_name!r} with context digest "
+                f"{self._digest.hex()[:16]}..., dispatcher offered "
+                f"{group_name!r}/{digest.hex()[:16]}...")
+            return False
+        write_frame(writer, FRAME_KIND_HELLO,
+                    encode_hello(self._group_name, self._digest))
+        await writer.drain()
+        return True
+
+    async def _refuse(self, writer: asyncio.StreamWriter,
+                      reason: str) -> None:
+        try:
+            write_frame(writer, FRAME_KIND_ERROR, reason.encode("utf-8"))
+            await writer.drain()
+        except _CONNECTION_ERRORS:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The dispatcher side (what the shard pool runs)
+# ---------------------------------------------------------------------------
+
+class _Endpoint:
+    """One configured remote worker address plus its live connection."""
+
+    __slots__ = ("host", "port", "reader", "writer", "request_lock",
+                 "dial_lock", "dialed_once")
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        #: One in-flight request per connection — the protocol has no
+        #: request ids, so responses are matched by ordering.
+        self.request_lock = asyncio.Lock()
+        #: One dial at a time, so concurrent shards cannot open
+        #: duplicate connections to the same worker.
+        self.dial_lock = asyncio.Lock()
+        self.dialed_once = False
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def connected(self) -> bool:
+        return self.writer is not None and not self.writer.is_closing()
+
+
+class RemoteWorkerPool:
+    """A pool of TCP remote workers serving window jobs.
+
+    Drop-in for :class:`~repro.service.workers.WorkerPool` behind
+    :class:`~repro.service.shards.ShardWorker` (same ``run_job`` /
+    ``start`` / ``aclose`` / ``stats`` surface), so the in-process,
+    process-pool and remote tiers all serve the
+    ``ServiceHandle.process_sign_window`` contract through one shard
+    code path.
+
+    Connections are dialed lazily (on the first job, and again after
+    any drop), with exponential backoff while every endpoint is down —
+    a worker restarted by its supervisor is picked up automatically,
+    which is what lets ``serve-smoke`` kill a worker mid-window and
+    still complete every request.
+    """
+
+    def __init__(self, handle, addresses: Sequence[str],
+                 max_retries: int = 4, dial_timeout_s: float = 5.0,
+                 dial_deadline_s: float = 30.0,
+                 backoff_initial_s: float = 0.05,
+                 backoff_max_s: float = 1.0):
+        if not addresses:
+            raise ValueError("need at least one remote worker address")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        # Raises TypeError for schemes without window entry points.
+        self._context = encode_service_context(handle)
+        self._digest = service_context_digest(self._context)
+        self._group_name = handle.scheme.group.name
+        self._hello = encode_hello(self._group_name, self._digest)
+        self._codec = WireCodec(handle.scheme.group)
+        self._endpoints: List[_Endpoint] = [
+            _Endpoint(*parse_address(address)) for address in addresses]
+        self.max_retries = max_retries
+        self.dial_timeout_s = dial_timeout_s
+        self.dial_deadline_s = dial_deadline_s
+        self.backoff_initial_s = backoff_initial_s
+        self.backoff_max_s = backoff_max_s
+        self.stats = WorkerPoolStats(workers=len(self._endpoints))
+        self._next = 0
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Mark the pool live.  Dialing is lazy: a worker that is still
+        booting (or being restarted) must not fail service start-up —
+        the first job waits for it inside the backoff loop instead."""
+        self._running = True
+
+    async def aclose(self) -> None:
+        self._running = False
+        for endpoint in self._endpoints:
+            await self._discard(endpoint)
+
+    # -- connection management ----------------------------------------------
+    async def _discard(self, endpoint: _Endpoint) -> bool:
+        """Tear down a (broken) connection.  Returns True only for the
+        caller that actually closed it, so one worker death breaking
+        several queued jobs is counted as one crash — the same
+        first-observer rule as ``WorkerPool._restart``."""
+        writer = endpoint.writer
+        endpoint.reader = endpoint.writer = None
+        if writer is None:
+            return False
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except _CONNECTION_ERRORS:
+            pass
+        return True
+
+    async def _dial(self, endpoint: _Endpoint) -> bool:
+        """(Re)connect one endpoint and run the HELLO handshake.
+
+        Returns False on unreachable/dropped (the caller moves on to
+        the next endpoint); raises
+        :class:`~repro.service.types.HandshakeError` on a live worker
+        that answers with the wrong version, backend or context digest
+        (retrying cannot fix misprovisioning).
+        """
+        async with endpoint.dial_lock:
+            if endpoint.connected:
+                return True
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(endpoint.host, endpoint.port),
+                    self.dial_timeout_s)
+            except _CONNECTION_ERRORS + (asyncio.TimeoutError,):
+                return False
+            try:
+                write_frame(writer, FRAME_KIND_HELLO, self._hello)
+                await writer.drain()
+                kind, payload = await asyncio.wait_for(
+                    read_frame(reader), self.dial_timeout_s)
+            except _CONNECTION_ERRORS + (asyncio.TimeoutError,):
+                writer.close()
+                return False
+            except SerializationError as exc:
+                writer.close()
+                raise HandshakeError(
+                    f"remote worker {endpoint.address} sent a malformed "
+                    f"handshake frame: {exc}")
+            if kind == FRAME_KIND_ERROR:
+                writer.close()
+                raise HandshakeError(
+                    f"remote worker {endpoint.address} refused the "
+                    f"handshake: {payload.decode('utf-8', 'replace')}")
+            if kind != FRAME_KIND_HELLO:
+                writer.close()
+                raise HandshakeError(
+                    f"remote worker {endpoint.address} answered HELLO "
+                    f"with frame kind {kind!r}")
+            try:
+                group_name, digest = decode_hello(payload)
+            except SerializationError as exc:
+                writer.close()
+                raise HandshakeError(
+                    f"remote worker {endpoint.address} sent a bad HELLO "
+                    f"payload: {exc}")
+            if group_name != self._group_name or digest != self._digest:
+                writer.close()
+                raise HandshakeError(
+                    f"remote worker {endpoint.address} serves a different "
+                    f"service context ({group_name!r}/"
+                    f"{digest.hex()[:16]}..., expected "
+                    f"{self._group_name!r}/{self._digest.hex()[:16]}...)")
+            endpoint.reader, endpoint.writer = reader, writer
+            if endpoint.dialed_once:
+                self.stats.reconnects += 1
+            endpoint.dialed_once = True
+            return True
+
+    async def _acquire(self) -> _Endpoint:
+        """A connected endpoint, round-robin; dial-with-backoff until
+        one answers or the dial deadline expires."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.dial_deadline_s
+        backoff = self.backoff_initial_s
+        while True:
+            if not self._running:
+                raise TransportError("remote worker pool is not running")
+            for _ in range(len(self._endpoints)):
+                endpoint = self._endpoints[self._next
+                                           % len(self._endpoints)]
+                self._next += 1
+                if endpoint.connected or await self._dial(endpoint):
+                    return endpoint
+            if loop.time() >= deadline:
+                raise TransportError(
+                    f"no remote worker reachable within "
+                    f"{self.dial_deadline_s:.1f}s (endpoints: "
+                    f"{', '.join(e.address for e in self._endpoints)})")
+            await asyncio.sleep(backoff)
+            backoff = min(2 * backoff, self.backoff_max_s)
+
+    # -- job dispatch -------------------------------------------------------
+    async def run_job(self, job):
+        """Dispatch one window job to a remote worker and decode its
+        outcome, reconnecting and resubmitting on dropped connections —
+        the socket analogue of ``WorkerPool.run_job``'s
+        ``BrokenProcessPool`` recovery."""
+        if not self._running:
+            raise TransportError("remote worker pool is not running")
+        blob = self._codec.encode_job(job)
+        last_error = None
+        for attempt in range(self.max_retries + 1):
+            endpoint = await self._acquire()
+            try:
+                outcome_blob = await self._request(endpoint, blob)
+            except _CONNECTION_ERRORS + (SerializationError,) as exc:
+                # The worker died or the stream desynchronized; either
+                # way this connection is unusable.  First observer
+                # counts the crash; everyone resubmits.
+                last_error = exc
+                if await self._discard(endpoint):
+                    self.stats.crashes += 1
+                if attempt < self.max_retries:
+                    self.stats.resubmissions += 1
+                continue
+            self.stats.jobs += 1
+            return self._codec.decode_outcome(outcome_blob)
+        raise TransportError(
+            f"job failed after {self.max_retries + 1} attempts on "
+            f"dropped remote-worker connections: {last_error}")
+
+    async def _request(self, endpoint: _Endpoint, blob: bytes) -> bytes:
+        async with endpoint.request_lock:
+            if not endpoint.connected:
+                # The connection died while we queued on the lock; the
+                # caller discards (a no-op for non-first observers) and
+                # resubmits.
+                raise ConnectionResetError(
+                    f"connection to {endpoint.address} lost before "
+                    "dispatch")
+            write_frame(endpoint.writer, FRAME_KIND_JOB, blob)
+            await endpoint.writer.drain()
+            kind, payload = await read_frame(endpoint.reader)
+        if kind == FRAME_KIND_ERROR:
+            raise RemoteJobError(
+                f"remote worker {endpoint.address} rejected the job: "
+                f"{payload.decode('utf-8', 'replace')}")
+        if kind != FRAME_KIND_OUTCOME:
+            raise SerializationError(
+                f"expected an outcome frame, got {kind!r}")
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Spawning local worker processes (tests, smoke, benchmarks, demos)
+# ---------------------------------------------------------------------------
+
+READY_MARKER = "remote-worker listening on "
+
+
+def start_worker_process(context_path, host: str = "127.0.0.1",
+                         port: int = 0, crash_sentinel=None,
+                         timeout_s: float = 120.0
+                         ) -> "Tuple[subprocess.Popen, str]":
+    """Spawn ``python -m repro.service.remote_worker`` on this machine
+    and block until its ready line; returns ``(process, "host:port")``.
+
+    The deployment story is one worker per machine under a supervisor;
+    this helper is the loopback stand-in the tests, ``serve-smoke`` and
+    the ``svc_tcp_*`` benchmarks share.  ``port=0`` lets the worker
+    pick an ephemeral port (parsed from the ready line);
+    ``crash_sentinel`` forwards ``--crash-sentinel`` for the
+    kill-mid-window acts.
+    """
+    import repro
+    src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    command = [sys.executable, "-m", "repro.service.remote_worker",
+               "--context", str(context_path),
+               "--host", host, "--listen", str(port)]
+    if crash_sentinel is not None:
+        command += ["--crash-sentinel", str(crash_sentinel)]
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               env=env, text=True)
+    deadline = time.monotonic() + timeout_s
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            process.kill()
+            raise TransportError(
+                f"remote worker did not become ready within "
+                f"{timeout_s:.0f}s")
+        if process.poll() is not None:
+            raise TransportError(
+                f"remote worker exited with code {process.returncode} "
+                "before becoming ready")
+        readable, _, _ = select.select([process.stdout], [], [],
+                                       min(remaining, 0.25))
+        if readable:
+            line = process.stdout.readline()
+            if READY_MARKER in line:
+                address = line.split(READY_MARKER, 1)[1].strip()
+                return process, address

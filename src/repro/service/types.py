@@ -47,6 +47,28 @@ class WorkerCrashError(ServiceError):
     budget is exhausted, or the pool is not running)."""
 
 
+class TransportError(ServiceError):
+    """The remote-worker tier could not serve a job: every configured
+    endpoint stayed unreachable past the dial deadline, or the retry
+    budget was exhausted on dropped connections (each drop is detected
+    and the job resubmitted first — this is the gave-up error, the
+    socket analogue of :class:`WorkerCrashError`)."""
+
+
+class HandshakeError(TransportError):
+    """A remote worker answered the HELLO with a different protocol
+    version, backend or service-context digest.  This is
+    misprovisioning, not a transient fault — the pool does not retry
+    the endpoint until its connection is re-dialed."""
+
+
+class RemoteJobError(TransportError):
+    """A remote worker reported a job-level error (an ``E`` frame): the
+    frame arrived intact but the payload could not be decoded or
+    executed.  Resubmitting the same bytes cannot help, so the pool
+    fails the job instead of retrying."""
+
+
 class RequestKind(enum.Enum):
     SIGN = "sign"
     VERIFY = "verify"
@@ -101,15 +123,23 @@ class ShardStats:
 
 @dataclass
 class WorkerPoolStats:
-    """Process-pool accounting (the multi-process execution tier)."""
+    """Worker-tier accounting, shared by the process pool
+    (:class:`~repro.service.workers.WorkerPool`) and the TCP remote
+    pool (:class:`~repro.service.transport.RemoteWorkerPool`) — the two
+    tiers serve one contract, so they report one stats shape."""
 
     workers: int = 0
-    #: Window jobs that completed on a worker process.
+    #: Window jobs that completed on a worker (process or remote).
     jobs: int = 0
-    #: Worker-process deaths observed (each poisons one executor).
+    #: Worker deaths observed: a process death poisons one executor; a
+    #: remote worker's death shows as a dropped connection mid-job.
     crashes: int = 0
-    #: Jobs resubmitted to a rebuilt pool after a crash.
+    #: Jobs resubmitted (to a rebuilt pool / another endpoint) after a
+    #: crash or connection drop.
     resubmissions: int = 0
+    #: Successful re-dials after a connection was lost (TCP tier only;
+    #: the process tier rebuilds executors instead of reconnecting).
+    reconnects: int = 0
 
 
 @dataclass
@@ -144,6 +174,7 @@ class ServiceStats:
         if self.workers is not None:
             summary["worker_jobs"] = self.workers.jobs
             summary["worker_crashes"] = self.workers.crashes
+            summary["worker_reconnects"] = self.workers.reconnects
         return summary
 
 

@@ -49,18 +49,18 @@ from repro.service.types import WorkerCrashError, WorkerPoolStats
 _WORKER_STATE = None
 
 
-def _init_worker(context_blob: bytes, fault_injector) -> None:
-    """Executor initializer: rebuild the handle and warm the caches.
-
-    Runs once per worker *process* (not per job).  Everything a job's
-    hot path touches repeatedly is prepared here: pairing preparation
-    for all fixed G_hat arguments and fixed-base tables for the derived
+def warm_handle(handle) -> None:
+    """Warm every cache a window job's hot path touches repeatedly:
+    pairing preparation (Miller-loop line coefficients) for all fixed
+    G_hat arguments and fixed-base window tables for the derived
     generators.  ``ThresholdParams`` already prepares ``g_z``/``g_r`` on
     construction; the public key and verification keys are prepared
     explicitly because every window check pairs against them.
+
+    Shared by the process tier (executor initializer, once per process)
+    and the TCP tier (:mod:`repro.service.remote_worker`, once per
+    server process) — jobs then pay only their own crypto.
     """
-    global _WORKER_STATE
-    handle = decode_service_context(context_blob)
     group = handle.scheme.group
     params = handle.scheme.params
     group.prepare_pair(handle.public_key.g_1)
@@ -70,27 +70,49 @@ def _init_worker(context_blob: bytes, fault_injector) -> None:
         group.prepare_pair(vk.v_2)
     params.g_z.precompute()
     params.g_r.precompute()
-    _WORKER_STATE = (WireCodec(group), handle, fault_injector)
+
+
+def execute_job(handle, job, fault_injector=None):
+    """Run one decoded window job against a handle; returns the outcome.
+
+    The single dispatch both worker tiers execute — a process worker
+    (:func:`_run_job`) and a TCP remote worker
+    (:mod:`repro.service.transport`) must serve byte-identical
+    contracts, so they share this function rather than each reimplement
+    the job -> ``ServiceHandle`` mapping.
+    """
+    if isinstance(job, SignWindowJob):
+        return handle.process_sign_window(
+            list(job.messages), quorum=list(job.quorum),
+            fault_injector=fault_injector, shard_id=job.shard_id)
+    if isinstance(job, VerifyWindowJob):
+        return VerifyWindowOutcome(verdicts=tuple(handle.verify_window(
+            list(job.messages), list(job.signatures))))
+    if isinstance(job, PartialSignJob):
+        return PartialSignOutcome(partials=tuple(
+            handle.partials_with_faults(
+                job.message, job.signers, fault_injector=fault_injector,
+                shard_id=job.shard_id)))
+    raise TypeError(f"unknown job type {type(job).__name__}")
+
+
+def _init_worker(context_blob: bytes, fault_injector) -> None:
+    """Executor initializer: rebuild the handle and warm the caches.
+
+    Runs once per worker *process* (not per job); see
+    :func:`warm_handle` for what gets prepared.
+    """
+    global _WORKER_STATE
+    handle = decode_service_context(context_blob)
+    warm_handle(handle)
+    _WORKER_STATE = (WireCodec(handle.scheme.group), handle, fault_injector)
 
 
 def _run_job(job_blob: bytes) -> bytes:
     """Execute one encoded window job; runs inside a worker process."""
     codec, handle, fault_injector = _WORKER_STATE
-    job = codec.decode_job(job_blob)
-    if isinstance(job, SignWindowJob):
-        outcome = handle.process_sign_window(
-            list(job.messages), quorum=list(job.quorum),
-            fault_injector=fault_injector, shard_id=job.shard_id)
-    elif isinstance(job, VerifyWindowJob):
-        outcome = VerifyWindowOutcome(verdicts=tuple(handle.verify_window(
-            list(job.messages), list(job.signatures))))
-    elif isinstance(job, PartialSignJob):
-        outcome = PartialSignOutcome(partials=tuple(
-            handle.partials_with_faults(
-                job.message, job.signers, fault_injector=fault_injector,
-                shard_id=job.shard_id)))
-    else:  # pragma: no cover - decode_job already rejects unknown kinds
-        raise TypeError(f"unknown job type {type(job).__name__}")
+    outcome = execute_job(handle, codec.decode_job(job_blob),
+                          fault_injector=fault_injector)
     return codec.encode_outcome(outcome)
 
 
@@ -134,6 +156,14 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+
+    async def aclose(self) -> None:
+        """Async shutdown (the common worker-tier interface shared with
+        :class:`~repro.service.transport.RemoteWorkerPool`).  Joining N
+        worker processes can take a while; run it off-loop so the event
+        loop stays cooperative."""
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.shutdown)
 
     def _restart(self, broken: ProcessPoolExecutor) -> bool:
         """Replace a broken executor (idempotent under concurrent

@@ -1,0 +1,472 @@
+"""Tests for the TCP worker transport (framing, handshake, the remote
+worker pool, crash recovery, the standalone worker entry point).
+
+Most tests run an in-process :class:`WorkerServer` on the loopback —
+real sockets, same event loop — on the toy backend.  The crash-recovery
+test mirrors the ``WorkerCrashFault`` sentinel test of the process tier
+with actual subprocess workers; frame-rejection tests run on both
+backends (the wire payloads are backend-specific even though the frame
+header is not).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.scheme import ServiceHandle
+from repro.errors import SerializationError
+from repro.serialization import (
+    FRAME_HEADER_BYTES, FRAME_KIND_ERROR, FRAME_KIND_HELLO, FRAME_KIND_JOB,
+    FRAME_KIND_OUTCOME, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_BYTES,
+    PartialSignJob, SignWindowJob, WireCodec, decode_frame_header,
+    decode_hello, encode_frame, encode_hello, encode_service_context,
+    service_context_digest,
+)
+from repro.service import (
+    HandshakeError, RemoteJobError, RemoteWorkerPool, ServiceConfig,
+    SigningService, TransportError, WorkerServer,
+)
+from repro.service.transport import (
+    parse_address, read_frame, start_worker_process, write_frame,
+)
+
+
+@pytest.fixture
+def handle(toy_group):
+    return ServiceHandle.dealer(toy_group, 2, 5, rng=random.Random(11))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding
+# ---------------------------------------------------------------------------
+
+class TestFrameLayer:
+    def test_frame_round_trip(self):
+        frame = encode_frame(FRAME_KIND_JOB, b"payload bytes")
+        kind, length = decode_frame_header(frame[:FRAME_HEADER_BYTES])
+        assert kind == FRAME_KIND_JOB
+        assert length == len(b"payload bytes")
+        assert frame[FRAME_HEADER_BYTES:] == b"payload bytes"
+
+    def test_header_rejects_bad_magic(self):
+        frame = bytearray(encode_frame(FRAME_KIND_JOB, b"x"))
+        frame[:4] = b"EVIL"
+        with pytest.raises(SerializationError, match="magic"):
+            decode_frame_header(bytes(frame[:FRAME_HEADER_BYTES]))
+
+    def test_header_rejects_future_version(self):
+        frame = bytearray(encode_frame(FRAME_KIND_JOB, b"x"))
+        frame[4] = FRAME_VERSION + 1
+        with pytest.raises(SerializationError, match="version"):
+            decode_frame_header(bytes(frame[:FRAME_HEADER_BYTES]))
+
+    def test_header_rejects_unknown_kind(self):
+        frame = bytearray(encode_frame(FRAME_KIND_JOB, b"x"))
+        frame[5] = ord("?")
+        with pytest.raises(SerializationError, match="kind"):
+            decode_frame_header(bytes(frame[:FRAME_HEADER_BYTES]))
+
+    def test_header_rejects_oversized_length(self):
+        header = FRAME_MAGIC + bytes([FRAME_VERSION]) + FRAME_KIND_JOB + \
+            (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(SerializationError, match="cap"):
+            decode_frame_header(header)
+
+    def test_header_rejects_truncation(self):
+        frame = encode_frame(FRAME_KIND_JOB, b"x")
+        with pytest.raises(SerializationError, match="truncated"):
+            decode_frame_header(frame[:FRAME_HEADER_BYTES - 1])
+
+    def test_encode_rejects_unknown_kind_and_oversize(self):
+        with pytest.raises(SerializationError):
+            encode_frame(b"?", b"x")
+        with pytest.raises(SerializationError):
+            encode_frame(FRAME_KIND_JOB, b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_hello_round_trip_and_digest(self, handle):
+        blob = encode_service_context(handle)
+        digest = service_context_digest(blob)
+        assert len(digest) == 32
+        name, parsed = decode_hello(encode_hello("toy", digest))
+        assert (name, parsed) == ("toy", digest)
+        with pytest.raises(SerializationError):
+            decode_hello(encode_hello("toy", digest) + b"extra")
+        with pytest.raises(SerializationError):
+            encode_hello("toy", b"short")
+
+    def test_parse_address(self):
+        assert parse_address("worker-3.local:9000") == \
+            ("worker-3.local", 9000)
+        assert parse_address("::1:9000") == ("::1", 9000)
+        assert parse_address("[::1]:9000") == ("::1", 9000)
+        for bad in ("no-port", "host:", ":8000", "[]:8000", "host:0",
+                    "host:99999", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+# ---------------------------------------------------------------------------
+# Truncated wire payloads are rejected on both backends
+# ---------------------------------------------------------------------------
+
+class TestTruncatedPayloadRejection:
+    """A frame can be intact while its payload is truncated or garbled;
+    the codec must reject it (never return a short window) on both
+    backends — their element widths differ, so both deserve the check."""
+
+    @pytest.fixture(params=[
+        "toy", pytest.param("bn254", marks=pytest.mark.bn254)])
+    def codec_handle(self, request, toy_group, bn254_group):
+        group = toy_group if request.param == "toy" else bn254_group
+        handle = ServiceHandle.dealer(group, 1, 3, rng=random.Random(7))
+        return WireCodec(group), handle
+
+    def test_truncated_job_and_outcome_rejected(self, codec_handle):
+        codec, handle = codec_handle
+        job_blob = codec.encode_job(SignWindowJob(
+            shard_id=0, messages=(b"a", b"bb"),
+            quorum=tuple(handle.quorum())))
+        outcome = handle.process_sign_window([b"a"])
+        outcome_blob = codec.encode_outcome(outcome)
+        for blob, decode in ((job_blob, codec.decode_job),
+                             (outcome_blob, codec.decode_outcome)):
+            with pytest.raises(SerializationError):
+                decode(blob[:-1])
+            with pytest.raises(SerializationError):
+                decode(blob + b"\x00")
+
+    def test_server_reports_bad_job_payload_without_dying(self,
+                                                          codec_handle):
+        """A truncated job inside a valid frame gets an E frame back and
+        the connection keeps serving (the stream is still in sync)."""
+        codec, handle = codec_handle
+        good_job = codec.encode_job(SignWindowJob(
+            shard_id=0, messages=(b"doc",), quorum=tuple(handle.quorum())))
+
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                hello = encode_hello(
+                    handle.scheme.group.name,
+                    service_context_digest(encode_service_context(handle)))
+                write_frame(writer, FRAME_KIND_HELLO, hello)
+                await writer.drain()
+                kind, _ = await read_frame(reader)
+                assert kind == FRAME_KIND_HELLO
+                write_frame(writer, FRAME_KIND_JOB, good_job[:-1])
+                await writer.drain()
+                error_kind, error_payload = await read_frame(reader)
+                write_frame(writer, FRAME_KIND_JOB, good_job)
+                await writer.drain()
+                ok_kind, ok_payload = await read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+            return error_kind, error_payload, ok_kind, ok_payload
+
+        error_kind, error_payload, ok_kind, ok_payload = run(scenario())
+        assert error_kind == FRAME_KIND_ERROR
+        assert b"SerializationError" in error_payload
+        assert ok_kind == FRAME_KIND_OUTCOME
+        outcome = codec.decode_outcome(ok_payload)
+        assert handle.verify(b"doc", outcome.signatures[0])
+
+
+# ---------------------------------------------------------------------------
+# Server protocol violations
+# ---------------------------------------------------------------------------
+
+class TestWorkerServerProtocol:
+    def test_garbage_frame_refused_and_connection_closed(self, handle):
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"GET / HTTP/1.1\r\nHost: worker\r\n\r\n")
+                await writer.drain()
+                kind, payload = await read_frame(reader)
+                trailing = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+            return kind, payload, trailing
+
+        kind, payload, trailing = run(scenario())
+        assert kind == FRAME_KIND_ERROR
+        assert b"magic" in payload
+        assert trailing == b""     # server hung up after refusing
+
+    def test_job_before_hello_refused(self, handle):
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                write_frame(writer, FRAME_KIND_JOB, b"too eager")
+                await writer.drain()
+                kind, payload = await read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+            return kind, payload
+
+        kind, payload = run(scenario())
+        assert kind == FRAME_KIND_ERROR
+        assert b"HELLO" in payload
+
+    def test_context_mismatch_refused(self, handle, toy_group):
+        other = ServiceHandle.dealer(toy_group, 2, 5,
+                                     rng=random.Random(99))
+
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(other, [server.address],
+                                    dial_deadline_s=2.0)
+            pool.start()
+            try:
+                with pytest.raises(HandshakeError, match="context"):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"x",
+                        signers=tuple(other.quorum())))
+            finally:
+                await pool.aclose()
+                await server.aclose()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# The remote worker pool end to end (in-process server, real sockets)
+# ---------------------------------------------------------------------------
+
+class TestRemoteWorkerPool:
+    def test_service_sign_and_verify_through_tcp(self, handle):
+        """remote_workers=[...] serves the same contract as the other
+        two tiers: every signature produced across the wire verifies in
+        the dispatcher, with jobs accounted in the stats."""
+        async def scenario():
+            servers = [await WorkerServer(handle).start()
+                       for _ in range(2)]
+            config = ServiceConfig(
+                num_shards=2, max_batch=4, max_wait_ms=10.0,
+                remote_workers=[server.address for server in servers])
+            try:
+                async with SigningService(handle, config) as service:
+                    results = await asyncio.gather(*(
+                        service.sign(b"tcp svc %d" % i) for i in range(12)))
+                    verdicts = await asyncio.gather(*(
+                        service.verify(result.message, result.signature)
+                        for result in results))
+            finally:
+                for server in servers:
+                    await server.aclose()
+            return service, results, verdicts, servers
+
+        service, results, verdicts, servers = run(scenario())
+        assert all(handle.verify(r.message, r.signature) for r in results)
+        assert all(v.valid for v in verdicts)
+        stats = service.snapshot_stats()
+        assert stats.failed == 0
+        assert stats.workers is not None
+        assert stats.workers.workers == 2
+        assert stats.workers.jobs > 0
+        assert stats.workers.crashes == 0
+        # Both endpoints actually served (round-robin dispatch).
+        assert all(server.jobs_served > 0 for server in servers)
+
+    def test_partial_sign_job_over_tcp_combines_in_dispatcher(self,
+                                                              handle):
+        """The split signer/combiner deployment: partials produced on a
+        remote worker, shipped back over the wire, combined locally."""
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(handle, [server.address])
+            pool.start()
+            try:
+                outcome = await pool.run_job(PartialSignJob(
+                    shard_id=0, message=b"remote partials",
+                    signers=tuple(handle.quorum())))
+            finally:
+                await pool.aclose()
+                await server.aclose()
+            return outcome
+
+        outcome = run(scenario())
+        assert [p.index for p in outcome.partials] == handle.quorum()
+        signature = handle.scheme.combine(
+            handle.public_key, handle.verification_keys,
+            b"remote partials", list(outcome.partials))
+        assert handle.verify(b"remote partials", signature)
+
+    def test_unreachable_endpoints_raise_typed_error(self, handle):
+        async def scenario():
+            # Port 1 on loopback: nothing listens there.
+            pool = RemoteWorkerPool(handle, ["127.0.0.1:1"],
+                                    dial_deadline_s=0.3,
+                                    backoff_initial_s=0.01)
+            pool.start()
+            try:
+                with pytest.raises(TransportError, match="reachable"):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"x",
+                        signers=tuple(handle.quorum())))
+            finally:
+                await pool.aclose()
+
+        run(scenario())
+
+    def test_pool_not_running_raises(self, handle):
+        async def scenario():
+            pool = RemoteWorkerPool(handle, ["127.0.0.1:1"])
+            with pytest.raises(TransportError, match="not running"):
+                await pool.run_job(PartialSignJob(
+                    shard_id=0, message=b"x", signers=(1,)))
+
+        run(scenario())
+
+    def test_pool_rejects_bad_configuration(self, handle):
+        with pytest.raises(ValueError):
+            RemoteWorkerPool(handle, [])
+        with pytest.raises(ValueError):
+            RemoteWorkerPool(handle, ["host:port-less"])
+
+        # workers and remote_workers are mutually exclusive.
+        async def scenario():
+            config = ServiceConfig(workers=2,
+                                   remote_workers=["127.0.0.1:1"])
+            service = SigningService(handle, config)
+            with pytest.raises(ValueError, match="not both"):
+                await service.start()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery with real worker processes
+# ---------------------------------------------------------------------------
+
+class TestRemoteWorkerCrashRecovery:
+    def test_worker_killed_mid_window_recovered_by_resubmission(
+            self, handle, tmp_path):
+        """Mirror of the process tier's WorkerCrashFault sentinel test:
+        one of two subprocess workers dies hard (os._exit) on the first
+        partial it signs; the pool must detect the dropped connection,
+        resubmit the window to the surviving worker, and every request
+        must still complete with a valid signature."""
+        context_path = tmp_path / "ctx.bin"
+        context_path.write_bytes(encode_service_context(handle))
+        sentinel = tmp_path / "crashed.sentinel"
+        crasher, crasher_address = start_worker_process(
+            context_path, crash_sentinel=sentinel)
+        survivor, survivor_address = start_worker_process(context_path)
+
+        async def scenario():
+            config = ServiceConfig(
+                num_shards=1, max_batch=8, max_wait_ms=50.0,
+                remote_workers=[crasher_address, survivor_address])
+            async with SigningService(handle, config) as service:
+                results = await asyncio.gather(*(
+                    service.sign(b"crash %d" % i) for i in range(8)))
+            return service, results
+
+        try:
+            service, results = run(scenario())
+        finally:
+            crasher.wait(timeout=10)
+            survivor.terminate()
+            survivor.wait(timeout=10)
+        assert sentinel.exists()
+        assert len(results) == 8
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+        stats = service.snapshot_stats()
+        assert stats.failed == 0
+        assert stats.workers.crashes >= 1
+        assert stats.workers.resubmissions >= 1
+
+    def test_killed_worker_respawned_on_same_port_is_reconnected(
+            self, handle, tmp_path):
+        """The single-worker deployment under a supervisor: the only
+        worker dies mid-window, a replacement comes up on the same
+        port, and the pool's dial-with-backoff loop finds it and
+        resubmits — no request is lost."""
+        context_path = tmp_path / "ctx.bin"
+        context_path.write_bytes(encode_service_context(handle))
+        sentinel = tmp_path / "crashed.sentinel"
+        process, address = start_worker_process(
+            context_path, crash_sentinel=sentinel)
+        port = parse_address(address)[1]
+        replacements = []
+
+        async def respawn_when_dead():
+            loop = asyncio.get_running_loop()
+            while process.poll() is None:
+                await asyncio.sleep(0.05)
+            replacement, _ = await loop.run_in_executor(
+                None, lambda: start_worker_process(
+                    context_path, port=port, crash_sentinel=sentinel))
+            replacements.append(replacement)
+
+        async def scenario():
+            config = ServiceConfig(num_shards=1, max_batch=8,
+                                   max_wait_ms=50.0,
+                                   remote_workers=[address])
+            async with SigningService(handle, config) as service:
+                watcher = asyncio.ensure_future(respawn_when_dead())
+                results = await asyncio.gather(*(
+                    service.sign(b"respawn %d" % i) for i in range(8)))
+                await watcher
+            return service, results
+
+        try:
+            service, results = run(scenario())
+        finally:
+            process.wait(timeout=10)
+            for replacement in replacements:
+                replacement.terminate()
+                replacement.wait(timeout=10)
+        assert sentinel.exists()
+        assert len(results) == 8
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+        stats = service.snapshot_stats()
+        assert stats.failed == 0
+        assert stats.workers.crashes >= 1
+        assert stats.workers.resubmissions >= 1
+        assert stats.workers.reconnects >= 1
+
+
+# ---------------------------------------------------------------------------
+# The entry point
+# ---------------------------------------------------------------------------
+
+class TestRemoteWorkerCli:
+    def test_write_context_mode_round_trips(self, tmp_path):
+        from repro.serialization import decode_service_context
+        from repro.service.remote_worker import main
+
+        context_path = tmp_path / "ctx.bin"
+        assert main(["--write-context", str(context_path),
+                     "--backend", "toy", "--t", "1", "--n", "3",
+                     "--seed", "5"]) == 0
+        rebuilt = decode_service_context(context_path.read_bytes())
+        assert rebuilt.scheme.params.t == 1
+        assert rebuilt.scheme.params.n == 3
+        signature = rebuilt.sign(b"provisioned")
+        assert rebuilt.verify(b"provisioned", signature)
+
+    def test_missing_context_file_is_a_clean_error(self, tmp_path):
+        from repro.service.remote_worker import main
+
+        assert main(["--context", str(tmp_path / "absent.bin")]) == 2

@@ -19,8 +19,12 @@ batched (window = BATCH_K) versus single-request mode (window = 1), so
 their speedups isolate the batch-window amortization of the serving
 layer.  The ``svc_mp_*`` ops measure the process-parallel worker tier
 (MP_WORKERS worker processes vs the same batched pipeline on one
-process, same offered load) — the multi-core scaling knob.  See
-``benchmarks/README.md`` for the methodology.
+process, same offered load) — the multi-core scaling knob.  The
+``svc_tcp_*`` ops measure the TCP remote-worker tier the same way
+(TCP_WORKERS standalone worker processes on the loopback vs the
+batched event-loop pipeline), isolating the framing/socket overhead of
+the multi-machine transport.  See ``benchmarks/README.md`` for the
+methodology.
 
 Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
 record) and regenerates ``benchmarks/results/t2_ops.txt``.
@@ -49,6 +53,7 @@ import os
 import pathlib
 import random
 import sys
+import tempfile
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -86,16 +91,23 @@ MP_WORKERS = 4
 #: Shards for the ``svc_mp_*`` ops — at least MP_WORKERS, so that many
 #: window jobs can be in flight at once (one per shard).
 MP_SHARDS = 4
-#: Service passes per ``svc_*``/``svc_mp_*`` side (best-of, like
-#: ``timed`` — the service ops are single-pass aggregates, so variance
-#: is tamed by repeating the pass, not the request).
-SVC_PASSES = 2
-MP_PASSES = 2
+#: Service passes per ``svc_*``/``svc_mp_*``/``svc_tcp_*`` side.  Each
+#: op's value is the **median** across passes (see
+#: ``interleaved_best``) — the service ops are single-pass aggregates,
+#: so variance is tamed by repeating the whole pass, and an odd pass
+#: count gives the median a true middle sample.
+SVC_PASSES = 3
+MP_PASSES = 3
 #: Requests per ``svc_mp_*`` workload — larger than SVC_TOTAL so every
 #: shard sees several full windows (4 shards split the traffic; a small
 #: total would make the window-fill dynamics, and thus the measured
 #: ratio, noisy).
 MP_TOTAL = 2 * SVC_TOTAL
+#: Remote TCP workers for the ``svc_tcp_*`` ops (the multi-machine
+#: tier, measured over the loopback — real sockets, framing and
+#: handshake, no real network latency).
+TCP_WORKERS = 2
+TCP_PASSES = 3
 
 #: Seed-commit T2 numbers (benchmarks/results/t2_ops.txt at PR 0), kept for
 #: context only — cross-machine comparisons are apples to oranges, which is
@@ -115,6 +127,19 @@ SEED_REFERENCE_MS = {
 #: 15%), so noisy shared CI runners can widen the gate without a code
 #: edit.
 CHECK_TOLERANCE = 0.15
+#: Ops whose committed speedup sits below this are *overhead-bound*:
+#: the worker-tier ratios (``svc_mp_*``, ``svc_tcp_*``) hover near
+#: 1.0x on a single-core recorder, where their run-to-run scheduling
+#: noise (±10-15%) rivals the default tolerance.  For them the check's
+#: documented purpose is catching the tier *collapsing* (a reconnect
+#: storm, per-job re-dials, pickling whole handles — 0.3-0.5x events),
+#: so the floor widens to ``OVERHEAD_TOLERANCE`` instead of flaking on
+#: scheduler jitter.  Ops with real committed speedups keep the strict
+#: band (the threshold sits just under ``gt_exp``'s ~1.23x so a
+#: genuine fast path falling back to naive, a ~1.0x event, stays
+#: caught by the strict floor).
+OVERHEAD_REFERENCE = 1.2
+OVERHEAD_TOLERANCE = 0.40
 
 
 def check_tolerance() -> float:
@@ -159,26 +184,35 @@ def timed(fn, rounds, min_total_s=0.25):
 
 def interleaved_best(drive_fast, drive_naive, passes: int,
                      include_naive: bool):
-    """Best-of-``passes`` per side, with the sides interleaved.
+    """Median-of-``passes`` per side, with the sides interleaved.
 
     Service-level ratios are noisier than micro-ops, and running all
     fast passes before all naive passes would put slow machine-load
     drift inside the speedup ratio; alternating
     (fast, naive, fast, naive, ...) lands it on both sides instead.
-    Returns ``(fast, naive-or-None)`` dicts of per-op minima.
+
+    Per-op values are the **median** across passes, not the minimum:
+    a minimum is right for micro-op cost (the true cost plus
+    never-negative noise), but the worker-tier ops track *ratios* that
+    sit near 1.0x on a single core, and a ratio of two minima inherits
+    a high-side bias from either side's one lucky pass — which then
+    becomes an unreproducible committed floor for ``--check``.  The
+    median is symmetric, so committed and fresh runs agree to within
+    the tolerance.  Returns ``(fast, naive-or-None)`` dicts.
     """
+    from statistics import median
     fast_reports, naive_reports = [], []
     for _ in range(passes):
         fast_reports.append(drive_fast())
         if include_naive:
             naive_reports.append(drive_naive())
 
-    def best(reports) -> dict:
-        return {op: min(report[op] for report in reports)
+    def representative(reports) -> dict:
+        return {op: median(report[op] for report in reports)
                 for op in reports[0]}
 
-    return best(fast_reports), \
-        (best(naive_reports) if include_naive else None)
+    return representative(fast_reports), \
+        (representative(naive_reports) if include_naive else None)
 
 
 class NaiveReference:
@@ -269,21 +303,23 @@ class NaiveReference:
 
 def _drive_service(handle: ServiceHandle, max_batch: int,
                    sign_messages, verify_pairs, num_shards: int = 1,
-                   workers: int = 0) -> dict:
+                   workers: int = 0, remote_workers=()) -> dict:
     """Push one closed-loop workload through the signing service.
 
     ``max_batch=BATCH_K`` is the batched serving mode; ``max_batch=1``
     is single-request mode (every window degenerates to one request) —
     the baseline the batch-window amortization is measured against.
     ``workers=N`` additionally dispatches the windows to N worker
-    processes (the ``svc_mp_*`` ops).  Returns per-request
-    sign/verify/mixed costs and the sign p50.
+    processes (the ``svc_mp_*`` ops); ``remote_workers=[...]``
+    dispatches them to standalone TCP workers (the ``svc_tcp_*`` ops).
+    Returns per-request sign/verify/mixed costs and the sign p50.
     """
     total = len(sign_messages)
     config = ServiceConfig(
         num_shards=num_shards, max_batch=max_batch,
         max_wait_ms=25.0 if max_batch > 1 else 0.0,
-        queue_depth=4 * total, workers=workers, rng=random.Random(77))
+        queue_depth=4 * total, workers=workers,
+        remote_workers=remote_workers, rng=random.Random(77))
 
     async def scenario():
         async with SigningService(handle, config) as service:
@@ -384,6 +420,68 @@ def run_mp_service_ops(scheme: LJYThresholdScheme, pk, shares, vks, master,
                             MP_PASSES, include_naive)
 
 
+def run_tcp_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
+                        master, include_naive: bool = True
+                        ) -> "tuple[dict, dict | None]":
+    """The ``svc_tcp_*`` ops: the TCP remote-worker tier vs one process.
+
+    Same methodology as the ``svc_mp_*`` ops — the batched pipeline
+    over ``MP_SHARDS`` shards at the same closed-loop offered load —
+    but the fast side dispatches windows to ``TCP_WORKERS`` standalone
+    worker processes over loopback sockets (framed wire jobs, HELLO
+    handshake, warm per-process caches) instead of a
+    ``ProcessPoolExecutor``.  On the loopback the measurement isolates
+    the transport's framing/socket overhead against the identical
+    event-loop baseline; the multi-core caveat of ``svc_mp_*`` applies
+    unchanged (``meta.cpu_count`` keeps the committed ratio
+    interpretable).  The worker processes are spawned once and reused
+    by every fast pass, mirroring a deployment's long-lived workers.
+    """
+    from repro.serialization import encode_service_context
+    from repro.service.transport import start_worker_process
+
+    handle = ServiceHandle(scheme, pk, shares, vks)
+    sign_messages = [b"svc tcp sign %d" % i for i in range(MP_TOTAL)]
+    verify_messages = [b"svc tcp verify %d" % i for i in range(MP_TOTAL)]
+    verify_pairs = [
+        (message, scheme.sign_with_master(master, message))
+        for message in verify_messages
+    ]
+    for message in sign_messages + verify_messages:
+        scheme.params.hash_message(message)
+
+    def rekey(report: dict) -> dict:
+        return {
+            "svc_tcp_verify_req": report["svc_verify_req"],
+            "svc_tcp_throughput": report["svc_throughput"],
+        }
+
+    with tempfile.TemporaryDirectory() as tcp_dir:
+        context_path = pathlib.Path(tcp_dir) / "ctx.bin"
+        context_path.write_bytes(encode_service_context(handle))
+        processes, addresses = [], []
+        try:
+            for _ in range(TCP_WORKERS):
+                process, address = start_worker_process(context_path)
+                processes.append(process)
+                addresses.append(address)
+
+            def drive(remote: bool) -> dict:
+                return rekey(_drive_service(
+                    handle, BATCH_K, sign_messages, verify_pairs,
+                    num_shards=MP_SHARDS,
+                    remote_workers=tuple(addresses) if remote else ()))
+
+            return interleaved_best(
+                lambda: drive(True), lambda: drive(False),
+                TCP_PASSES, include_naive)
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.wait(timeout=10)
+
+
 def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     group = get_group("bn254")
     rng = random.Random(3)
@@ -474,6 +572,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     mp_fast, mp_naive = run_mp_service_ops(
         scheme, pk, shares, vks, master, include_naive=include_naive)
     fast_ms.update(mp_fast)
+    tcp_fast, tcp_naive = run_tcp_service_ops(
+        scheme, pk, shares, vks, master, include_naive=include_naive)
+    fast_ms.update(tcp_fast)
 
     snapshot = {
         "meta": {
@@ -486,6 +587,7 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             "svc_concurrency": SVC_CONCURRENCY,
             "mp_workers": MP_WORKERS,
             "mp_shards": MP_SHARDS,
+            "tcp_workers": TCP_WORKERS,
             "cpu_count": os.cpu_count(),
             "message": MESSAGE.decode(),
             "python": sys.version.split()[0],
@@ -503,6 +605,8 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
         # MP baselines: the same batched pipeline, same shard count and
         # offered load, windows run on the event loop (workers=0).
         naive_ms.update(mp_naive)
+        # TCP baselines: identical methodology, remote_workers=() side.
+        naive_ms.update(tcp_naive)
         snapshot["naive_ms"] = naive_ms
         snapshot["speedup"] = {
             op: round(naive_ms[op] / fast_ms[op], 2) for op in fast_ms
@@ -527,6 +631,10 @@ def render_table(snapshot: dict) -> Table:
             f"Service verify/request ({MP_WORKERS} worker procs vs 1)"),
         "svc_mp_throughput": (
             f"Service mixed load/request ({MP_WORKERS} worker procs vs 1)"),
+        "svc_tcp_verify_req": (
+            f"Service verify/request ({TCP_WORKERS} TCP workers vs 1)"),
+        "svc_tcp_throughput": (
+            f"Service mixed load/request ({TCP_WORKERS} TCP workers vs 1)"),
     }
     has_naive = "naive_ms" in snapshot
     columns = ["operation", "ms"]
@@ -555,7 +663,10 @@ def run_check(snapshot: dict, committed_path: pathlib.Path) -> int:
     tracked op's fresh speedup drops more than the tolerance below the
     committed one.  The tolerance defaults to ``CHECK_TOLERANCE`` and
     can be widened on noisy shared runners via ``BENCH_TOLERANCE`` (a
-    percentage).
+    percentage); overhead-bound ops (committed speedup below
+    ``OVERHEAD_REFERENCE``) use at least ``OVERHEAD_TOLERANCE`` — their
+    near-1.0x ratios carry scheduler noise comparable to the strict
+    band, and their gate exists to catch collapse, not jitter.
     """
     tolerance = check_tolerance()
     if not committed_path.exists():
@@ -573,7 +684,9 @@ def run_check(snapshot: dict, committed_path: pathlib.Path) -> int:
         if fresh is None:
             regressions.append(f"{op}: missing from fresh run")
             continue
-        floor = reference * (1.0 - tolerance)
+        op_tolerance = (max(tolerance, OVERHEAD_TOLERANCE)
+                        if reference < OVERHEAD_REFERENCE else tolerance)
+        floor = reference * (1.0 - op_tolerance)
         status = "ok" if fresh >= floor else "REGRESSED"
         print(f"check: {op:20s} committed {reference:6.2f}x  "
               f"fresh {fresh:6.2f}x  floor {floor:6.2f}x  {status}")

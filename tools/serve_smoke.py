@@ -13,7 +13,13 @@ window) and asserts the service contract:
 * the forged-partial window is localized and still completes;
 * the process-parallel worker tier (``workers=N``) serves the same
   contract over the wire format: signatures produced in worker
-  processes verify in the parent, nothing is rejected or failed.
+  processes verify in the parent, nothing is rejected or failed;
+* the TCP transport tier (``remote_workers=[...]``) serves the same
+  contract over loopback sockets: a window routed through a standalone
+  remote worker process completes every request, and killing that
+  worker mid-window (it ``os._exit``\\ s on its first partial, then a
+  supervisor-style respawn brings a replacement up on the same port)
+  still completes every request via reconnect + resubmission.
 
 Exit-code contract (CI depends on it): **every** failure path exits
 nonzero — contract violations return 1 with a reason per line, and any
@@ -33,13 +39,18 @@ import asyncio
 import pathlib
 import random
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import ServiceHandle, get_group                 # noqa: E402
+from repro.serialization import encode_service_context     # noqa: E402
 from repro.service import (                                # noqa: E402
     CorruptSignerFault, LoadGenerator, ServiceConfig, SigningService,
+)
+from repro.service.transport import (                      # noqa: E402
+    parse_address, start_worker_process,
 )
 
 
@@ -162,12 +173,127 @@ async def run_smoke(backend: str, requests: int, shards: int,
     check(mp_stats.workers is not None and mp_stats.workers.crashes == 0,
           "worker processes crashed during the smoke run")
 
+    # -- act 5: the TCP transport tier (loopback remote workers) -------
+    loop = asyncio.get_running_loop()
+    tcp_requests = min(requests, 8)
+    with tempfile.TemporaryDirectory() as tcp_dir:
+        context_path = pathlib.Path(tcp_dir) / "ctx.bin"
+        context_path.write_bytes(encode_service_context(handle))
+
+        # 5a: a clean window routed through one remote worker process.
+        process, address = await loop.run_in_executor(
+            None, lambda: start_worker_process(context_path))
+        tcp_config = ServiceConfig(num_shards=1, max_batch=8,
+                                   max_wait_ms=10.0,
+                                   queue_depth=4 * requests,
+                                   remote_workers=[address])
+        try:
+            async with SigningService(handle, tcp_config) as service:
+                tcp_signed = {}
+
+                async def tcp_sign(ordinal):
+                    result = await service.sign(b"tcp doc %d" % ordinal)
+                    tcp_signed[ordinal] = result
+                    return result
+
+                tcp_report = await LoadGenerator(tcp_sign).run_closed(
+                    tcp_requests, 8)
+                check(tcp_report.rejected == 0 and tcp_report.failed == 0,
+                      f"TCP tier shed/failed requests "
+                      f"({tcp_report.rejected} rejected, "
+                      f"{tcp_report.failed} failed)")
+                for ordinal, result in tcp_signed.items():
+                    check(handle.verify(result.message, result.signature),
+                          f"TCP tier produced an invalid signature for "
+                          f"#{ordinal}")
+                tcp_verify = await LoadGenerator(
+                    lambda i: service.verify(tcp_signed[i].message,
+                                             tcp_signed[i].signature)
+                ).run_closed(tcp_requests, 8)
+                check(tcp_verify.completed == tcp_requests
+                      and tcp_verify.invalid == 0,
+                      "TCP tier returned wrong verify verdicts")
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+        tcp_stats = service.snapshot_stats()
+        check(tcp_stats.workers is not None
+              and tcp_stats.workers.jobs > 0,
+              "TCP tier dispatched no jobs")
+        check(tcp_stats.workers is not None
+              and tcp_stats.workers.crashes == 0,
+              "TCP tier dropped connections during the clean act")
+
+        # 5b: kill the worker mid-window; a supervisor-style respawn
+        # brings a replacement up on the same port, and reconnect +
+        # resubmission must complete every request.  The worker
+        # os._exits on the first partial it signs while the sentinel
+        # file does not exist (the WorkerCrashFault pattern).
+        sentinel = pathlib.Path(tcp_dir) / "crashed.sentinel"
+        process, address = await loop.run_in_executor(
+            None, lambda: start_worker_process(
+                context_path, crash_sentinel=sentinel))
+        port = parse_address(address)[1]
+        replacements = []
+
+        async def respawn_when_dead():
+            while process.poll() is None:
+                await asyncio.sleep(0.05)
+            replacement, _ = await loop.run_in_executor(
+                None, lambda: start_worker_process(
+                    context_path, port=port, crash_sentinel=sentinel))
+            replacements.append(replacement)
+
+        crash_config = ServiceConfig(num_shards=1, max_batch=8,
+                                     max_wait_ms=10.0,
+                                     queue_depth=4 * requests,
+                                     remote_workers=[address])
+        try:
+            async with SigningService(handle, crash_config) as service:
+                watcher = asyncio.ensure_future(respawn_when_dead())
+                crash_report = await LoadGenerator(
+                    lambda i: service.sign(b"tcp crash doc %d" % i)
+                ).run_closed(tcp_requests, tcp_requests)
+                await watcher
+                check(crash_report.rejected == 0
+                      and crash_report.failed == 0
+                      and crash_report.completed == tcp_requests,
+                      f"TCP crash act dropped requests "
+                      f"({crash_report.completed}/{tcp_requests} "
+                      f"completed, {crash_report.failed} failed)")
+        finally:
+            # terminate() is a no-op on the already-crashed worker but
+            # keeps an act-5b failure *before* the crash from hanging
+            # in wait() and masking the real error.
+            process.terminate()
+            process.wait(timeout=10)
+            for replacement in replacements:
+                replacement.terminate()
+                replacement.wait(timeout=10)
+        crash_stats = service.snapshot_stats()
+        check(sentinel.exists(), "TCP crash act: worker never crashed")
+        check(crash_stats.workers is not None
+              and crash_stats.workers.crashes >= 1,
+              "TCP crash act: dropped connection not detected")
+        check(crash_stats.workers is not None
+              and crash_stats.workers.resubmissions >= 1,
+              "TCP crash act: no job was resubmitted")
+        check(crash_stats.workers is not None
+              and crash_stats.workers.reconnects >= 1,
+              "TCP crash act: the respawned worker was never reconnected")
+
     print(f"serve-smoke [{backend}]: {stats.accepted} requests, "
           f"{windows} windows, 0 rejected, 0 failed; forged window "
           f"localized ({shard.faults_localized} flags, "
           f"{shard.fallback_combines} robust fallbacks); worker tier "
           f"[{workers} procs] served "
-          f"{mp_stats.workers.jobs if mp_stats.workers else 0} window jobs")
+          f"{mp_stats.workers.jobs if mp_stats.workers else 0} window "
+          f"jobs; TCP tier served "
+          f"{tcp_stats.workers.jobs if tcp_stats.workers else 0} jobs "
+          f"clean + survived a mid-window worker kill "
+          f"({crash_stats.workers.crashes} crash, "
+          f"{crash_stats.workers.reconnects} reconnect, "
+          f"{crash_stats.workers.resubmissions} resubmissions)")
     if failures:
         print("serve-smoke FAILED:")
         for reason in failures:
