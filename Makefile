@@ -25,7 +25,10 @@ bench-check:
 ## Boot the async signing service, push 100+ requests through the load
 ## generator (in-process shards, the process-parallel worker tier and
 ## the loopback-TCP remote-worker tier — including a mid-window worker
-## kill) and fail on any rejected-valid request.
+## kill) and fail on any rejected-valid request.  The durability act
+## SIGKILLs the service itself mid-window and requires a restart
+## against the same write-ahead log to complete every admitted request
+## exactly once (leaves `.smoke-wal/` behind on failure for forensics).
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 

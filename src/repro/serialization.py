@@ -136,7 +136,9 @@ def measure_shoup(scheme, public_key, partial, signature) -> SizeReport:
 # ---------------------------------------------------------------------------
 
 #: Job/outcome kind tags (one byte each).  Uppercase = job, lowercase =
-#: the matching outcome, ``C`` = a full service context.
+#: the matching outcome, ``C`` = a full service context, ``W``/``w`` =
+#: the write-ahead log's admit/done records (uppercase opens an
+#: obligation, lowercase settles it — same convention as job/outcome).
 KIND_SIGN_JOB = b"S"
 KIND_VERIFY_JOB = b"V"
 KIND_PARTIAL_JOB = b"P"
@@ -144,6 +146,8 @@ KIND_SIGN_OUTCOME = b"s"
 KIND_VERIFY_OUTCOME = b"v"
 KIND_PARTIAL_OUTCOME = b"p"
 KIND_CONTEXT = b"C"
+KIND_WAL_ADMIT = b"W"
+KIND_WAL_DONE = b"w"
 
 
 @dataclass(frozen=True)
@@ -212,6 +216,37 @@ class PartialSignOutcome:
     partials: Tuple[PartialSignature, ...]
 
 
+@dataclass(frozen=True)
+class WalAdmitRecord:
+    """One admitted sign request: a durable obligation.
+
+    Appended by the service frontend the moment a request clears
+    backpressure; until a :class:`WalDoneRecord` with the same
+    ``request_id`` lands, a restart must replay the message through the
+    normal signing path (partial signing is deterministic, so a replay
+    of an already-signed-but-unacknowledged request reproduces the
+    identical signature — idempotence by construction).
+    """
+
+    request_id: int
+    message: bytes
+
+
+@dataclass(frozen=True)
+class WalDoneRecord:
+    """Settles one :class:`WalAdmitRecord`.
+
+    ``signature`` is set iff the request completed; a shed or failed
+    request settles with ``signature=None`` and a human-readable
+    ``reason`` (also a settlement — the obligation was *answered*, with
+    a typed rejection, and must not be replayed).
+    """
+
+    request_id: int
+    signature: Optional[Signature] = None
+    reason: str = ""
+
+
 class _Reader:
     """Sequential reader over one wire blob (bounds-checked)."""
 
@@ -234,6 +269,9 @@ class _Reader:
     def u32(self) -> int:
         return int.from_bytes(self.take(4), "big")
 
+    def u64(self) -> int:
+        return int.from_bytes(self.take(8), "big")
+
     def packed(self) -> bytes:
         return self.take(self.u32())
 
@@ -248,6 +286,12 @@ def _u32(value: int) -> bytes:
     if value < 0 or value >= 1 << 32:
         raise SerializationError(f"field {value} does not fit in u32")
     return value.to_bytes(4, "big")
+
+
+def _u64(value: int) -> bytes:
+    if value < 0 or value >= 1 << 64:
+        raise SerializationError(f"field {value} does not fit in u64")
+    return value.to_bytes(8, "big")
 
 
 def _packed(data: bytes) -> bytes:
@@ -459,6 +503,49 @@ class WireCodec:
             raise SerializationError(f"unknown outcome kind {kind!r}")
         reader.done()
         return outcome
+
+    # -- write-ahead-log records ----------------------------------------------
+    def encode_wal_record(self, record) -> bytes:
+        """One WAL record payload (the on-disk log adds its own
+        length+CRC storage framing on top — see
+        :mod:`repro.service.wal` and ``docs/WIRE_FORMAT.md``)."""
+        if isinstance(record, WalAdmitRecord):
+            return KIND_WAL_ADMIT + _u64(record.request_id) + \
+                _packed(record.message)
+        if isinstance(record, WalDoneRecord):
+            if record.signature is not None:
+                return KIND_WAL_DONE + _u64(record.request_id) + b"\x01" + \
+                    self.encode_signature(record.signature)
+            return KIND_WAL_DONE + _u64(record.request_id) + b"\x00" + \
+                _packed(record.reason.encode("utf-8"))
+        raise SerializationError(
+            f"unknown WAL record type {type(record).__name__}")
+
+    def decode_wal_record(self, blob: bytes):
+        reader = _Reader(blob)
+        kind = reader.take(1)
+        if kind == KIND_WAL_ADMIT:
+            record = WalAdmitRecord(request_id=reader.u64(),
+                                    message=reader.packed())
+        elif kind == KIND_WAL_DONE:
+            request_id = reader.u64()
+            status = reader.take(1)
+            if status == b"\x01":
+                record = WalDoneRecord(request_id=request_id,
+                                       signature=self._read_signature(reader))
+            elif status == b"\x00":
+                record = WalDoneRecord(
+                    request_id=request_id, signature=None,
+                    reason=reader.packed().decode("utf-8"))
+            else:
+                # Strict one-byte flags, like the sign-outcome codec:
+                # the encoding stays canonical.
+                raise SerializationError(
+                    f"invalid WAL done-record status byte {status!r}")
+        else:
+            raise SerializationError(f"unknown WAL record kind {kind!r}")
+        reader.done()
+        return record
 
 
 def encode_service_context(handle) -> bytes:

@@ -32,6 +32,15 @@ Thetacrypt mold:
   standalone ``python -m repro.service.remote_worker`` processes, with
   a context-digest handshake and reconnect-with-backoff + resubmission
   on dropped connections.
+* :mod:`~repro.service.wal` — the crash-safe durability layer: every
+  admitted sign request is appended to a write-ahead log (length+CRC
+  record framing, fsync batched per closed window) and replayed
+  idempotently on the next ``start()`` against the same
+  ``ServiceConfig(wal_path=...)``, so a SIGKILL of the service process
+  never loses an admitted request; per-request deadlines
+  (``request_deadline_s``) shed stale requests with a typed
+  :class:`~repro.service.types.RequestExpiredError` instead of signing
+  late.
 * :mod:`~repro.service.faults` — failure injection: a shard returning
   forged partial signatures exercises ``locate_invalid`` bisection and
   the robust per-share fallback without poisoning neighbors in the same
@@ -50,19 +59,21 @@ from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.shards import HashRing, ShardPool
 from repro.service.transport import RemoteWorkerPool, WorkerServer
 from repro.service.types import (
-    HandshakeError, RemoteJobError, RequestFailedError, ServiceClosedError,
-    ServiceError, ServiceOverloadedError, ServiceStats, ShardStats,
-    SignResult, TransportError, VerifyResult, WorkerCrashError,
+    HandshakeError, RemoteJobError, RequestExpiredError, RequestFailedError,
+    ServiceClosedError, ServiceError, ServiceOverloadedError, ServiceStats,
+    ShardStats, SignResult, TransportError, VerifyResult, WorkerCrashError,
     WorkerPoolStats,
 )
+from repro.service.wal import WalStats, WriteAheadLog
 from repro.service.workers import WorkerPool
 
 __all__ = [
     "BatchAccumulator", "CorruptSignerFault", "HandshakeError", "HashRing",
     "LoadGenerator", "LoadReport", "RemoteJobError", "RemoteWorkerPool",
-    "RequestFailedError", "ServiceClosedError",
+    "RequestExpiredError", "RequestFailedError", "ServiceClosedError",
     "ServiceConfig", "ServiceError", "ServiceOverloadedError", "ServiceStats",
     "ShardPool", "ShardStats", "SigningService", "SignResult",
-    "TransportError", "VerifyResult", "WorkerCrashError", "WorkerCrashFault",
-    "WorkerPool", "WorkerPoolStats", "WorkerServer",
+    "TransportError", "VerifyResult", "WalStats", "WorkerCrashError",
+    "WorkerCrashFault", "WorkerPool", "WorkerPoolStats", "WorkerServer",
+    "WriteAheadLog",
 ]

@@ -19,11 +19,13 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.keys import Signature
 from repro.core.scheme import ServiceHandle
+from repro.serialization import WireCodec
 from repro.service.shards import ShardPool
 from repro.service.types import (
-    PendingRequest, RequestKind, ServiceClosedError, ServiceOverloadedError,
-    ServiceStats, SignResult, VerifyResult,
+    PendingRequest, RequestExpiredError, RequestKind, ServiceClosedError,
+    ServiceOverloadedError, ServiceStats, SignResult, VerifyResult,
 )
+from repro.service.wal import WriteAheadLog
 
 
 @dataclass
@@ -67,6 +69,23 @@ class ServiceConfig:
     #: Worker processes draw their own coins — an adversary must not be
     #: able to predict them from a parent-visible seed anyway.
     rng: Optional[object] = None
+    #: Durability: path of the write-ahead log file.  None (the
+    #: default) keeps the pre-WAL behavior — admitted requests die with
+    #: the process.  Set, every admitted *sign* request is logged
+    #: before its future resolves and replayed on the next
+    #: ``start()`` against the same path (see
+    #: :mod:`repro.service.wal`; verify requests are stateless reads
+    #: and are not logged).
+    wal_path: Optional[object] = None
+    #: End-to-end deadline per request, seconds.  A request still
+    #: queued when its deadline passes is shed with a typed
+    #: :class:`~repro.service.types.RequestExpiredError` instead of
+    #: signed late.  None disables deadlines.
+    request_deadline_s: Optional[float] = None
+    #: Hung-worker bound for the TCP tier: a connected remote worker
+    #: that does not answer a window job within this many seconds is
+    #: treated like a dropped connection (discard, resubmit elsewhere).
+    remote_job_timeout_s: float = 60.0
 
 
 class SigningService:
@@ -77,6 +96,9 @@ class SigningService:
         self.handle = handle
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
+        #: The durability log, open while running (None when
+        #: ``config.wal_path`` is unset).
+        self.wal: Optional[WriteAheadLog] = None
         self._pool: Optional[ShardPool] = None
         self._outstanding = 0
 
@@ -86,15 +108,46 @@ class SigningService:
         return self._pool is not None
 
     async def start(self) -> None:
+        """Start the shard pool; when a WAL is configured, open it and
+        replay every unacknowledged admit through the normal signing
+        path before returning — a restarted service finishes its
+        predecessor's obligations before taking new ones."""
         if self.running:
             raise ServiceClosedError("service already started")
         config = self.config
+        if config.wal_path is not None:
+            self.wal = WriteAheadLog.open(
+                config.wal_path, WireCodec(self.handle.scheme.group))
         self._pool = ShardPool(
             self.handle, config.num_shards, config.max_batch,
             config.max_wait_ms, config.queue_depth,
             fault_injector=config.fault_injector, rng=config.rng,
-            workers=config.workers, remote_workers=config.remote_workers)
+            workers=config.workers, remote_workers=config.remote_workers,
+            wal=self.wal, remote_job_timeout_s=config.remote_job_timeout_s)
         self._pool.start()
+        if self.wal is not None and self.wal.pending:
+            await self._replay(dict(self.wal.pending))
+
+    async def _replay(self, pending) -> None:
+        """Re-admit recovered obligations.  They bypass load shedding
+        (``queue.put``, not ``put_nowait``): these requests were already
+        accepted — by a previous incarnation — and a durable obligation
+        is not shed, it is served."""
+        loop = asyncio.get_running_loop()
+        futures = []
+        for request_id, message in pending.items():
+            request = PendingRequest(
+                kind=RequestKind.SIGN, message=message,
+                enqueued_at=loop.time(), future=loop.create_future(),
+                deadline=self._deadline_from(loop),
+                request_id=request_id)
+            await self._pool.worker_for(message).queue.put(request)
+            self._register(request)
+            self.stats.recovered += 1
+            futures.append(request.future)
+        # Replay is synchronous with start-up: the caller gets a
+        # service whose inherited obligations are already settled.
+        await asyncio.gather(*futures, return_exceptions=True)
 
     async def stop(self) -> None:
         """Graceful shutdown: finish every accepted request, then halt."""
@@ -107,6 +160,9 @@ class SigningService:
         self.stats.shards = pool.stats()
         if pool.worker_pool is not None:
             self.stats.workers = pool.worker_pool.stats
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
 
     async def __aenter__(self) -> "SigningService":
         await self.start()
@@ -126,30 +182,72 @@ class SigningService:
             self.stats.rejected += 1
             raise ServiceOverloadedError(
                 worker.shard_id, worker.queue.qsize()) from None
+        if self.wal is not None and request.kind is RequestKind.SIGN:
+            # Logged only past backpressure: a shed request was never
+            # an obligation.  The append is buffered; the shard worker
+            # fsyncs once per closed window, before the window's crypto
+            # runs, so the admit is durable before any completion.
+            request.request_id = self.wal.append_admit(request.message)
         self.stats.accepted += 1
-        self._outstanding += 1
-        request.future.add_done_callback(self._on_done)
+        self._register(request)
 
-    def _on_done(self, future: asyncio.Future) -> None:
+    def _register(self, request: PendingRequest) -> None:
+        self._outstanding += 1
+        request.future.add_done_callback(
+            lambda future, request=request: self._on_done(request, future))
+
+    def _on_done(self, request: PendingRequest,
+                 future: asyncio.Future) -> None:
         self._outstanding -= 1
-        if future.cancelled() or future.exception() is not None:
+        if future.cancelled():
             self.stats.failed += 1
+            self._settle(request, reason="cancelled by caller")
+            return
+        exc = future.exception()
+        if exc is not None:
+            if isinstance(exc, RequestExpiredError):
+                self.stats.expired += 1
+            else:
+                self.stats.failed += 1
+            self._settle(request, reason=f"{type(exc).__name__}: {exc}")
         else:
             self.stats.completed += 1
-            self.stats.egress.record(future.result())
+            result = future.result()
+            self.stats.egress.record(result)
+            self._settle(request,
+                         signature=getattr(result, "signature", None))
+
+    def _settle(self, request: PendingRequest, signature=None,
+                reason: str = "") -> None:
+        """Append the WAL done record for a logged request.  Every
+        resolution path settles — a failure or expiry is an *answered*
+        obligation and must not replay forever."""
+        if self.wal is None or request.request_id is None or \
+                self.wal.closed:
+            return
+        self.wal.append_done(request.request_id, signature=signature,
+                             reason=reason)
+
+    def _deadline_from(self, loop) -> Optional[float]:
+        if self.config.request_deadline_s is None:
+            return None
+        return loop.time() + self.config.request_deadline_s
 
     # -- the request API ----------------------------------------------------
     async def sign(self, message: bytes) -> SignResult:
         """Request a full threshold signature on ``message``.
 
         Raises :class:`ServiceOverloadedError` (shed at admission),
-        :class:`ServiceClosedError`, or :class:`RequestFailedError`
-        (fewer than t+1 valid shares even via the robust fallback).
+        :class:`ServiceClosedError`, :class:`RequestFailedError`
+        (fewer than t+1 valid shares even via the robust fallback), or
+        :class:`~repro.service.types.RequestExpiredError` when
+        ``config.request_deadline_s`` passed before the window ran.
         """
         loop = asyncio.get_running_loop()
         request = PendingRequest(
             kind=RequestKind.SIGN, message=message,
-            enqueued_at=loop.time(), future=loop.create_future())
+            enqueued_at=loop.time(), future=loop.create_future(),
+            deadline=self._deadline_from(loop))
         self.stats.ingress.record(message)
         self._admit(request)
         return await request.future
@@ -161,7 +259,7 @@ class SigningService:
         request = PendingRequest(
             kind=RequestKind.VERIFY, message=message,
             enqueued_at=loop.time(), future=loop.create_future(),
-            signature=signature)
+            signature=signature, deadline=self._deadline_from(loop))
         self.stats.ingress.record((message, signature))
         self._admit(request)
         return await request.future

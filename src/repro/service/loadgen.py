@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Awaitable, Callable, List, Optional
 
 from repro.service.types import (
-    RequestFailedError, ServiceOverloadedError, VerifyResult,
+    RequestExpiredError, RequestFailedError, ServiceOverloadedError,
+    VerifyResult,
 )
 
 
@@ -51,6 +52,9 @@ class LoadReport:
     completed: int = 0
     rejected: int = 0
     failed: int = 0
+    #: Requests shed past admission because their deadline expired
+    #: while queued (only with ``ServiceConfig(request_deadline_s=...)``).
+    expired: int = 0
     invalid: int = 0
     duration_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
@@ -78,6 +82,7 @@ class LoadReport:
             "completed": self.completed,
             "rejected": self.rejected,
             "failed": self.failed,
+            "expired": self.expired,
             "invalid": self.invalid,
             "throughput_rps": round(self.throughput_rps, 2),
             "p50_ms": round(self.p50_ms, 3),
@@ -104,6 +109,9 @@ class LoadGenerator:
             result = await self.workload(ordinal)
         except ServiceOverloadedError:
             report.rejected += 1
+            return
+        except RequestExpiredError:
+            report.expired += 1
             return
         except RequestFailedError:
             report.failed += 1

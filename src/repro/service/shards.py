@@ -23,9 +23,10 @@ from repro.serialization import SignWindowJob, VerifyWindowJob
 from repro.service.accumulator import BatchAccumulator
 from repro.service.transport import RemoteWorkerPool
 from repro.service.types import (
-    PendingRequest, RequestFailedError, RequestKind, ShardStats, SignResult,
-    VerifyResult,
+    PendingRequest, RequestExpiredError, RequestFailedError, RequestKind,
+    ShardStats, SignResult, VerifyResult,
 )
+from repro.service.wal import WriteAheadLog
 from repro.service.workers import WorkerPool
 
 #: Virtual nodes per shard on the hash ring; enough that load imbalance
@@ -68,7 +69,8 @@ class ShardWorker:
     def __init__(self, shard_id: int, handle: ServiceHandle,
                  max_batch: int, max_wait_ms: float, queue_depth: int,
                  fault_injector: Optional[Callable] = None, rng=None,
-                 worker_pool: Optional[WorkerPool] = None):
+                 worker_pool: Optional[WorkerPool] = None,
+                 wal: Optional[WriteAheadLog] = None):
         self.shard_id = shard_id
         self.handle = handle
         self.queue: "asyncio.Queue[PendingRequest]" = asyncio.Queue(
@@ -82,6 +84,9 @@ class ShardWorker:
         #: When set, windows are encoded into wire jobs and dispatched
         #: to the shared process pool instead of running on this loop.
         self.worker_pool = worker_pool
+        #: The service-wide write-ahead log (shared across shards;
+        #: this worker fsyncs it once per closed window).
+        self.wal = wal
         #: Quorum rotation: shard i starts its signer window at offset i,
         #: so different shards exercise different (overlapping) quorums.
         self.quorum = handle.quorum(rotation=shard_id)
@@ -111,6 +116,17 @@ class ShardWorker:
             window = await self.accumulator.next_window()
             loop = asyncio.get_running_loop()
             started = loop.time()
+            if self.wal is not None:
+                # Durability barrier: one fsync covers every admit
+                # buffered up to this window's close, so each request's
+                # admit record hits the disk before its signature can
+                # be observed (done records ride the *next* window's
+                # sync — losing one costs an idempotent replay).
+                self.wal.sync()
+            window = self._shed_expired(window, loop)
+            if not window:
+                await asyncio.sleep(0)
+                continue
             self._record_window(window)
             try:
                 if self.worker_pool is None:
@@ -126,6 +142,23 @@ class ShardWorker:
             # One cooperative yield per window so admission and other
             # shards interleave with the (synchronous) crypto calls.
             await asyncio.sleep(0)
+
+    def _shed_expired(self, window: List[PendingRequest],
+                      loop) -> List[PendingRequest]:
+        """Drop requests whose end-to-end deadline passed while they
+        queued: a late signature is wasted crypto, and under sustained
+        overload expiry keeps window capacity for requests that can
+        still make their deadlines."""
+        now = loop.time()
+        live = []
+        for request in window:
+            if request.deadline is not None and now >= request.deadline:
+                self.stats.expired += 1
+                self._resolve(request, RequestExpiredError(
+                    self.shard_id, (now - request.deadline) * 1000.0))
+            else:
+                live.append(request)
+        return live
 
     def _record_window(self, window: List[PendingRequest]) -> None:
         self.stats.windows += 1
@@ -238,7 +271,9 @@ class ShardPool:
     def __init__(self, handle: ServiceHandle, num_shards: int,
                  max_batch: int, max_wait_ms: float, queue_depth: int,
                  fault_injector: Optional[Callable] = None, rng=None,
-                 workers: int = 0, remote_workers: Sequence[str] = ()):
+                 workers: int = 0, remote_workers: Sequence[str] = (),
+                 wal: Optional[WriteAheadLog] = None,
+                 remote_job_timeout_s: float = 60.0):
         if num_shards < 1:
             raise ValueError("need at least one shard")
         if workers > 0 and remote_workers:
@@ -257,7 +292,8 @@ class ShardPool:
         # on other machines); fault injectors are NOT shipped over the
         # wire — a remote worker configures its own at launch.
         if remote_workers:
-            self.worker_pool = RemoteWorkerPool(handle, remote_workers)
+            self.worker_pool = RemoteWorkerPool(
+                handle, remote_workers, job_timeout_s=remote_job_timeout_s)
         elif workers > 0:
             self.worker_pool = WorkerPool(
                 handle, workers, fault_injector=fault_injector)
@@ -267,7 +303,7 @@ class ShardPool:
             shard_id: ShardWorker(
                 shard_id, handle, max_batch, max_wait_ms, queue_depth,
                 fault_injector=fault_injector, rng=rng,
-                worker_pool=self.worker_pool)
+                worker_pool=self.worker_pool, wal=wal)
             for shard_id in range(num_shards)
         }
         self.ring = HashRing(sorted(self.workers))

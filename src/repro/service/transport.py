@@ -42,11 +42,20 @@ observation                  reaction
 ===========================  ============================================
 dial refused / timed out     try the next endpoint; backoff when all down
 connection drops mid-job     count a crash, re-dial, resubmit the job
+no answer within             count a timeout, discard the connection
+``job_timeout_s`` (a hung,   (a late answer would desync the stream),
+still-connected worker)      resubmit — hung is treated like dropped
 garbage frame (bad magic,    the stream cannot be re-synchronized: close
 version, oversized length)   the connection, resubmit elsewhere
 ``E`` frame from the server  :class:`~repro.service.types.RemoteJobError`
                              — resubmitting identical bytes cannot help
-HELLO mismatch               :class:`~repro.service.types.HandshakeError`
+repeated failures on one     circuit breaker: quarantine the endpoint
+endpoint                     for ``breaker_cooldown_s``, then re-probe
+                             (half-open); it must serve to close
+HELLO mismatch               sticky quarantine (misprovisioning cannot
+                             heal); when *every* endpoint mismatches, a
+                             typed HandshakeError after one round-robin
+                             pass — not ``dial_deadline_s`` of retries
 retry budget exhausted       :class:`~repro.service.types.TransportError`
 ===========================  ============================================
 """
@@ -267,10 +276,12 @@ class WorkerServer:
 # ---------------------------------------------------------------------------
 
 class _Endpoint:
-    """One configured remote worker address plus its live connection."""
+    """One configured remote worker address plus its live connection
+    and circuit-breaker state."""
 
     __slots__ = ("host", "port", "reader", "writer", "request_lock",
-                 "dial_lock", "dialed_once")
+                 "dial_lock", "dialed_once", "failures", "open_until",
+                 "misprovisioned")
 
     def __init__(self, host: str, port: int):
         self.host = host
@@ -284,6 +295,17 @@ class _Endpoint:
         #: duplicate connections to the same worker.
         self.dial_lock = asyncio.Lock()
         self.dialed_once = False
+        #: Consecutive failures (dial refused, drop mid-job, job
+        #: timeout) since the last success; resets on any success.
+        self.failures = 0
+        #: Circuit breaker: loop-clock instant until which the endpoint
+        #: is quarantined (skipped by the round-robin).  After it
+        #: passes, the next acquire re-probes (half-open).
+        self.open_until = 0.0
+        #: HELLO refusal reason.  Misprovisioning (wrong backend, keys,
+        #: committee) is a *configuration* error, not a transient fault:
+        #: the quarantine is sticky for the pool's lifetime.
+        self.misprovisioned: Optional[str] = None
 
     @property
     def address(self) -> str:
@@ -315,11 +337,18 @@ class RemoteWorkerPool:
                  max_retries: int = 4, dial_timeout_s: float = 5.0,
                  dial_deadline_s: float = 30.0,
                  backoff_initial_s: float = 0.05,
-                 backoff_max_s: float = 1.0):
+                 backoff_max_s: float = 1.0,
+                 job_timeout_s: float = 60.0,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 2.0):
         if not addresses:
             raise ValueError("need at least one remote worker address")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
         # Raises TypeError for schemes without window entry points.
         self._context = encode_service_context(handle)
         self._digest = service_context_digest(self._context)
@@ -333,6 +362,16 @@ class RemoteWorkerPool:
         self.dial_deadline_s = dial_deadline_s
         self.backoff_initial_s = backoff_initial_s
         self.backoff_max_s = backoff_max_s
+        #: Hung-worker bound: a connected worker that has not answered
+        #: a job within this window is treated as dead (discard the
+        #: connection — a late answer would desync the stream — and
+        #: resubmit elsewhere).
+        self.job_timeout_s = job_timeout_s
+        #: Circuit breaker: after this many consecutive failures an
+        #: endpoint is quarantined for ``breaker_cooldown_s`` instead
+        #: of being re-dialed on every round-robin pass.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
         self.stats = WorkerPoolStats(workers=len(self._endpoints))
         self._next = 0
         self._running = False
@@ -431,21 +470,64 @@ class RemoteWorkerPool:
             endpoint.dialed_once = True
             return True
 
+    def _record_failure(self, endpoint: _Endpoint, loop) -> None:
+        """Count one failure against the endpoint's breaker; trip the
+        breaker (quarantine for ``breaker_cooldown_s``) at the
+        threshold.  A tripped endpoint re-trips on a single half-open
+        failure — a worker must actually serve something to close it."""
+        endpoint.failures += 1
+        if endpoint.failures >= self.breaker_threshold:
+            endpoint.open_until = loop.time() + self.breaker_cooldown_s
+            # Half-open probes that fail re-trip immediately.
+            endpoint.failures = self.breaker_threshold - 1
+            self.stats.breaker_trips += 1
+
+    @staticmethod
+    def _record_success(endpoint: _Endpoint) -> None:
+        endpoint.failures = 0
+        endpoint.open_until = 0.0
+
     async def _acquire(self) -> _Endpoint:
         """A connected endpoint, round-robin; dial-with-backoff until
-        one answers or the dial deadline expires."""
+        one answers or the dial deadline expires.
+
+        Quarantined endpoints (breaker open, or sticky-misprovisioned
+        after a HELLO refusal) are skipped.  When *every* endpoint is
+        misprovisioned the pool raises a typed
+        :class:`~repro.service.types.HandshakeError` after one full
+        round-robin pass — re-dialing a worker provisioned with the
+        wrong service context for ``dial_deadline_s`` cannot fix a
+        configuration error.
+        """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.dial_deadline_s
         backoff = self.backoff_initial_s
         while True:
             if not self._running:
                 raise TransportError("remote worker pool is not running")
+            now = loop.time()
             for _ in range(len(self._endpoints)):
                 endpoint = self._endpoints[self._next
                                            % len(self._endpoints)]
                 self._next += 1
-                if endpoint.connected or await self._dial(endpoint):
+                if endpoint.misprovisioned is not None or \
+                        endpoint.open_until > now:
+                    continue
+                if endpoint.connected:
                     return endpoint
+                try:
+                    if await self._dial(endpoint):
+                        self._record_success(endpoint)
+                        return endpoint
+                except HandshakeError as exc:
+                    endpoint.misprovisioned = str(exc)
+                    continue
+                self._record_failure(endpoint, loop)
+            if all(e.misprovisioned is not None for e in self._endpoints):
+                raise HandshakeError(
+                    "every remote worker endpoint refused the HELLO "
+                    "handshake (misprovisioned): " + "; ".join(
+                        e.misprovisioned for e in self._endpoints))
             if loop.time() >= deadline:
                 raise TransportError(
                     f"no remote worker reachable within "
@@ -463,11 +545,28 @@ class RemoteWorkerPool:
         if not self._running:
             raise TransportError("remote worker pool is not running")
         blob = self._codec.encode_job(job)
+        loop = asyncio.get_running_loop()
         last_error = None
         for attempt in range(self.max_retries + 1):
             endpoint = await self._acquire()
             try:
-                outcome_blob = await self._request(endpoint, blob)
+                outcome_blob = await asyncio.wait_for(
+                    self._request(endpoint, blob), self.job_timeout_s)
+            except asyncio.TimeoutError:
+                # Hung worker: connected but silent past the job
+                # timeout.  A late answer would desync the one-in-
+                # flight stream, so the connection is as dead as a
+                # dropped one — discard and resubmit (the breaker keeps
+                # a chronically hung endpoint out of the rotation).
+                last_error = TransportError(
+                    f"remote worker {endpoint.address} did not answer a "
+                    f"job within {self.job_timeout_s:.1f}s")
+                if await self._discard(endpoint):
+                    self.stats.timeouts += 1
+                self._record_failure(endpoint, loop)
+                if attempt < self.max_retries:
+                    self.stats.resubmissions += 1
+                continue
             except _CONNECTION_ERRORS + (SerializationError,) as exc:
                 # The worker died or the stream desynchronized; either
                 # way this connection is unusable.  First observer
@@ -475,14 +574,17 @@ class RemoteWorkerPool:
                 last_error = exc
                 if await self._discard(endpoint):
                     self.stats.crashes += 1
+                self._record_failure(endpoint, loop)
                 if attempt < self.max_retries:
                     self.stats.resubmissions += 1
                 continue
             self.stats.jobs += 1
+            self._record_success(endpoint)
             return self._codec.decode_outcome(outcome_blob)
         raise TransportError(
             f"job failed after {self.max_retries + 1} attempts on "
-            f"dropped remote-worker connections: {last_error}")
+            f"dropped or unresponsive remote-worker connections: "
+            f"{last_error}")
 
     async def _request(self, endpoint: _Endpoint, blob: bytes) -> bytes:
         async with endpoint.request_lock:

@@ -41,6 +41,20 @@ class RequestFailedError(ServiceError):
     """A sign request could not be completed (not enough valid shares)."""
 
 
+class RequestExpiredError(ServiceError):
+    """The request's end-to-end deadline passed before its window ran;
+    it was shed instead of served late (a signature delivered after the
+    caller's deadline is wasted crypto — worse, under load it steals
+    window capacity from requests that can still make theirs)."""
+
+    def __init__(self, shard_id: int, overdue_ms: float):
+        super().__init__(
+            f"request deadline exceeded by {overdue_ms:.1f}ms before "
+            f"shard {shard_id} could serve it")
+        self.shard_id = shard_id
+        self.overdue_ms = overdue_ms
+
+
 class WorkerCrashError(ServiceError):
     """A window job kept landing on crashing worker processes (the pool
     rebuilds and resubmits on a crash; this fires only when the retry
@@ -58,8 +72,10 @@ class TransportError(ServiceError):
 class HandshakeError(TransportError):
     """A remote worker answered the HELLO with a different protocol
     version, backend or service-context digest.  This is
-    misprovisioning, not a transient fault — the pool does not retry
-    the endpoint until its connection is re-dialed."""
+    misprovisioning, not a transient fault — the pool quarantines the
+    endpoint for its lifetime, and raises this (after a single
+    round-robin pass, not ``dial_deadline_s`` of retries) once every
+    configured endpoint has refused."""
 
 
 class RemoteJobError(TransportError):
@@ -114,6 +130,9 @@ class ShardStats:
     batched_requests: int = 0
     faults_localized: int = 0
     fallback_combines: int = 0
+    #: Requests shed at window formation because their deadline passed
+    #: while they sat in the queue (:class:`RequestExpiredError`).
+    expired: int = 0
     busy_ms: float = 0.0
 
     @property
@@ -140,6 +159,13 @@ class WorkerPoolStats:
     #: Successful re-dials after a connection was lost (TCP tier only;
     #: the process tier rebuilds executors instead of reconnecting).
     reconnects: int = 0
+    #: Jobs abandoned because a *connected* worker did not answer
+    #: within the per-job timeout (TCP tier only) — the hung-worker
+    #: detector; each one also discards the connection and resubmits.
+    timeouts: int = 0
+    #: Circuit-breaker openings: an endpoint quarantined after repeated
+    #: dial/job failures instead of staying in the round-robin.
+    breaker_trips: int = 0
 
 
 @dataclass
@@ -150,6 +176,10 @@ class ServiceStats:
     rejected: int = 0
     completed: int = 0
     failed: int = 0
+    #: Requests shed past admission because their deadline expired.
+    expired: int = 0
+    #: Unacknowledged WAL entries replayed at start-up.
+    recovered: int = 0
     ingress: TrafficCounter = field(default_factory=TrafficCounter)
     egress: TrafficCounter = field(default_factory=TrafficCounter)
     shards: Dict[int, ShardStats] = field(default_factory=dict)
@@ -162,6 +192,8 @@ class ServiceStats:
             "rejected": self.rejected,
             "completed": self.completed,
             "failed": self.failed,
+            "expired": self.expired,
+            "recovered": self.recovered,
             "ingress": self.ingress.summary(),
             "egress": self.egress.summary(),
             "windows": sum(s.windows for s in self.shards.values()),
@@ -175,6 +207,8 @@ class ServiceStats:
             summary["worker_jobs"] = self.workers.jobs
             summary["worker_crashes"] = self.workers.crashes
             summary["worker_reconnects"] = self.workers.reconnects
+            summary["worker_timeouts"] = self.workers.timeouts
+            summary["worker_breaker_trips"] = self.workers.breaker_trips
         return summary
 
 
@@ -187,3 +221,9 @@ class PendingRequest:
     enqueued_at: float
     future: "object"
     signature: Optional[Signature] = None
+    #: Loop-clock instant after which the request is shed instead of
+    #: served (None = no deadline configured).
+    deadline: Optional[float] = None
+    #: Write-ahead-log id of the admit record (None when the WAL is
+    #: off, or for verify requests — stateless reads are not logged).
+    request_id: Optional[int] = None

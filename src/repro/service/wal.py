@@ -1,0 +1,212 @@
+"""Crash-safe write-ahead log for admitted sign requests.
+
+The service's durability contract (the gap this module closes): a
+request that cleared admission control is an *obligation*.  Before this
+log existed, a crash of the service process silently dropped every
+queued and in-flight request; now each admitted sign request is
+appended as a :class:`~repro.serialization.WalAdmitRecord`, each
+settlement (signature delivered, or a typed rejection) as a
+:class:`~repro.serialization.WalDoneRecord`, and
+:class:`~repro.service.frontend.SigningService` start-up replays every
+unsettled admit through the normal signing path.  LJY partial signing
+is deterministic, so replaying a request that was signed but not yet
+acknowledged reproduces the byte-identical signature — a crash between
+sign and ack can never produce a lost *or* double-served request.
+
+**Storage framing.**  The log is append-only; each record is::
+
+    offset  size  field
+    0       4     length   payload bytes, u32 big-endian
+    4       4     crc32    zlib.crc32(payload), u32 big-endian
+    8       ...   payload  a WireCodec WAL record blob ("W" admit /
+                           "w" done — byte layout: docs/WIRE_FORMAT.md)
+
+A SIGKILL mid-append leaves a torn tail: a short header, a short
+payload, or a payload whose CRC does not match.  :meth:`WriteAheadLog.open`
+scans from the start, keeps the longest valid prefix, and truncates the
+rest — a torn record is by definition one whose admit was never
+acknowledged to any caller, so discarding it is correct, not lossy.
+
+**Fsync batching.**  Appends go to the OS via a buffered file; nothing
+is forced to disk per request.  The shard worker calls :meth:`sync`
+once per *closed window* — immediately before the window's crypto runs
+— so one ``fsync`` covers every admit in the window and the admit is
+durable before any completion can be observed.  Done records ride the
+next window's sync (or the close on shutdown); losing a done record to
+a crash costs one idempotent replay, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.serialization import (
+    MAX_FRAME_BYTES, WalAdmitRecord, WalDoneRecord, WireCodec, _u32,
+)
+from repro.errors import SerializationError
+
+#: Per-record storage header: u32 payload length + u32 CRC-32.
+RECORD_HEADER_BYTES = 8
+#: Payload cap, shared with the TCP frame layer: a corrupt length field
+#: must never turn into a 4 GiB allocation.
+MAX_RECORD_BYTES = MAX_FRAME_BYTES
+
+
+@dataclass
+class WalStats:
+    """Durability accounting for one log instance."""
+
+    #: Admit records appended by this instance.
+    admits: int = 0
+    #: Done records appended by this instance.
+    dones: int = 0
+    #: fsync calls issued (one per closed window, not per record).
+    syncs: int = 0
+    #: Unsettled admits found at open — the replay obligation.
+    recovered: int = 0
+    #: Done records at open with no matching admit (settled in a
+    #: previous incarnation whose admit was already compacted away, or
+    #: an artifact of manual surgery; tolerated, counted, ignored).
+    orphan_dones: int = 0
+    #: Bytes of torn tail discarded at open (0 after a clean shutdown).
+    torn_bytes: int = 0
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap one WAL payload in the storage framing (length + CRC)."""
+    if len(payload) > MAX_RECORD_BYTES:
+        raise SerializationError(
+            f"WAL record payload of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte cap")
+    return _u32(len(payload)) + _u32(zlib.crc32(payload)) + payload
+
+
+def scan_records(path, codec: WireCodec
+                 ) -> Tuple[List[object], int, int]:
+    """Scan a WAL file; returns ``(records, good_bytes, torn_bytes)``.
+
+    ``records`` is every decodable record in append order;
+    ``good_bytes`` is the offset of the first byte that fails the
+    storage framing (short header/payload, CRC mismatch, oversized
+    length) or the record codec — everything from there on is the torn
+    tail.  A missing file scans as empty (first boot).
+    """
+    path = pathlib.Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, 0
+    records: List[object] = []
+    offset = 0
+    while offset + RECORD_HEADER_BYTES <= len(data):
+        length = int.from_bytes(data[offset:offset + 4], "big")
+        crc = int.from_bytes(data[offset + 4:offset + 8], "big")
+        end = offset + RECORD_HEADER_BYTES + length
+        if length > MAX_RECORD_BYTES or end > len(data):
+            break
+        payload = data[offset + RECORD_HEADER_BYTES:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(codec.decode_wal_record(payload))
+        except SerializationError:
+            break
+        offset = end
+    return records, offset, len(data) - offset
+
+
+class WriteAheadLog:
+    """Append-only durability log for one :class:`SigningService`.
+
+    Use :meth:`open` (it scans, truncates the torn tail, and computes
+    the replay set); the constructor alone does not touch the disk.
+    """
+
+    def __init__(self, path, codec: WireCodec):
+        self.path = pathlib.Path(path)
+        self.codec = codec
+        self.stats = WalStats()
+        #: Unsettled admits, ``request_id -> message``, in admit order
+        #: (dict preserves insertion order).  Maintained live so tests
+        #: and the smoke audit can watch obligations drain.
+        self.pending: Dict[int, bytes] = {}
+        self._file = None
+        self._dirty = False
+        self._next_id = 1
+
+    @classmethod
+    def open(cls, path, codec: WireCodec) -> "WriteAheadLog":
+        """Open (creating if absent), discard any torn tail, and build
+        the replay state from the surviving records."""
+        wal = cls(path, codec)
+        records, good_bytes, torn_bytes = scan_records(wal.path, codec)
+        highest_id = 0
+        for record in records:
+            highest_id = max(highest_id, record.request_id)
+            if isinstance(record, WalAdmitRecord):
+                wal.pending[record.request_id] = record.message
+            elif isinstance(record, WalDoneRecord):
+                if wal.pending.pop(record.request_id, None) is None:
+                    wal.stats.orphan_dones += 1
+        wal._next_id = highest_id + 1
+        wal.stats.recovered = len(wal.pending)
+        wal.stats.torn_bytes = torn_bytes
+        wal.path.parent.mkdir(parents=True, exist_ok=True)
+        wal._file = open(wal.path, "a+b")
+        if torn_bytes:
+            # The torn tail is a record nobody was ever acknowledged
+            # for; drop it so the next append starts on a boundary.
+            wal._file.truncate(good_bytes)
+        wal._file.seek(0, os.SEEK_END)
+        return wal
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    # -- appends (buffered; durable at the next sync) ------------------------
+    def append_admit(self, message: bytes) -> int:
+        """Record one admitted sign request; returns its request id."""
+        request_id = self._next_id
+        self._next_id += 1
+        self._append(self.codec.encode_wal_record(
+            WalAdmitRecord(request_id=request_id, message=message)))
+        self.pending[request_id] = message
+        self.stats.admits += 1
+        return request_id
+
+    def append_done(self, request_id: int,
+                    signature=None, reason: str = "") -> None:
+        """Settle one admit: a signature, or a typed-rejection reason."""
+        self._append(self.codec.encode_wal_record(WalDoneRecord(
+            request_id=request_id, signature=signature, reason=reason)))
+        self.pending.pop(request_id, None)
+        self.stats.dones += 1
+
+    def _append(self, payload: bytes) -> None:
+        if self._file is None:
+            raise SerializationError("write-ahead log is closed")
+        self._file.write(frame_record(payload))
+        self._dirty = True
+
+    # -- durability barrier ---------------------------------------------------
+    def sync(self) -> None:
+        """Force buffered appends to disk (no-op when nothing is
+        pending — an idle window must not cost an fsync)."""
+        if self._file is None or not self._dirty:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._dirty = False
+        self.stats.syncs += 1
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        self.sync()
+        self._file.close()
+        self._file = None

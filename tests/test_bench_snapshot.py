@@ -50,12 +50,15 @@ MP_OPS = ["svc_mp_verify_req", "svc_mp_throughput"]
 #: TCP remote-worker ops (fast = meta.tcp_workers standalone worker
 #: processes over loopback sockets, naive = the event-loop pipeline).
 TCP_OPS = ["svc_tcp_verify_req", "svc_tcp_throughput"]
+#: Durability op (fast = write-ahead log on with per-window fsync
+#: batching, naive = the same sign-only pipeline with the WAL off).
+WAL_OPS = ["svc_wal_throughput"]
 
 
 def test_snapshot_records_all_operations(snapshot):
     for section in ("fast_ms", "naive_ms", "speedup"):
         assert set(snapshot[section]) == \
-            set(SEED_OPS + NEW_OPS + SVC_OPS + MP_OPS + TCP_OPS)
+            set(SEED_OPS + NEW_OPS + SVC_OPS + MP_OPS + TCP_OPS + WAL_OPS)
     assert set(snapshot["seed_reference_ms"]) == set(SEED_OPS)
     assert snapshot["meta"]["backend"] == "bn254"
     assert snapshot["meta"]["batch_k"] >= 2
@@ -122,6 +125,17 @@ def test_tcp_tier_serves_the_workload(snapshot):
         assert snapshot["speedup"]["svc_tcp_throughput"] >= 1.2
     else:
         assert snapshot["speedup"]["svc_tcp_throughput"] >= 0.4
+
+
+def test_wal_overhead_is_bounded(snapshot):
+    # The WAL ratio is an *overhead* measurement: the same sign-only
+    # pipeline with the log on vs off, so the expected value sits just
+    # below 1.0x (append + one fsync per closed window).  The floor
+    # guards against the batching collapsing — an fsync per request
+    # would crater the ratio on real disks.
+    assert snapshot["fast_ms"]["svc_wal_throughput"] > 0
+    assert snapshot["speedup"]["svc_wal_throughput"] >= 0.4
+    assert "window" in snapshot["meta"]["wal_sync"]
 
 
 def test_check_mode_against_committed_snapshot(snapshot, tmp_path):

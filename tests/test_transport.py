@@ -470,3 +470,271 @@ class TestRemoteWorkerCli:
         from repro.service.remote_worker import main
 
         assert main(["--context", str(tmp_path / "absent.bin")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Hung-worker detection (stalled, not crashed)
+# ---------------------------------------------------------------------------
+
+async def start_stall_server(handle):
+    """A worker that completes the HELLO and then never answers a job —
+    hung, not crashed: the connection stays open, so before the per-job
+    timeout existed this blocked its window forever (only EOFError /
+    OSError triggered resubmission)."""
+    hello = encode_hello(
+        handle.scheme.group.name,
+        service_context_digest(encode_service_context(handle)))
+
+    async def serve(reader, writer):
+        try:
+            kind, _ = await read_frame(reader)
+            if kind != FRAME_KIND_HELLO:
+                return
+            write_frame(writer, FRAME_KIND_HELLO, hello)
+            await writer.drain()
+            while await reader.read(65536):
+                pass                    # swallow jobs, answer nothing
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(serve, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, f"127.0.0.1:{port}"
+
+
+class TestHungWorkerDetection:
+    def test_stalled_worker_times_out_and_job_is_resubmitted(self, handle):
+        """The acceptance scenario: a stalled remote worker is detected
+        by the per-job read timeout, treated like a dropped connection
+        (timeout counted, connection discarded), and its job completes
+        on the healthy endpoint."""
+        async def scenario():
+            stall, stall_address = await start_stall_server(handle)
+            worker = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(
+                handle, [stall_address, worker.address],
+                job_timeout_s=0.3, backoff_initial_s=0.01)
+            pool.start()
+            try:
+                outcomes = []
+                for i in range(4):
+                    outcomes.append(await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"hung %d" % i,
+                        signers=tuple(handle.quorum()))))
+            finally:
+                await pool.aclose()
+                stall.close()
+                await stall.wait_closed()
+                await worker.aclose()
+            return pool, outcomes
+
+        pool, outcomes = run(scenario())
+        assert len(outcomes) == 4
+        for i, outcome in enumerate(outcomes):
+            signature = handle.scheme.combine(
+                handle.public_key, handle.verification_keys,
+                b"hung %d" % i, list(outcome.partials))
+            assert handle.verify(b"hung %d" % i, signature)
+        assert pool.stats.timeouts >= 1
+        assert pool.stats.resubmissions >= 1
+        assert pool.stats.jobs == 4
+
+    def test_service_config_carries_the_job_timeout(self, handle):
+        """remote_job_timeout_s reaches the pool, and a service backed
+        by a stalled + a healthy worker completes every request."""
+        async def scenario():
+            stall, stall_address = await start_stall_server(handle)
+            worker = await WorkerServer(handle).start()
+            config = ServiceConfig(
+                num_shards=1, max_batch=4, max_wait_ms=10.0,
+                remote_workers=[stall_address, worker.address],
+                remote_job_timeout_s=0.3)
+            try:
+                async with SigningService(handle, config) as service:
+                    assert service._pool.worker_pool.job_timeout_s == 0.3
+                    results = await asyncio.gather(*(
+                        service.sign(b"svc hung %d" % i) for i in range(6)))
+            finally:
+                stall.close()
+                await stall.wait_closed()
+                await worker.aclose()
+            return service, results
+
+        service, results = run(scenario())
+        assert all(handle.verify(r.message, r.signature) for r in results)
+        stats = service.snapshot_stats()
+        assert stats.failed == 0
+        assert stats.workers.timeouts >= 1
+
+
+# ---------------------------------------------------------------------------
+# The circuit breaker
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_chronically_hung_endpoint_is_quarantined(self, handle):
+        """With a cooldown longer than the test, one trip takes the
+        stalled endpoint out of the rotation: exactly one job pays the
+        timeout, the rest go straight to the healthy worker."""
+        async def scenario():
+            stall, stall_address = await start_stall_server(handle)
+            worker = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(
+                handle, [stall_address, worker.address],
+                job_timeout_s=0.2, breaker_threshold=1,
+                breaker_cooldown_s=60.0, backoff_initial_s=0.01)
+            pool.start()
+            try:
+                for i in range(5):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"breaker %d" % i,
+                        signers=tuple(handle.quorum())))
+            finally:
+                await pool.aclose()
+                stall.close()
+                await stall.wait_closed()
+                await worker.aclose()
+            return pool
+
+        pool = run(scenario())
+        assert pool.stats.breaker_trips == 1
+        assert pool.stats.timeouts == 1     # only the tripping job paid
+        assert pool.stats.jobs == 5
+
+    def test_dead_endpoint_trips_breaker_on_dial_failures(self, handle):
+        """Repeated refused dials count against the breaker too — a
+        dead endpoint stops being re-dialed on every round-robin pass."""
+        async def scenario():
+            worker = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(
+                handle, ["127.0.0.1:1", worker.address],
+                breaker_threshold=2, breaker_cooldown_s=60.0,
+                backoff_initial_s=0.01)
+            pool.start()
+            try:
+                for i in range(6):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"dead %d" % i,
+                        signers=tuple(handle.quorum())))
+            finally:
+                await pool.aclose()
+                await worker.aclose()
+            return pool
+
+        pool = run(scenario())
+        assert pool.stats.breaker_trips >= 1
+        assert pool.stats.jobs == 6
+        dead = pool._endpoints[0]
+        assert dead.open_until > 0.0        # quarantined, not retried
+
+    def test_breaker_reopens_after_cooldown(self, handle):
+        """Half-open: after the cooldown the endpoint is probed again
+        and a recovered worker rejoins the rotation."""
+        async def scenario():
+            worker = await WorkerServer(handle).start()
+            # Reserve a port, then release it so the first dials fail.
+            placeholder = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0)
+            port = placeholder.sockets[0].getsockname()[1]
+            placeholder.close()
+            await placeholder.wait_closed()
+            flaky_address = f"127.0.0.1:{port}"
+            pool = RemoteWorkerPool(
+                handle, [flaky_address, worker.address],
+                breaker_threshold=1, breaker_cooldown_s=0.05,
+                backoff_initial_s=0.01)
+            pool.start()
+            try:
+                await pool.run_job(PartialSignJob(
+                    shard_id=0, message=b"trip", signers=(1,)))
+                assert pool.stats.breaker_trips >= 1
+                # The worker comes back on the reserved port.
+                late = await WorkerServer(
+                    handle, port=port).start()
+                await asyncio.sleep(0.1)    # let the cooldown lapse
+                for i in range(4):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"again %d" % i,
+                        signers=(1,)))
+                served_late = late.jobs_served
+                await late.aclose()
+            finally:
+                await pool.aclose()
+                await worker.aclose()
+            return pool, served_late
+
+        pool, served_late = run(scenario())
+        assert served_late >= 1             # rejoined the rotation
+        assert pool._endpoints[0].open_until == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Misprovisioned-endpoint accounting
+# ---------------------------------------------------------------------------
+
+class TestMisprovisionedEndpoints:
+    def test_all_endpoints_mismatched_fails_fast(self, handle, toy_group):
+        """Every endpoint refusing the HELLO is a configuration error:
+        the pool raises after one round-robin pass instead of burning
+        dial_deadline_s re-dialing hopeless endpoints."""
+        other = ServiceHandle.dealer(toy_group, 2, 5,
+                                     rng=random.Random(99))
+
+        async def scenario():
+            servers = [await WorkerServer(handle).start()
+                       for _ in range(2)]
+            pool = RemoteWorkerPool(
+                other, [server.address for server in servers],
+                dial_deadline_s=60.0)
+            pool.start()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            try:
+                with pytest.raises(HandshakeError,
+                                   match="misprovisioned"):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"x",
+                        signers=tuple(other.quorum())))
+            finally:
+                elapsed = loop.time() - started
+                await pool.aclose()
+                for server in servers:
+                    await server.aclose()
+            return elapsed
+
+        elapsed = run(scenario())
+        assert elapsed < 5.0                # nowhere near dial_deadline_s
+
+    def test_mismatched_endpoint_is_sticky_quarantined(self, handle,
+                                                       toy_group):
+        """A mixed fleet keeps serving: the mismatched endpoint is
+        quarantined for the pool's lifetime and every job lands on the
+        correctly provisioned worker."""
+        other = ServiceHandle.dealer(toy_group, 2, 5,
+                                     rng=random.Random(99))
+
+        async def scenario():
+            wrong = await WorkerServer(other).start()
+            right = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(handle,
+                                    [wrong.address, right.address])
+            pool.start()
+            try:
+                for i in range(4):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"mixed %d" % i,
+                        signers=tuple(handle.quorum())))
+            finally:
+                await pool.aclose()
+                served = (wrong.jobs_served, right.jobs_served)
+                await wrong.aclose()
+                await right.aclose()
+            return pool, served
+
+        pool, (wrong_served, right_served) = run(scenario())
+        assert wrong_served == 0
+        assert right_served == 4
+        assert pool._endpoints[0].misprovisioned is not None
+        assert "context" in pool._endpoints[0].misprovisioned

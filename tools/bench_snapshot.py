@@ -23,8 +23,11 @@ process, same offered load) — the multi-core scaling knob.  The
 ``svc_tcp_*`` ops measure the TCP remote-worker tier the same way
 (TCP_WORKERS standalone worker processes on the loopback vs the
 batched event-loop pipeline), isolating the framing/socket overhead of
-the multi-machine transport.  See ``benchmarks/README.md`` for the
-methodology.
+the multi-machine transport.  ``svc_wal_throughput`` measures the
+durability overhead: the same sign-only pipeline with the write-ahead
+log on versus off (fsync batched per closed window), so its ratio is
+the cost of crash safety — expected slightly below 1.0x.  See
+``benchmarks/README.md`` for the methodology.
 
 Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
 record) and regenerates ``benchmarks/results/t2_ops.txt``.
@@ -482,6 +485,64 @@ def run_tcp_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
                 process.wait(timeout=10)
 
 
+def _drive_wal_service(handle: ServiceHandle, sign_messages,
+                       wal_path) -> dict:
+    """One sign-only closed-loop pass, with or without the WAL.
+
+    Sign-only because the write-ahead log records sign requests only
+    (verify is a stateless read); mixing verifies in would dilute the
+    measured overhead.  Returns the per-request wall-clock cost.
+    """
+    total = len(sign_messages)
+    config = ServiceConfig(
+        num_shards=1, max_batch=BATCH_K, max_wait_ms=25.0,
+        queue_depth=4 * total, wal_path=wal_path, rng=random.Random(77))
+
+    async def scenario():
+        async with SigningService(handle, config) as service:
+            return await LoadGenerator(
+                lambda i: service.sign(sign_messages[i])).run_closed(
+                    total, SVC_CONCURRENCY)
+
+    report = asyncio.run(scenario())
+    assert report.completed == total
+    return {"svc_wal_throughput": report.duration_s * 1000.0 / total}
+
+
+def run_wal_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
+                        include_naive: bool = True
+                        ) -> "tuple[dict, dict | None]":
+    """The ``svc_wal_throughput`` op: the cost of crash-safe durability.
+
+    Both sides run the identical batched sign-only pipeline; the fast
+    side appends every admitted request to a write-ahead log and fsyncs
+    once per closed batch window (``meta.wal_sync`` records the
+    batching), the baseline runs with the WAL off.  The committed ratio
+    is therefore the durability overhead — expected slightly *below*
+    1.0x, landing in the overhead-bound ``--check`` band — and the gate
+    exists to catch the overhead blowing up (an fsync per request
+    instead of per window is a 0.2x-scale event on real disks).  Each
+    WAL pass writes a fresh log file so no pass pays replay for the
+    previous one.
+    """
+    handle = ServiceHandle(scheme, pk, shares, vks)
+    sign_messages = [b"svc wal sign %d" % i for i in range(SVC_TOTAL)]
+    for message in sign_messages:
+        scheme.params.hash_message(message)
+
+    with tempfile.TemporaryDirectory() as wal_dir:
+        passes = iter(range(SVC_PASSES))
+
+        def drive(with_wal: bool) -> dict:
+            path = (pathlib.Path(wal_dir) / f"pass-{next(passes)}.wal"
+                    if with_wal else None)
+            return _drive_wal_service(handle, sign_messages, path)
+
+        return interleaved_best(
+            lambda: drive(True), lambda: drive(False),
+            SVC_PASSES, include_naive)
+
+
 def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     group = get_group("bn254")
     rng = random.Random(3)
@@ -575,6 +636,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     tcp_fast, tcp_naive = run_tcp_service_ops(
         scheme, pk, shares, vks, master, include_naive=include_naive)
     fast_ms.update(tcp_fast)
+    wal_fast, wal_naive = run_wal_service_ops(
+        scheme, pk, shares, vks, include_naive=include_naive)
+    fast_ms.update(wal_fast)
 
     snapshot = {
         "meta": {
@@ -588,6 +652,7 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
             "mp_workers": MP_WORKERS,
             "mp_shards": MP_SHARDS,
             "tcp_workers": TCP_WORKERS,
+            "wal_sync": "fsync batched per closed window, not per request",
             "cpu_count": os.cpu_count(),
             "message": MESSAGE.decode(),
             "python": sys.version.split()[0],
@@ -607,6 +672,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
         naive_ms.update(mp_naive)
         # TCP baselines: identical methodology, remote_workers=() side.
         naive_ms.update(tcp_naive)
+        # WAL baseline: the same sign-only pipeline with the WAL off —
+        # the ratio is the durability overhead (expected < 1.0x).
+        naive_ms.update(wal_naive)
         snapshot["naive_ms"] = naive_ms
         snapshot["speedup"] = {
             op: round(naive_ms[op] / fast_ms[op], 2) for op in fast_ms
@@ -635,6 +703,7 @@ def render_table(snapshot: dict) -> Table:
             f"Service verify/request ({TCP_WORKERS} TCP workers vs 1)"),
         "svc_tcp_throughput": (
             f"Service mixed load/request ({TCP_WORKERS} TCP workers vs 1)"),
+        "svc_wal_throughput": "Service sign/request (WAL on vs off)",
     }
     has_naive = "naive_ms" in snapshot
     columns = ["operation", "ms"]

@@ -19,7 +19,17 @@ window) and asserts the service contract:
   remote worker process completes every request, and killing that
   worker mid-window (it ``os._exit``\\ s on its first partial, then a
   supervisor-style respawn brings a replacement up on the same port)
-  still completes every request via reconnect + resubmission.
+  still completes every request via reconnect + resubmission;
+* the durability layer survives a SIGKILL of the *service process
+  itself*: a victim subprocess signs one batch cleanly, admits a second
+  batch into a window that will not close, forces the admits durable,
+  and is SIGKILLed mid-window; a fresh service started against the same
+  write-ahead log (with a simulated torn tail appended) must replay
+  every unacknowledged request, and the final log must show every admit
+  settled **exactly once** with a signature that verifies under the
+  unchanged public key.  The WAL lives at ``.smoke-wal/`` in the repo
+  root so CI can upload it as an artifact when this act fails; a clean
+  run removes it.
 
 Exit-code contract (CI depends on it): **every** failure path exits
 nonzero — contract violations return 1 with a reason per line, and any
@@ -38,20 +48,89 @@ import argparse
 import asyncio
 import pathlib
 import random
+import select
+import shutil
+import subprocess
 import sys
 import tempfile
+import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import ServiceHandle, get_group                 # noqa: E402
-from repro.serialization import encode_service_context     # noqa: E402
+from repro.serialization import (                          # noqa: E402
+    WalAdmitRecord, WireCodec, decode_service_context,
+    encode_service_context,
+)
 from repro.service import (                                # noqa: E402
     CorruptSignerFault, LoadGenerator, ServiceConfig, SigningService,
 )
 from repro.service.transport import (                      # noqa: E402
     parse_address, start_worker_process,
 )
+from repro.service.wal import scan_records                 # noqa: E402
+
+#: Act 6 batch sizes: requests settled before the kill / left durable
+#: but unprocessed when the SIGKILL lands.
+WAL_PHASE1 = 4
+WAL_PENDING = 6
+
+
+async def run_wal_victim(wal_dir: pathlib.Path, backend: str) -> int:
+    """Act 6's SIGKILL victim (spawned by ``--wal-victim``).
+
+    Phase 1 signs a batch cleanly (admits *and* settlements reach the
+    log).  Phase 2 admits a second batch into a window that will not
+    close for a minute, forces the admits durable, prints the marker
+    the parent waits for, and parks until the SIGKILL arrives — the
+    admitted-but-unserved state a real service crash leaves behind.
+    """
+    handle = decode_service_context((wal_dir / "ctx.bin").read_bytes())
+    wal_path = wal_dir / "service.wal"
+    config = ServiceConfig(num_shards=1, max_batch=4, max_wait_ms=10.0,
+                           wal_path=wal_path)
+    async with SigningService(handle, config) as service:
+        await asyncio.gather(*(service.sign(b"wal done %d" % i)
+                               for i in range(WAL_PHASE1)))
+    print(f"wal-victim phase1 {WAL_PHASE1}", flush=True)
+
+    stalled = ServiceConfig(num_shards=1, max_batch=64,
+                            max_wait_ms=60_000.0, wal_path=wal_path)
+    service = SigningService(handle, stalled)
+    await service.start()
+    obligations = [asyncio.ensure_future(
+        service.sign(b"wal pending %d" % i)) for i in range(WAL_PENDING)]
+    while service.wal.stats.admits < WAL_PENDING:
+        await asyncio.sleep(0.01)
+    service.wal.sync()
+    print(f"wal-victim durable {WAL_PENDING}", flush=True)
+    await asyncio.sleep(300.0)      # the parent SIGKILLs us here
+    for obligation in obligations:
+        obligation.cancel()
+    return 1                        # unreachable in a passing run
+
+
+def await_marker(process: subprocess.Popen, marker: str,
+                 timeout_s: float = 120.0):
+    """Block until the victim prints a line starting with ``marker``;
+    returns the line, or None on exit/timeout (the caller fails the
+    act — a victim that dies early is itself a contract violation)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return None
+        if process.poll() is not None:
+            return None
+        readable, _, _ = select.select([process.stdout], [], [],
+                                       min(remaining, 0.25))
+        if readable:
+            line = process.stdout.readline()
+            if not line:
+                return None
+            if line.startswith(marker):
+                return line.strip()
 
 
 async def run_smoke(backend: str, requests: int, shards: int,
@@ -282,6 +361,81 @@ async def run_smoke(backend: str, requests: int, shards: int,
               and crash_stats.workers.reconnects >= 1,
               "TCP crash act: the respawned worker was never reconnected")
 
+    # -- act 6: SIGKILL the service mid-window; recover from the WAL ---
+    # Fixed repo-root location (not a tempdir) so CI can upload the log
+    # as an artifact when this act fails; removed on a clean run.
+    wal_dir = REPO_ROOT / ".smoke-wal"
+    if wal_dir.exists():
+        shutil.rmtree(wal_dir)
+    wal_dir.mkdir()
+    (wal_dir / "ctx.bin").write_bytes(encode_service_context(handle))
+    wal_path = wal_dir / "service.wal"
+    victim = subprocess.Popen(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--wal-victim", str(wal_dir), "--backend", backend],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        phase1_line = await loop.run_in_executor(
+            None, lambda: await_marker(victim, "wal-victim phase1"))
+        durable_line = await loop.run_in_executor(
+            None, lambda: await_marker(victim, "wal-victim durable"))
+        check(phase1_line is not None and durable_line is not None,
+              "WAL act: the victim service never reached its durable "
+              "marker")
+    finally:
+        victim.kill()       # SIGKILL: no atexit, no flush, no close
+        victim.wait(timeout=10)
+    phase1_count = int(phase1_line.split()[-1]) if phase1_line else 0
+    pending_count = int(durable_line.split()[-1]) if durable_line else 0
+    # A SIGKILL mid-append leaves a torn record; simulate the worst
+    # case on top of whatever the kill itself left behind.
+    with open(wal_path, "ab") as log:
+        log.write(b"\x00\x00\x01\x00torn mid-append by SIGKILL")
+    recovery_config = ServiceConfig(num_shards=shards, max_batch=8,
+                                    max_wait_ms=10.0, wal_path=wal_path)
+    async with SigningService(handle, recovery_config) as service:
+        wal_recovered = service.stats.recovered
+        wal_torn = service.wal.stats.torn_bytes
+    check(wal_torn > 0, "WAL act: the torn tail was not detected")
+    check(wal_recovered == pending_count,
+          f"WAL act: replayed {wal_recovered} of {pending_count} "
+          "unacknowledged requests")
+    check(service.stats.completed == pending_count,
+          f"WAL act: only {service.stats.completed}/{pending_count} "
+          "replayed requests completed")
+    # Audit the log itself: every admit settled exactly once, every
+    # settlement a signature verifying under the unchanged public key.
+    records, _, torn_after = scan_records(wal_path, WireCodec(group))
+    wal_admits, wal_dones = {}, {}
+    for record in records:
+        if isinstance(record, WalAdmitRecord):
+            check(record.request_id not in wal_admits,
+                  f"WAL act: duplicate admit id {record.request_id}")
+            wal_admits[record.request_id] = record.message
+        else:
+            wal_dones.setdefault(record.request_id, []).append(record)
+    check(torn_after == 0, "WAL act: the torn tail survived recovery")
+    check(len(wal_admits) == phase1_count + pending_count,
+          f"WAL act: expected {phase1_count + pending_count} admits in "
+          f"the log, found {len(wal_admits)}")
+    for request_id, message in wal_admits.items():
+        settlements = wal_dones.get(request_id, [])
+        check(len(settlements) == 1,
+              f"WAL act: request {request_id} settled "
+              f"{len(settlements)} times (exactly-once violated)")
+        if len(settlements) == 1:
+            done = settlements[0]
+            check(done.signature is not None
+                  and handle.verify(message, done.signature),
+                  f"WAL act: request {request_id} has no verifying "
+                  "signature under the unchanged public key")
+    # A second restart against the settled log must replay nothing.
+    async with SigningService(handle, recovery_config) as service:
+        check(service.stats.recovered == 0,
+              "WAL act: a second restart replayed settled requests")
+    if not failures:
+        shutil.rmtree(wal_dir)
+
     print(f"serve-smoke [{backend}]: {stats.accepted} requests, "
           f"{windows} windows, 0 rejected, 0 failed; forged window "
           f"localized ({shard.faults_localized} flags, "
@@ -293,7 +447,9 @@ async def run_smoke(backend: str, requests: int, shards: int,
           f"clean + survived a mid-window worker kill "
           f"({crash_stats.workers.crashes} crash, "
           f"{crash_stats.workers.reconnects} reconnect, "
-          f"{crash_stats.workers.resubmissions} resubmissions)")
+          f"{crash_stats.workers.resubmissions} resubmissions); WAL act "
+          f"replayed {wal_recovered} requests after SIGKILL "
+          f"({wal_torn} torn bytes discarded)")
     if failures:
         print("serve-smoke FAILED:")
         for reason in failures:
@@ -315,7 +471,12 @@ def main(argv=None) -> int:
                         help="worker processes for the process-parallel "
                         "act (must be >= 1; the tier is part of the "
                         "service contract this smoke gates)")
+    parser.add_argument("--wal-victim", type=pathlib.Path, default=None,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+    if args.wal_victim is not None:
+        # Internal re-entry: we are act 6's SIGKILL victim.
+        return asyncio.run(run_wal_victim(args.wal_victim, args.backend))
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     return asyncio.run(
