@@ -28,7 +28,12 @@ bench-check:
 ## kill) and fail on any rejected-valid request.  The durability act
 ## SIGKILLs the service itself mid-window and requires a restart
 ## against the same write-ahead log to complete every admitted request
-## exactly once (leaves `.smoke-wal/` behind on failure for forensics).
+## exactly once.  The key-lifecycle act refreshes, reshares and grows
+## the shard ring under open-loop load (public key never changes,
+## nothing rejected), then SIGKILLs a victim mid-transition: stale
+## shares must be refused, the persisted post-transition context must
+## settle every admit (leaves `.smoke-wal/` — WALs plus
+## `epoch/epoch.log` — behind on failure for forensics).
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 

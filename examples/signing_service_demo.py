@@ -17,8 +17,16 @@ acts:
    per-share path — every request still completes with a valid
    signature.
 
+``--refresh-every N`` exercises the live key lifecycle: a proactive
+share refresh fires after every N completed sign requests *while the
+load is running* — the service drains in-flight windows behind the
+epoch barrier, swaps shares, and resumes with zero rejections and an
+unchanged public key.  ``--reshare`` then rotates one signer out and a
+fresh one in via live resharing (join/leave, same public key).
+
     python examples/signing_service_demo.py
     python examples/signing_service_demo.py --backend bn254 --requests 32
+    python examples/signing_service_demo.py --refresh-every 16 --reshare
 """
 
 import argparse
@@ -67,7 +75,27 @@ async def demo(args) -> None:
     async with SigningService(handle, config) as service:
         generator = LoadGenerator(
             lambda i: service.sign(b"demo message %d" % i))
+        refresher = None
+        if args.refresh_every:
+            async def refresh_loop():
+                # Fire a live refresh each time another N requests have
+                # completed; the barrier drains in-flight windows, so
+                # the load never sees a rejection.
+                transitions = 0
+                while True:
+                    target = (transitions + 1) * args.refresh_every
+                    while service.stats.completed < target:
+                        await asyncio.sleep(0.005)
+                    pause = await service.refresh(
+                        rng=random.Random(100 + transitions))
+                    transitions += 1
+                    print(f"      refresh -> epoch "
+                          f"{service.handle.epoch} (paused "
+                          f"{pause:.2f} ms, zero rejections)")
+            refresher = asyncio.ensure_future(refresh_loop())
         report = await generator.run_closed(args.requests, 16)
+        if refresher is not None:
+            refresher.cancel()
         stats = service.snapshot_stats()
         windows = sum(s.windows for s in stats.shards.values())
         print(f"      {report.completed} signed, 0 rejected | "
@@ -77,6 +105,23 @@ async def demo(args) -> None:
               f"requests (mean batch "
               f"{stats.summary()['mean_batch']:.1f}) — each window paid "
               f"one batch check")
+        if args.refresh_every:
+            print(f"      {stats.epochs.transitions} live refresh(es), "
+                  f"pause p99 {stats.epochs.pause_p99_ms:.2f} ms — "
+                  f"public key unchanged")
+        if args.reshare:
+            current = sorted(service.handle.shares)
+            leaver, joiner = current[0], max(current) + 1
+            new_indices = sorted(set(current) - {leaver} | {joiner})
+            pause = await service.reshare(
+                service.handle.scheme.params.t, new_indices,
+                rng=random.Random(200))
+            result = await service.sign(b"post-reshare doc")
+            assert handle.verify(result.message, result.signature)
+            print(f"      reshare -> epoch {service.handle.epoch}: "
+                  f"signer {leaver} out, {joiner} in (paused "
+                  f"{pause:.2f} ms); post-reshare signature verifies "
+                  f"under the unchanged public key")
 
         print(f"[3/4] Open-loop verification: Poisson arrivals at "
               f"{args.rate} req/s")
@@ -146,6 +191,16 @@ def main() -> None:
                         help="load the ServiceHandle from an encoded "
                         "service context instead of dealer keygen (see "
                         "remote_worker --write-context)")
+    parser.add_argument("--refresh-every", type=int, default=0,
+                        metavar="N",
+                        help="fire a live proactive share refresh after "
+                        "every N completed sign requests (0 = never); "
+                        "the service keeps serving through each epoch "
+                        "transition and the public key never changes")
+    parser.add_argument("--reshare", action="store_true",
+                        help="after the closed-loop act, rotate one "
+                        "signer out and a fresh one in via live "
+                        "resharing (join/leave, same public key)")
     parser.add_argument("--requests", type=int, default=48)
     parser.add_argument("--rate", type=float, default=2000.0,
                         help="open-loop arrival rate (requests/second)")

@@ -472,11 +472,17 @@ class ServiceHandle:
     """
 
     def __init__(self, scheme, public_key, shares: Mapping[int, "PrivateKeyShare"],
-                 verification_keys: Mapping[int, VerificationKey]):
+                 verification_keys: Mapping[int, VerificationKey],
+                 epoch: int = 0):
         self.scheme = scheme
         self.public_key = public_key
         self.shares = dict(shares)
         self.verification_keys = dict(verification_keys)
+        #: Key-lifecycle generation.  Every refresh/reshare/recovery
+        #: produces a *new* handle with ``epoch + 1`` and the same
+        #: public key; the service layer uses the epoch to fence worker
+        #: contexts and WAL records against stale key material.
+        self.epoch = epoch
         self._signer_ring = sorted(self.shares)
         # Aggregate-scheme adaptation: its hash is key-prefixed, so
         # share_sign takes the public key as leading argument (and its
@@ -521,6 +527,86 @@ class ServiceHandle:
             for index, result in results.items()
         }
         return cls(scheme, public_key, shares, verification_keys), network
+
+    # -- key lifecycle ------------------------------------------------------
+    # Each operation returns a NEW handle at ``epoch + 1`` under the
+    # byte-identical public key; the caller (typically
+    # ``SigningService.begin_epoch``) swaps it in atomically.  Signatures
+    # are unique per message, so a request signed under either handle
+    # yields the same bytes — epoch transitions cannot change results,
+    # only which shares produce them.
+
+    def refreshed(self, rng=None, adversary=None) -> "ServiceHandle":
+        """Proactive refresh (Section 3.3): same committee, re-randomized
+        shares, updated VKs, public key unchanged."""
+        from repro.dkg.refresh import run_refresh
+        params = self.scheme.params
+        new_shares, new_vks, _ = run_refresh(
+            params.group, params.g_z, params.g_r, params.t, params.n,
+            self.shares, self.verification_keys,
+            adversary=adversary, rng=rng)
+        return ServiceHandle(self.scheme, self.public_key, new_shares,
+                             new_vks, epoch=self.epoch + 1)
+
+    def reshared(self, new_t: int, new_indices: Sequence[int],
+                 rng=None, adversary=None) -> "ServiceHandle":
+        """Reshare to a new (t', n') committee (signer join/leave).
+
+        The reshare transcript is checked against the current public
+        key (see :mod:`repro.dkg.reshare`), so the returned handle
+        provably signs for the same key.  A changed threshold gets a
+        new scheme over the *same* generators and hash domain, keeping
+        signatures byte-compatible across the transition.
+        """
+        from repro.dkg.reshare import run_reshare
+        params = self.scheme.params
+        new_shares, new_vks, _ = run_reshare(
+            params.group, params.g_z, params.g_r, params.t, new_t,
+            new_indices, self.shares, self.verification_keys,
+            public_key=self.public_key, adversary=adversary, rng=rng)
+        scheme = self.scheme
+        public_key = self.public_key
+        if new_t != params.t or len(new_shares) != params.n:
+            new_params = ThresholdParams(
+                group=params.group, t=new_t, n=len(new_shares),
+                g_z=params.g_z, g_r=params.g_r,
+                hash_domain=params.hash_domain)
+            scheme = type(self.scheme)(new_params)
+            public_key = PublicKey(params=new_params,
+                                   g_1=self.public_key.g_1,
+                                   g_2=self.public_key.g_2)
+        return ServiceHandle(scheme, public_key, new_shares, new_vks,
+                             epoch=self.epoch + 1)
+
+    def without_signer(self, index: int) -> "ServiceHandle":
+        """Drop a crashed/compromised signer's share (its public VK is
+        kept so the share can be recovered later)."""
+        if index not in self.shares:
+            raise ParameterError(f"no share for signer {index}")
+        if len(self.shares) - 1 < self.threshold + 1:
+            raise ParameterError(
+                "dropping this signer would leave fewer than t+1 shares")
+        remaining = {i: s for i, s in self.shares.items() if i != index}
+        return ServiceHandle(self.scheme, self.public_key, remaining,
+                             self.verification_keys, epoch=self.epoch + 1)
+
+    def with_recovered(self, index: int) -> "ServiceHandle":
+        """Herzberg-style share recovery: t+1 helpers interpolate the
+        lost share at the victim's index (never at zero), and the victim
+        rejoins the signer ring in the next epoch."""
+        from repro.dkg.refresh import recover_share
+        if index in self.shares:
+            raise ParameterError(f"signer {index} already holds a share")
+        if index not in self.verification_keys:
+            raise ParameterError(
+                f"no verification key for signer {index} — recovery "
+                "re-derives a share of the *current* sharing only")
+        helpers = dict(self.shares)
+        recovered = recover_share(self.scheme, index, helpers)
+        shares = dict(self.shares)
+        shares[index] = recovered
+        return ServiceHandle(self.scheme, self.public_key, shares,
+                             self.verification_keys, epoch=self.epoch + 1)
 
     # -- quorum policy ------------------------------------------------------
     @property

@@ -8,15 +8,19 @@
   extraction phase; used for the DKG cost comparison (experiment T4).
 * :mod:`repro.dkg.refresh` — proactive share refresh (Section 3.3):
   re-sharing zero and adding the result to current shares.
+* :mod:`repro.dkg.reshare` — resharing to a new (t', n') committee
+  (signer join/leave) with the public key provably unchanged.
 """
 
 from repro.dkg.pedersen_dkg import (
     PedersenDKGPlayer, DKGResult, run_pedersen_dkg, dkg_result_to_keys,
 )
 from repro.dkg.gjkr_dkg import run_gjkr_dkg
-from repro.dkg.refresh import run_refresh
+from repro.dkg.refresh import recover_share, run_refresh
+from repro.dkg.reshare import ResharePlayer, ReshareResult, run_reshare
 
 __all__ = [
-    "PedersenDKGPlayer", "DKGResult", "run_pedersen_dkg",
-    "dkg_result_to_keys", "run_gjkr_dkg", "run_refresh",
+    "PedersenDKGPlayer", "DKGResult", "ResharePlayer", "ReshareResult",
+    "dkg_result_to_keys", "recover_share", "run_gjkr_dkg",
+    "run_pedersen_dkg", "run_refresh", "run_reshare",
 ]

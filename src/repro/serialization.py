@@ -155,11 +155,17 @@ class SignWindowJob:
     """One batch window of sign requests: produce a full signature per
     message using the given signer quorum (partial signing, the
     cross-message window check and the robust fallback all happen on the
-    executing side — the job carries only what a dispatcher knows)."""
+    executing side — the job carries only what a dispatcher knows).
+
+    ``epoch`` stamps the key-lifecycle generation the dispatcher formed
+    the window under; an executor holding a different epoch's shares
+    must refuse the job rather than sign with dead key material.
+    """
 
     shard_id: int
     messages: Tuple[bytes, ...]
     quorum: Tuple[int, ...]
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -169,6 +175,7 @@ class VerifyWindowJob:
     shard_id: int
     messages: Tuple[bytes, ...]
     signatures: Tuple[Signature, ...]
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -180,6 +187,7 @@ class PartialSignJob:
     shard_id: int
     message: bytes
     signers: Tuple[int, ...]
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -226,10 +234,18 @@ class WalAdmitRecord:
     normal signing path (partial signing is deterministic, so a replay
     of an already-signed-but-unacknowledged request reproduces the
     identical signature — idempotence by construction).
+
+    ``epoch`` records the key-lifecycle generation the request was
+    admitted under.  Signatures are unique per message, so replaying an
+    old-epoch admit under newer shares settles identically; the epoch
+    exists so a restart can *refuse* to run with key material older
+    than what the log has seen (a crash mid-transition must not resume
+    on the pre-transition shares).
     """
 
     request_id: int
     message: bytes
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -384,7 +400,7 @@ class WireCodec:
     # -- window jobs ----------------------------------------------------------
     def encode_job(self, job) -> bytes:
         if isinstance(job, SignWindowJob):
-            return KIND_SIGN_JOB + _u32(job.shard_id) + \
+            return KIND_SIGN_JOB + _u32(job.shard_id) + _u32(job.epoch) + \
                 _u32(len(job.messages)) + \
                 b"".join(_packed(message) for message in job.messages) + \
                 _u32(len(job.quorum)) + \
@@ -393,7 +409,7 @@ class WireCodec:
             if len(job.messages) != len(job.signatures):
                 raise SerializationError(
                     "verify job needs one signature per message")
-            return KIND_VERIFY_JOB + _u32(job.shard_id) + \
+            return KIND_VERIFY_JOB + _u32(job.shard_id) + _u32(job.epoch) + \
                 _u32(len(job.messages)) + \
                 b"".join(
                     _packed(message) + self.encode_signature(signature)
@@ -401,6 +417,7 @@ class WireCodec:
                     in zip(job.messages, job.signatures))
         if isinstance(job, PartialSignJob):
             return KIND_PARTIAL_JOB + _u32(job.shard_id) + \
+                _u32(job.epoch) + \
                 _packed(job.message) + _u32(len(job.signers)) + \
                 b"".join(_u32(index) for index in job.signers)
         raise SerializationError(f"unknown job type {type(job).__name__}")
@@ -409,11 +426,12 @@ class WireCodec:
         reader = _Reader(blob)
         kind = reader.take(1)
         shard_id = reader.u32()
+        epoch = reader.u32()
         if kind == KIND_SIGN_JOB:
             messages = tuple(reader.packed() for _ in range(reader.u32()))
             quorum = tuple(reader.u32() for _ in range(reader.u32()))
             job = SignWindowJob(shard_id=shard_id, messages=messages,
-                                quorum=quorum)
+                                quorum=quorum, epoch=epoch)
         elif kind == KIND_VERIFY_JOB:
             count = reader.u32()
             messages, signatures = [], []
@@ -422,12 +440,13 @@ class WireCodec:
                 signatures.append(self._read_signature(reader))
             job = VerifyWindowJob(shard_id=shard_id,
                                   messages=tuple(messages),
-                                  signatures=tuple(signatures))
+                                  signatures=tuple(signatures),
+                                  epoch=epoch)
         elif kind == KIND_PARTIAL_JOB:
             message = reader.packed()
             signers = tuple(reader.u32() for _ in range(reader.u32()))
             job = PartialSignJob(shard_id=shard_id, message=message,
-                                 signers=signers)
+                                 signers=signers, epoch=epoch)
         else:
             raise SerializationError(f"unknown job kind {kind!r}")
         reader.done()
@@ -511,7 +530,7 @@ class WireCodec:
         :mod:`repro.service.wal` and ``docs/WIRE_FORMAT.md``)."""
         if isinstance(record, WalAdmitRecord):
             return KIND_WAL_ADMIT + _u64(record.request_id) + \
-                _packed(record.message)
+                _u32(record.epoch) + _packed(record.message)
         if isinstance(record, WalDoneRecord):
             if record.signature is not None:
                 return KIND_WAL_DONE + _u64(record.request_id) + b"\x01" + \
@@ -526,6 +545,7 @@ class WireCodec:
         kind = reader.take(1)
         if kind == KIND_WAL_ADMIT:
             record = WalAdmitRecord(request_id=reader.u64(),
+                                    epoch=reader.u32(),
                                     message=reader.packed())
         elif kind == KIND_WAL_DONE:
             request_id = reader.u64()
@@ -550,10 +570,10 @@ class WireCodec:
 
 def encode_service_context(handle) -> bytes:
     """Serialize everything a worker process needs to rebuild a
-    :class:`~repro.core.scheme.ServiceHandle`: backend name, threshold
-    parameters (with the derived generators inline, so no derivation
-    assumptions survive the wire), public key, key shares and
-    verification keys.
+    :class:`~repro.core.scheme.ServiceHandle`: the key-lifecycle epoch,
+    backend name, threshold parameters (with the derived generators
+    inline, so no derivation assumptions survive the wire), public key,
+    key shares and verification keys.
 
     This is the simulation's stand-in for deployment provisioning; a
     real deployment ships each server only its own share.
@@ -568,6 +588,7 @@ def encode_service_context(handle) -> bytes:
     codec = WireCodec(group)
     body = [
         KIND_CONTEXT,
+        _u32(handle.epoch),
         _packed(group.name.encode("utf-8")),
         _u32(params.t), _u32(params.n),
         _packed(params.hash_domain.encode("utf-8")),
@@ -594,6 +615,7 @@ def decode_service_context(blob: bytes):
     reader = _Reader(blob)
     if reader.take(1) != KIND_CONTEXT:
         raise SerializationError("not a service-context blob")
+    epoch = reader.u32()
     group = get_group(reader.packed().decode("utf-8"))
     codec = WireCodec(group)
     t, n = reader.u32(), reader.u32()
@@ -615,7 +637,8 @@ def decode_service_context(blob: bytes):
     reader.done()
     scheme = LJYThresholdScheme(params)
     public_key = PublicKey(params=params, g_1=g_1, g_2=g_2)
-    return ServiceHandle(scheme, public_key, shares, verification_keys)
+    return ServiceHandle(scheme, public_key, shares, verification_keys,
+                         epoch=epoch)
 
 
 # ---------------------------------------------------------------------------
@@ -626,11 +649,13 @@ def decode_service_context(blob: bytes):
 #
 #   offset  size  field
 #   0       4     magic    b"LJYW"
-#   4       1     version  0x01 (FRAME_VERSION)
+#   4       1     version  0x02 (FRAME_VERSION)
 #   5       1     kind     H (hello) | J (job) | O (outcome) | E (error)
+#                          | C (context update)
 #   6       4     length   payload bytes, u32 big-endian, <= MAX_FRAME_BYTES
-#   10      ...   payload  a WireCodec blob (J/O), a HELLO payload (H) or
-#                          a UTF-8 error message (E)
+#   10      ...   payload  a WireCodec blob (J/O), a HELLO payload (H),
+#                          a service-context blob (C) or a UTF-8 error
+#                          message (E)
 #
 # The header carries everything a receiver needs to reject garbage
 # *before* touching the payload: a wrong magic or version means the
@@ -638,9 +663,14 @@ def decode_service_context(blob: bytes):
 # framing cannot be trusted past this point), an oversized length means
 # a corrupt or hostile peer (never allocate it).  See
 # ``docs/WIRE_FORMAT.md`` for the full spec and the compatibility rule.
+#
+# Version history: v1 had no C frame; v2 added it for live epoch
+# transitions (a dispatcher pushing refreshed key material to running
+# workers) and stamped jobs with the epoch.  Per the compatibility rule
+# there is no negotiation — both ends upgrade together.
 
 FRAME_MAGIC = b"LJYW"
-FRAME_VERSION = 1
+FRAME_VERSION = 2
 FRAME_HEADER_BYTES = 10
 #: Upper bound on one frame's payload.  The largest legitimate payload
 #: is a service context (a few KiB at n in the hundreds); 16 MiB leaves
@@ -652,8 +682,14 @@ FRAME_KIND_HELLO = b"H"
 FRAME_KIND_JOB = b"J"
 FRAME_KIND_OUTCOME = b"O"
 FRAME_KIND_ERROR = b"E"
+#: A context update pushed over a live connection: the payload is a full
+#: service-context blob at a *newer* epoch.  The worker re-warms its
+#: handle and answers with a fresh HELLO (its new digest) — the
+#: in-place analogue of re-provisioning, so an epoch transition does
+#: not tear down the worker fleet.
+FRAME_KIND_CONTEXT = b"C"
 FRAME_KINDS = (FRAME_KIND_HELLO, FRAME_KIND_JOB, FRAME_KIND_OUTCOME,
-               FRAME_KIND_ERROR)
+               FRAME_KIND_ERROR, FRAME_KIND_CONTEXT)
 
 
 def encode_frame(kind: bytes, payload: bytes) -> bytes:

@@ -46,33 +46,49 @@ Thetacrypt mold:
   the robust per-share fallback without poisoning neighbors in the same
   window; a worker process dying mid-window
   (:class:`~repro.service.faults.WorkerCrashFault`) exercises the
-  pool's crash recovery.
+  pool's crash recovery; random live lifecycle churn
+  (:class:`~repro.service.faults.ChurnFault`) exercises the epoch
+  barrier under load.
+* **Key lifecycle** — live epoch transitions with zero lifecycle
+  rejections: ``SigningService.begin_epoch`` drains in-flight windows
+  behind per-shard barriers, swaps shares/quorums/worker contexts
+  (executor rebuild, or a ``C`` context-push frame on the TCP tier)
+  and resumes — requests queued across the swap are served under the
+  new shares with byte-identical signatures.  ``refresh`` / ``reshare``
+  / ``retire_signer`` / ``recover_signer`` wrap the DKG protocols of
+  :mod:`repro.dkg`; ``resize`` re-rings the shard pool live, migrating
+  queued requests.  Telemetry in
+  :class:`~repro.service.types.EpochStats`.
 
 Scheduling policy, amortization and (with ``workers=N``) process
 parallelism are real; only the client/server network is simulated away.
 """
 
 from repro.service.accumulator import BatchAccumulator
-from repro.service.faults import CorruptSignerFault, WorkerCrashFault
+from repro.service.faults import (
+    ChurnFault, CorruptSignerFault, WorkerCrashFault,
+)
 from repro.service.frontend import ServiceConfig, SigningService
 from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.shards import HashRing, ShardPool
 from repro.service.transport import RemoteWorkerPool, WorkerServer
 from repro.service.types import (
-    HandshakeError, RemoteJobError, RequestExpiredError, RequestFailedError,
-    ServiceClosedError, ServiceError, ServiceOverloadedError, ServiceStats,
-    ShardStats, SignResult, TransportError, VerifyResult, WorkerCrashError,
+    EpochStats, HandshakeError, RemoteJobError, RequestExpiredError,
+    RequestFailedError, ServiceClosedError, ServiceError,
+    ServiceOverloadedError, ServiceStats, ShardStats, SignResult,
+    StaleEpochError, TransportError, VerifyResult, WorkerCrashError,
     WorkerPoolStats,
 )
 from repro.service.wal import WalStats, WriteAheadLog
 from repro.service.workers import WorkerPool
 
 __all__ = [
-    "BatchAccumulator", "CorruptSignerFault", "HandshakeError", "HashRing",
-    "LoadGenerator", "LoadReport", "RemoteJobError", "RemoteWorkerPool",
-    "RequestExpiredError", "RequestFailedError", "ServiceClosedError",
-    "ServiceConfig", "ServiceError", "ServiceOverloadedError", "ServiceStats",
-    "ShardPool", "ShardStats", "SigningService", "SignResult",
+    "BatchAccumulator", "ChurnFault", "CorruptSignerFault", "EpochStats",
+    "HandshakeError", "HashRing", "LoadGenerator", "LoadReport",
+    "RemoteJobError", "RemoteWorkerPool", "RequestExpiredError",
+    "RequestFailedError", "ServiceClosedError", "ServiceConfig",
+    "ServiceError", "ServiceOverloadedError", "ServiceStats", "ShardPool",
+    "ShardStats", "SigningService", "SignResult", "StaleEpochError",
     "TransportError", "VerifyResult", "WalStats", "WorkerCrashError",
     "WorkerCrashFault", "WorkerPool", "WorkerPoolStats", "WorkerServer",
     "WriteAheadLog",

@@ -33,6 +33,22 @@ class BatchAccumulator(Generic[T]):
         self.queue = queue
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        #: Items put back on cancellation that no longer fit the queue
+        #: (admission refilled it while the window was forming).  A
+        #: shard-pool drain collects these ahead of the queue proper.
+        self.spilled: List[T] = []
+
+    def putback(self, items: List[T]) -> None:
+        """Return items that were taken off the queue but never served
+        (a worker cancelled mid-window, e.g. a shard leaving during a
+        live resize).  Overflow — the queue refilled behind them — goes
+        to :attr:`spilled` so nothing is dropped."""
+        for position, item in enumerate(items):
+            try:
+                self.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self.spilled.extend(items[position:])
+                return
 
     async def next_window(self) -> List[T]:
         """Block for the next non-empty window.
@@ -42,20 +58,29 @@ class BatchAccumulator(Generic[T]):
         window form the next one immediately — under sustained load the
         window fills without ever sleeping), then waits out the
         remainder of the time budget for stragglers.
+
+        Cancellation-safe: a partially formed window is put back (queue
+        first, :attr:`spilled` on overflow), so cancelling the consumer
+        never loses admitted requests.
         """
-        window: List[T] = [await self.queue.get()]
-        loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.max_wait_ms / 1000.0
-        while len(window) < self.max_batch:
-            try:
-                window.append(self.queue.get_nowait())
-            except asyncio.QueueEmpty:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
+        window: List[T] = []
+        try:
+            window.append(await self.queue.get())
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.max_wait_ms / 1000.0
+            while len(window) < self.max_batch:
                 try:
-                    window.append(
-                        await asyncio.wait_for(self.queue.get(), remaining))
-                except asyncio.TimeoutError:
-                    break
+                    window.append(self.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        window.append(await asyncio.wait_for(
+                            self.queue.get(), remaining))
+                    except asyncio.TimeoutError:
+                        break
+        except asyncio.CancelledError:
+            self.putback(window)
+            raise
         return window

@@ -23,7 +23,8 @@ from repro.serialization import WireCodec
 from repro.service.shards import ShardPool
 from repro.service.types import (
     PendingRequest, RequestExpiredError, RequestKind, ServiceClosedError,
-    ServiceOverloadedError, ServiceStats, SignResult, VerifyResult,
+    ServiceError, ServiceOverloadedError, ServiceStats, SignResult,
+    VerifyResult,
 )
 from repro.service.wal import WriteAheadLog
 
@@ -118,6 +119,20 @@ class SigningService:
         if config.wal_path is not None:
             self.wal = WriteAheadLog.open(
                 config.wal_path, WireCodec(self.handle.scheme.group))
+            if self.wal.max_epoch_seen > self.handle.epoch:
+                # A crash mid-transition must not silently resume on
+                # pre-transition shares: the log proves a newer epoch
+                # was already admitting, so this handle's key material
+                # is dead.  Refuse; restart with the post-transition
+                # context (which replays the same obligations).
+                stale_from = self.wal.max_epoch_seen
+                self.wal.close()
+                self.wal = None
+                raise ServiceError(
+                    f"write-ahead log {config.wal_path} carries admits "
+                    f"from key-lifecycle epoch {stale_from}, but this "
+                    f"service holds epoch-{self.handle.epoch} key "
+                    f"material — refusing to sign with stale shares")
         self._pool = ShardPool(
             self.handle, config.num_shards, config.max_batch,
             config.max_wait_ms, config.queue_depth,
@@ -171,6 +186,99 @@ class SigningService:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
+    # -- key lifecycle -------------------------------------------------------
+    async def begin_epoch(self, new_handle: ServiceHandle) -> float:
+        """Transition the live service to new-epoch key material with
+        zero lifecycle rejections; returns the barrier pause in ms.
+
+        The barrier: acquire every shard's lifecycle lock (draining all
+        in-flight windows — admission keeps queueing throughout, so
+        nothing is shed because of the transition), swap the handle and
+        every shard's quorum, re-provision the worker tier (executor
+        rebuild or ``C`` context push), then release.  Requests queued
+        across the swap are served under the new shares — byte-identical
+        signatures, because a transition provably preserves the master
+        key (which is also validated here, along with the epoch being
+        exactly one step forward).
+        """
+        if not self.running:
+            raise ServiceClosedError("service is not running")
+        if new_handle.epoch != self.handle.epoch + 1:
+            raise ServiceError(
+                f"epoch transition must advance by exactly one "
+                f"(current {self.handle.epoch}, offered "
+                f"{new_handle.epoch})")
+        if (new_handle.public_key.to_bytes()
+                != self.handle.public_key.to_bytes()):
+            raise ServiceError(
+                "epoch transition changes the public key — a "
+                "refresh/reshare must preserve it")
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        paused = await self._pool.pause_all()
+        try:
+            carried = self._pool.queued()
+            self.handle = new_handle
+            self._pool.swap_handle(new_handle)
+            if self._pool.worker_pool is not None:
+                await self._pool.worker_pool.update_handle(new_handle)
+        finally:
+            self._pool.resume_all(paused)
+        pause_ms = (loop.time() - started) * 1000.0
+        epochs = self.stats.epochs
+        epochs.epoch = new_handle.epoch
+        epochs.transitions += 1
+        epochs.requests_carried += carried
+        epochs.pauses_ms.append(pause_ms)
+        return pause_ms
+
+    async def refresh(self, rng=None, adversary=None) -> float:
+        """Proactive share refresh as a live epoch transition: run the
+        refresh protocol (on this loop, *outside* the barrier — only
+        the swap pauses shards), then :meth:`begin_epoch`."""
+        pause_ms = await self.begin_epoch(
+            self.handle.refreshed(rng=rng, adversary=adversary))
+        self.stats.epochs.refreshes += 1
+        return pause_ms
+
+    async def reshare(self, new_t: int, new_indices,
+                      rng=None, adversary=None) -> float:
+        """Reshare to a new ``(new_t, new_indices)`` committee (signer
+        join/leave) as a live epoch transition."""
+        pause_ms = await self.begin_epoch(self.handle.reshared(
+            new_t, new_indices, rng=rng, adversary=adversary))
+        self.stats.epochs.reshares += 1
+        return pause_ms
+
+    async def retire_signer(self, index: int) -> float:
+        """Drop a crashed/compromised signer's share from the live
+        quorum rotation (its verification key stays, so
+        :meth:`recover_signer` can later re-derive the share)."""
+        return await self.begin_epoch(self.handle.without_signer(index))
+
+    async def recover_signer(self, index: int) -> float:
+        """Re-derive a retired signer's share from t+1 helpers and fold
+        the player back into the live quorum rotation."""
+        pause_ms = await self.begin_epoch(self.handle.with_recovered(index))
+        self.stats.epochs.recoveries += 1
+        return pause_ms
+
+    async def resize(self, num_shards: int) -> int:
+        """Live shard-ring resize; returns the number of queued
+        requests migrated between shards (none are dropped — see
+        :meth:`ShardPool.resize <repro.service.shards.ShardPool.resize>`)."""
+        if not self.running:
+            raise ServiceClosedError("service is not running")
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        migrated = await self._pool.resize(num_shards)
+        self.config.num_shards = num_shards
+        epochs = self.stats.epochs
+        epochs.resizes += 1
+        epochs.requests_carried += migrated
+        epochs.pauses_ms.append((loop.time() - started) * 1000.0)
+        return migrated
+
     # -- admission ----------------------------------------------------------
     def _admit(self, request: PendingRequest) -> None:
         if not self.running:
@@ -187,7 +295,8 @@ class SigningService:
             # an obligation.  The append is buffered; the shard worker
             # fsyncs once per closed window, before the window's crypto
             # runs, so the admit is durable before any completion.
-            request.request_id = self.wal.append_admit(request.message)
+            request.request_id = self.wal.append_admit(
+                request.message, epoch=self.handle.epoch)
         self.stats.accepted += 1
         self._register(request)
 

@@ -90,7 +90,23 @@ class ShardWorker:
         #: Quorum rotation: shard i starts its signer window at offset i,
         #: so different shards exercise different (overlapping) quorums.
         self.quorum = handle.quorum(rotation=shard_id)
+        #: The epoch barrier: held across each window's [sync, shed,
+        #: process] sequence, never across the blocking wait for the
+        #: next window (an idle shard must not block a key swap).
+        #: ``begin_epoch``/``resize`` acquire every shard's lock, which
+        #: drains all in-flight windows, then mutate under the barrier.
+        self.lifecycle = asyncio.Lock()
         self._task: Optional[asyncio.Task] = None
+
+    def swap_handle(self, handle: ServiceHandle) -> None:
+        """Install new-epoch key material (caller holds ``lifecycle``).
+
+        A window formed under the old epoch but processed after the
+        swap signs under the new shares — correct because LJY
+        signatures are deterministic and a refresh/reshare provably
+        preserves the master key, so the bytes are identical."""
+        self.handle = handle
+        self.quorum = handle.quorum(rotation=self.shard_id)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -114,31 +130,43 @@ class ShardWorker:
     async def _run(self) -> None:
         while True:
             window = await self.accumulator.next_window()
-            loop = asyncio.get_running_loop()
-            started = loop.time()
-            if self.wal is not None:
-                # Durability barrier: one fsync covers every admit
-                # buffered up to this window's close, so each request's
-                # admit record hits the disk before its signature can
-                # be observed (done records ride the *next* window's
-                # sync — losing one costs an idempotent replay).
-                self.wal.sync()
-            window = self._shed_expired(window, loop)
-            if not window:
-                await asyncio.sleep(0)
-                continue
-            self._record_window(window)
+            # The lifecycle barrier: if an epoch transition holds the
+            # lock, this window waits it out and is then processed
+            # under the *new* handle (safe — see ``swap_handle``).  A
+            # cancellation while waiting (a shard leaving during a
+            # resize) puts the window back for migration.
             try:
-                if self.worker_pool is None:
-                    self._process_window(window, loop)
-                else:
-                    await self._process_window_mp(window, loop)
-            except Exception as exc:  # defensive: fail requests, not shard
-                for request in window:
-                    if not request.future.done():
-                        request.future.set_exception(
-                            RequestFailedError(str(exc)))
-            self.stats.busy_ms += (loop.time() - started) * 1000.0
+                await self.lifecycle.acquire()
+            except asyncio.CancelledError:
+                self.accumulator.putback(window)
+                raise
+            try:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                if self.wal is not None:
+                    # Durability barrier: one fsync covers every admit
+                    # buffered up to this window's close, so each
+                    # request's admit record hits the disk before its
+                    # signature can be observed (done records ride the
+                    # *next* window's sync — losing one costs an
+                    # idempotent replay).
+                    self.wal.sync()
+                window = self._shed_expired(window, loop)
+                if window:
+                    self._record_window(window)
+                    try:
+                        if self.worker_pool is None:
+                            self._process_window(window, loop)
+                        else:
+                            await self._process_window_mp(window, loop)
+                    except Exception as exc:  # defensive: fail requests,
+                        for request in window:  # not the shard
+                            if not request.future.done():
+                                request.future.set_exception(
+                                    RequestFailedError(str(exc)))
+                    self.stats.busy_ms += (loop.time() - started) * 1000.0
+            finally:
+                self.lifecycle.release()
             # One cooperative yield per window so admission and other
             # shards interleave with the (synchronous) crypto calls.
             await asyncio.sleep(0)
@@ -204,13 +232,13 @@ class ShardWorker:
         if signs:
             self.stats.sign_requests += len(signs)
             jobs.append(self.worker_pool.run_job(SignWindowJob(
-                shard_id=self.shard_id,
+                shard_id=self.shard_id, epoch=self.handle.epoch,
                 messages=tuple(request.message for request in signs),
                 quorum=tuple(self.quorum))))
         if verifies:
             self.stats.verify_requests += len(verifies)
             jobs.append(self.worker_pool.run_job(VerifyWindowJob(
-                shard_id=self.shard_id,
+                shard_id=self.shard_id, epoch=self.handle.epoch,
                 messages=tuple(request.message for request in verifies),
                 signatures=tuple(
                     request.signature for request in verifies))))
@@ -299,6 +327,15 @@ class ShardPool:
                 handle, workers, fault_injector=fault_injector)
         else:
             self.worker_pool = None
+        # Kept for live resize: added shards are built from the same
+        # recipe (and the *current* handle, which swap_handle tracks).
+        self._handle = handle
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.queue_depth = queue_depth
+        self.fault_injector = fault_injector
+        self.rng = rng
+        self.wal = wal
         self.workers: Dict[int, ShardWorker] = {
             shard_id: ShardWorker(
                 shard_id, handle, max_batch, max_wait_ms, queue_depth,
@@ -310,6 +347,112 @@ class ShardPool:
 
     def worker_for(self, message: bytes) -> ShardWorker:
         return self.workers[self.ring.shard_for(message)]
+
+    # -- key-lifecycle barrier ----------------------------------------------
+    async def pause_all(self) -> List[ShardWorker]:
+        """Acquire every shard's lifecycle lock (in shard-id order, so
+        concurrent barriers cannot deadlock).  Returns the locked
+        workers; pass them to :meth:`resume_all`.  Acquiring the set
+        drains all in-flight windows — admission keeps queueing, so a
+        paused pool sheds nothing."""
+        workers = [self.workers[sid] for sid in sorted(self.workers)]
+        for worker in workers:
+            await worker.lifecycle.acquire()
+        return workers
+
+    def resume_all(self, workers: List[ShardWorker]) -> None:
+        for worker in reversed(workers):
+            worker.lifecycle.release()
+
+    def queued(self) -> int:
+        """Requests currently sitting in shard queues (the set a
+        barrier carries across an epoch swap)."""
+        return sum(w.queue.qsize() for w in self.workers.values())
+
+    def swap_handle(self, handle: ServiceHandle) -> None:
+        """Install new-epoch key material on every shard.  Caller must
+        hold every lifecycle lock (:meth:`pause_all`) so no window is
+        mid-crypto during the swap."""
+        self._handle = handle
+        for worker in self.workers.values():
+            worker.swap_handle(handle)
+
+    async def resize(self, num_shards: int) -> int:
+        """Live ring resize: grow or shrink to ``num_shards`` shards,
+        migrating queued requests instead of stranding them.
+
+        Under the all-shards barrier: departing workers are stopped
+        (cancellation puts their forming windows back), every queue is
+        drained, the new worker set and hash ring are built, and each
+        drained request is re-routed through the *new* ring — counted
+        in :attr:`ShardStats.migrated` at its destination when it
+        changed shards.  Returns the number of migrated requests.
+        """
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        paused = await self.pause_all()
+        started_before = any(w._task is not None for w in paused)
+        try:
+            removed = [w for sid, w in self.workers.items()
+                       if sid >= num_shards]
+            for worker in removed:
+                # Safe mid-barrier: we hold its lock, so the worker is
+                # parked either in next_window or at the lock — both
+                # cancellation points put taken requests back.
+                await worker.stop()
+            drained: List = []  # (source shard id, request)
+            for sid in sorted(self.workers):
+                worker = self.workers[sid]
+                spill = worker.accumulator.spilled
+                for request in spill:
+                    drained.append((sid, request))
+                spill.clear()
+                while True:
+                    try:
+                        drained.append((sid, worker.queue.get_nowait()))
+                    except asyncio.QueueEmpty:
+                        break
+            self.workers = {
+                sid: self.workers.get(sid) or ShardWorker(
+                    sid, self._handle, self.max_batch, self.max_wait_ms,
+                    self.queue_depth, fault_injector=self.fault_injector,
+                    rng=self.rng, worker_pool=self.worker_pool,
+                    wal=self.wal)
+                for sid in range(num_shards)
+            }
+            self.ring = HashRing(sorted(self.workers))
+            migrated = 0
+            for source, request in drained:
+                dest = self.worker_for(request.message)
+                if dest.queue.full():
+                    self._grow_queue(dest)
+                dest.queue.put_nowait(request)
+                if dest.shard_id != source:
+                    dest.stats.migrated += 1
+                    migrated += 1
+            if started_before:
+                for worker in self.workers.values():
+                    if worker._task is None:
+                        worker.start()
+        finally:
+            self.resume_all(paused)
+        return migrated
+
+    @staticmethod
+    def _grow_queue(worker: ShardWorker) -> None:
+        """A destination queue filled up mid-migration: rebuild it with
+        double the depth (migration must not shed — the requests were
+        already admitted).  The accumulator holds a queue reference, so
+        it is repointed too; safe because the worker is paused."""
+        grown: "asyncio.Queue[PendingRequest]" = asyncio.Queue(
+            maxsize=max(1, worker.queue.maxsize) * 2)
+        while True:
+            try:
+                grown.put_nowait(worker.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        worker.queue = grown
+        worker.accumulator.queue = grown
 
     def start(self) -> None:
         if self.worker_pool is not None:

@@ -73,15 +73,16 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SerializationError
 from repro.serialization import (
-    FRAME_HEADER_BYTES, FRAME_KIND_ERROR, FRAME_KIND_HELLO, FRAME_KIND_JOB,
-    FRAME_KIND_OUTCOME, WireCodec, decode_frame_header, decode_hello,
+    FRAME_HEADER_BYTES, FRAME_KIND_CONTEXT, FRAME_KIND_ERROR,
+    FRAME_KIND_HELLO, FRAME_KIND_JOB, FRAME_KIND_OUTCOME, WireCodec,
+    decode_frame_header, decode_hello, decode_service_context,
     encode_frame, encode_hello, encode_service_context,
     service_context_digest,
 )
 from repro.service.types import (
     HandshakeError, RemoteJobError, TransportError, WorkerPoolStats,
 )
-from repro.service.workers import execute_job
+from repro.service.workers import execute_job, warm_handle
 
 #: Errors that mean "this connection is gone" (``IncompleteReadError``
 #: is an ``EOFError``; ``ConnectionError`` and timeouts are ``OSError``
@@ -199,6 +200,14 @@ class WorkerServer:
                     # best-effort explanation.
                     await self._refuse(writer, str(exc))
                     return
+                if kind == FRAME_KIND_CONTEXT:
+                    # Live re-provisioning: a key-lifecycle transition
+                    # pushes the new epoch's context in place instead
+                    # of tearing the worker down.  The stream stays in
+                    # sync either way, so a refused push answers with
+                    # an E frame and keeps serving the *old* epoch.
+                    await self._apply_context_push(writer, payload)
+                    continue
                 if kind != FRAME_KIND_JOB:
                     await self._refuse(
                         writer, f"expected a job frame, got {kind!r}")
@@ -229,6 +238,49 @@ class WorkerServer:
                 await writer.wait_closed()
             except _CONNECTION_ERRORS:
                 pass
+
+    async def _apply_context_push(self, writer: asyncio.StreamWriter,
+                                  payload: bytes) -> None:
+        """Validate and install a pushed new-epoch service context.
+
+        Three invariants gate the swap — each one distinguishes a
+        legitimate lifecycle transition from misprovisioning (or a
+        replayed stale push after a crash): the backend must match, the
+        public key bytes must be *identical* (refresh/reshare never
+        change the master key), and the epoch must be strictly newer.
+        On success the caches are re-warmed and the new HELLO (with the
+        new context digest) is the acknowledgement.
+        """
+        try:
+            handle = decode_service_context(payload)
+        except Exception as exc:
+            write_frame(writer, FRAME_KIND_ERROR,
+                        f"bad context push: {exc}".encode("utf-8"))
+            await writer.drain()
+            return
+        problem = None
+        if handle.scheme.group.name != self._group_name:
+            problem = (f"context push is for backend "
+                       f"{handle.scheme.group.name!r}, this worker "
+                       f"serves {self._group_name!r}")
+        elif (handle.public_key.to_bytes()
+                != self._handle.public_key.to_bytes()):
+            problem = ("context push changes the public key — a "
+                       "lifecycle transition must preserve it")
+        elif handle.epoch <= self._handle.epoch:
+            problem = (f"stale context push: epoch {handle.epoch} is "
+                       f"not newer than epoch {self._handle.epoch}")
+        if problem is not None:
+            write_frame(writer, FRAME_KIND_ERROR, problem.encode("utf-8"))
+            await writer.drain()
+            return
+        warm_handle(handle)
+        self._handle = handle
+        self._context = payload
+        self._digest = service_context_digest(payload)
+        write_frame(writer, FRAME_KIND_HELLO,
+                    encode_hello(self._group_name, self._digest))
+        await writer.drain()
 
     async def _handshake(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> bool:
@@ -391,6 +443,76 @@ class RemoteWorkerPool:
         self._running = False
         for endpoint in self._endpoints:
             await self._discard(endpoint)
+
+    async def update_handle(self, handle) -> None:
+        """Push new-epoch key material to every endpoint in place (a
+        ``C`` context-push frame, acknowledged by a HELLO carrying the
+        new digest) — the TCP analogue of the process pool's executor
+        rebuild.  Called from inside the ``begin_epoch`` barrier, so no
+        job shares a connection with the push.
+
+        An endpoint that cannot be updated (unreachable, or it refuses
+        the push) still holds the *old* shares — dead key material —
+        so it is sticky-quarantined like any misprovisioned worker.
+        Raises :class:`TransportError` when no endpoint took the push.
+        """
+        context = encode_service_context(handle)
+        digest = service_context_digest(context)
+        updated = 0
+        for endpoint in self._endpoints:
+            if endpoint.misprovisioned is not None:
+                continue
+            pushed = False
+            try:
+                if endpoint.connected or await self._dial(endpoint):
+                    pushed = await self._push_context(
+                        endpoint, context, digest)
+            except HandshakeError as exc:
+                endpoint.misprovisioned = str(exc)
+                await self._discard(endpoint)
+                continue
+            except _CONNECTION_ERRORS + (SerializationError,
+                                         asyncio.TimeoutError):
+                pushed = False
+            if pushed:
+                updated += 1
+            else:
+                await self._discard(endpoint)
+                endpoint.misprovisioned = (
+                    f"unreachable during the epoch-{handle.epoch} context "
+                    f"push; it still holds stale key material")
+        if not updated:
+            raise TransportError(
+                f"no remote worker accepted the epoch-{handle.epoch} "
+                f"context push (endpoints: "
+                f"{', '.join(e.address for e in self._endpoints)})")
+        self._context = context
+        self._digest = digest
+        self._hello = encode_hello(self._group_name, digest)
+        self.stats.rewarms += 1
+
+    async def _push_context(self, endpoint: "_Endpoint", context: bytes,
+                            digest: bytes) -> bool:
+        async with endpoint.request_lock:
+            if not endpoint.connected:
+                return False
+            write_frame(endpoint.writer, FRAME_KIND_CONTEXT, context)
+            await endpoint.writer.drain()
+            kind, payload = await asyncio.wait_for(
+                read_frame(endpoint.reader), self.job_timeout_s)
+        if kind == FRAME_KIND_ERROR:
+            raise HandshakeError(
+                f"remote worker {endpoint.address} refused the context "
+                f"push: {payload.decode('utf-8', 'replace')}")
+        if kind != FRAME_KIND_HELLO:
+            raise SerializationError(
+                f"expected HELLO after a context push, got {kind!r}")
+        group_name, answered = decode_hello(payload)
+        if group_name != self._group_name or answered != digest:
+            raise HandshakeError(
+                f"remote worker {endpoint.address} acknowledged the "
+                f"context push with the wrong digest")
+        return True
 
     # -- connection management ----------------------------------------------
     async def _discard(self, endpoint: _Endpoint) -> bool:

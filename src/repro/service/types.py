@@ -41,6 +41,26 @@ class RequestFailedError(ServiceError):
     """A sign request could not be completed (not enough valid shares)."""
 
 
+class StaleEpochError(ServiceError):
+    """An executor holding epoch-e key material received a job stamped
+    with a different epoch.  Signing with dead shares must never happen
+    silently: the job is refused and the dispatcher re-warms the worker
+    (``update_handle``) before resubmitting."""
+
+    def __init__(self, job_epoch: int, handle_epoch: int):
+        super().__init__(
+            f"job is stamped epoch {job_epoch} but this worker holds "
+            f"epoch {handle_epoch} key material")
+        self.job_epoch = job_epoch
+        self.handle_epoch = handle_epoch
+
+    def __reduce__(self):
+        # Raised inside worker processes and pickled back through the
+        # executor; the default reduction replays ``args`` (the message
+        # string) into our two-int signature and fails to unpickle.
+        return (StaleEpochError, (self.job_epoch, self.handle_epoch))
+
+
 class RequestExpiredError(ServiceError):
     """The request's end-to-end deadline passed before its window ran;
     it was shed instead of served late (a signature delivered after the
@@ -133,6 +153,10 @@ class ShardStats:
     #: Requests shed at window formation because their deadline passed
     #: while they sat in the queue (:class:`RequestExpiredError`).
     expired: int = 0
+    #: Queued requests that arrived on this shard by live migration —
+    #: re-routed off a departing shard during a ``resize`` instead of
+    #: being stranded there (counted at the destination).
+    migrated: int = 0
     busy_ms: float = 0.0
 
     @property
@@ -166,6 +190,55 @@ class WorkerPoolStats:
     #: Circuit-breaker openings: an endpoint quarantined after repeated
     #: dial/job failures instead of staying in the round-robin.
     breaker_trips: int = 0
+    #: Live context re-warms: workers handed new-epoch key material in
+    #: place (executor rebuild on the process tier, a ``C`` context-push
+    #: frame on the TCP tier) instead of being torn down.
+    rewarms: int = 0
+
+
+def _percentile(samples, q: float) -> float:
+    """Nearest-rank percentile (same convention as the load generator)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class EpochStats:
+    """Key-lifecycle accounting: what epoch transitions cost.
+
+    The contract ``begin_epoch`` is measured against: no request is
+    *rejected* because of a transition (admission keeps queueing while
+    shards drain), so the entire lifecycle cost is a bounded pause —
+    recorded per transition — plus the queued requests carried across
+    the swap and served under the new shares.
+    """
+
+    #: Current key-lifecycle generation.
+    epoch: int = 0
+    #: Completed transitions, by kind.
+    transitions: int = 0
+    refreshes: int = 0
+    reshares: int = 0
+    recoveries: int = 0
+    #: Shard-pool resizes (ring changes are lifecycle events too: they
+    #: take the same all-shards barrier as a key swap).
+    resizes: int = 0
+    #: Requests that were sitting in shard queues at swap time and were
+    #: served under the new epoch's key material.
+    requests_carried: int = 0
+    #: Wall-clock ms each barrier held the shards paused.
+    pauses_ms: list = field(default_factory=list)
+
+    @property
+    def pause_p99_ms(self) -> float:
+        return _percentile(self.pauses_ms, 99.0)
+
+    @property
+    def pause_max_ms(self) -> float:
+        return max(self.pauses_ms) if self.pauses_ms else 0.0
 
 
 @dataclass
@@ -185,6 +258,8 @@ class ServiceStats:
     shards: Dict[int, ShardStats] = field(default_factory=dict)
     #: Present only when the service runs the process-parallel tier.
     workers: Optional[WorkerPoolStats] = None
+    #: Key-lifecycle accounting (epoch transitions, barrier pauses).
+    epochs: EpochStats = field(default_factory=EpochStats)
 
     def summary(self) -> Dict[str, object]:
         summary = {
@@ -209,6 +284,12 @@ class ServiceStats:
             summary["worker_reconnects"] = self.workers.reconnects
             summary["worker_timeouts"] = self.workers.timeouts
             summary["worker_breaker_trips"] = self.workers.breaker_trips
+        if self.epochs.transitions or self.epochs.resizes:
+            summary["epoch"] = self.epochs.epoch
+            summary["epoch_transitions"] = self.epochs.transitions
+            summary["epoch_pause_p99_ms"] = round(
+                self.epochs.pause_p99_ms, 3)
+            summary["requests_carried"] = self.epochs.requests_carried
         return summary
 
 

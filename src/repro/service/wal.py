@@ -134,6 +134,12 @@ class WriteAheadLog:
         #: (dict preserves insertion order).  Maintained live so tests
         #: and the smoke audit can watch obligations drain.
         self.pending: Dict[int, bytes] = {}
+        #: Highest key-lifecycle epoch any admit in this log carries
+        #: (scanned records and live appends alike).  A restart must
+        #: refuse to serve with key material older than this — see
+        #: ``SigningService.start`` — or a crash mid-transition would
+        #: silently resume on pre-transition shares.
+        self.max_epoch_seen = 0
         self._file = None
         self._dirty = False
         self._next_id = 1
@@ -149,6 +155,7 @@ class WriteAheadLog:
             highest_id = max(highest_id, record.request_id)
             if isinstance(record, WalAdmitRecord):
                 wal.pending[record.request_id] = record.message
+                wal.max_epoch_seen = max(wal.max_epoch_seen, record.epoch)
             elif isinstance(record, WalDoneRecord):
                 if wal.pending.pop(record.request_id, None) is None:
                     wal.stats.orphan_dones += 1
@@ -169,13 +176,15 @@ class WriteAheadLog:
         return self._file is None
 
     # -- appends (buffered; durable at the next sync) ------------------------
-    def append_admit(self, message: bytes) -> int:
+    def append_admit(self, message: bytes, epoch: int = 0) -> int:
         """Record one admitted sign request; returns its request id."""
         request_id = self._next_id
         self._next_id += 1
         self._append(self.codec.encode_wal_record(
-            WalAdmitRecord(request_id=request_id, message=message)))
+            WalAdmitRecord(request_id=request_id, message=message,
+                           epoch=epoch)))
         self.pending[request_id] = message
+        self.max_epoch_seen = max(self.max_epoch_seen, epoch)
         self.stats.admits += 1
         return request_id
 

@@ -42,7 +42,9 @@ from repro.serialization import (
     PartialSignOutcome, WireCodec, decode_service_context,
     encode_service_context,
 )
-from repro.service.types import WorkerCrashError, WorkerPoolStats
+from repro.service.types import (
+    StaleEpochError, WorkerCrashError, WorkerPoolStats,
+)
 
 #: Per-process worker state: (codec, handle, fault_injector).  Set once
 #: by :func:`_init_worker`, read by every job the process executes.
@@ -80,7 +82,16 @@ def execute_job(handle, job, fault_injector=None):
     (:mod:`repro.service.transport`) must serve byte-identical
     contracts, so they share this function rather than each reimplement
     the job -> ``ServiceHandle`` mapping.
+
+    Jobs are epoch-stamped: a job formed under key-lifecycle epoch e
+    must never execute against epoch-e' key material (the shares would
+    be dead, the partial checks wrong).  The dispatcher re-warms every
+    worker inside the ``begin_epoch`` barrier, so a mismatch here means
+    a provisioning bug — refuse loudly rather than sign quietly.
     """
+    job_epoch = getattr(job, "epoch", 0)
+    if job_epoch != handle.epoch:
+        raise StaleEpochError(job_epoch, handle.epoch)
     if isinstance(job, SignWindowJob):
         return handle.process_sign_window(
             list(job.messages), quorum=list(job.quorum),
@@ -164,6 +175,19 @@ class WorkerPool:
         loop stays cooperative."""
         await asyncio.get_running_loop().run_in_executor(
             None, self.shutdown)
+
+    async def update_handle(self, handle) -> None:
+        """Re-provision every worker process with new-epoch key
+        material.  Called from inside the ``begin_epoch`` barrier (all
+        shards paused, no jobs in flight), so the executor can simply
+        be replaced: the next job lands on a process whose initializer
+        decoded — and warmed — the new context.  Async for interface
+        parity with the TCP tier, whose re-warm really does await
+        network round-trips."""
+        self._context = encode_service_context(handle)
+        if self._executor is not None:
+            self._restart(self._executor)
+        self.stats.rewarms += 1
 
     def _restart(self, broken: ProcessPoolExecutor) -> bool:
         """Replace a broken executor (idempotent under concurrent

@@ -53,12 +53,16 @@ TCP_OPS = ["svc_tcp_verify_req", "svc_tcp_throughput"]
 #: Durability op (fast = write-ahead log on with per-window fsync
 #: batching, naive = the same sign-only pipeline with the WAL off).
 WAL_OPS = ["svc_wal_throughput"]
+#: Key-lifecycle op (fast = one live epoch transition fired mid-run
+#: through the begin_epoch barrier, naive = no transition).
+EPOCH_OPS = ["svc_epoch_pause"]
 
 
 def test_snapshot_records_all_operations(snapshot):
     for section in ("fast_ms", "naive_ms", "speedup"):
         assert set(snapshot[section]) == \
-            set(SEED_OPS + NEW_OPS + SVC_OPS + MP_OPS + TCP_OPS + WAL_OPS)
+            set(SEED_OPS + NEW_OPS + SVC_OPS + MP_OPS + TCP_OPS
+                + WAL_OPS + EPOCH_OPS)
     assert set(snapshot["seed_reference_ms"]) == set(SEED_OPS)
     assert snapshot["meta"]["backend"] == "bn254"
     assert snapshot["meta"]["batch_k"] >= 2
@@ -136,6 +140,17 @@ def test_wal_overhead_is_bounded(snapshot):
     assert snapshot["fast_ms"]["svc_wal_throughput"] > 0
     assert snapshot["speedup"]["svc_wal_throughput"] >= 0.4
     assert "window" in snapshot["meta"]["wal_sync"]
+
+
+def test_epoch_pause_overhead_is_bounded(snapshot):
+    # Same overhead shape as the WAL op: one begin_epoch barrier (drain
+    # in-flight windows, swap shares, resume) amortized over the
+    # workload cannot make signing faster, so the ratio sits just below
+    # 1.0x.  The floor guards against the barrier collapsing — a
+    # transition that drops queues and forces retries, or one that
+    # holds the pause across the refresh DKG math.
+    assert snapshot["fast_ms"]["svc_epoch_pause"] > 0
+    assert snapshot["speedup"]["svc_epoch_pause"] >= 0.4
 
 
 def test_check_mode_against_committed_snapshot(snapshot, tmp_path):

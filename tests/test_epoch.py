@@ -1,0 +1,446 @@
+"""Tests for the live key-lifecycle layer: epoch transitions
+(refresh / reshare / retire+recover) through ``begin_epoch``'s
+all-shards barrier, live ring resizes with queued-request migration,
+worker-tier re-warming (process executor rebuild and the TCP ``C``
+context-push frame), the WAL epoch guard, and random churn under load.
+
+The invariants every test leans on: a transition never changes the
+public key, LJY signatures are deterministic (so a request served
+under epoch e or e+1 yields byte-identical signatures), and no request
+is ever rejected *because* of a lifecycle event.
+"""
+
+import asyncio
+import pickle
+import random
+
+import pytest
+
+from repro.core.scheme import ServiceHandle
+from repro.serialization import PartialSignJob, SignWindowJob
+from repro.service import (
+    ChurnFault, EpochStats, HandshakeError, RemoteWorkerPool,
+    ServiceConfig, ServiceError, ShardPool, SigningService,
+    StaleEpochError, TransportError, WorkerServer, WriteAheadLog,
+)
+from repro.service.types import PendingRequest, RequestKind
+from repro.service.wal import scan_records
+from repro.service.workers import execute_job
+from repro.serialization import WireCodec
+
+
+@pytest.fixture
+def handle(toy_group):
+    return ServiceHandle.dealer(toy_group, 2, 5, rng=random.Random(11))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------------------
+# begin_epoch: the all-shards barrier
+# ---------------------------------------------------------------------------
+
+class TestBeginEpoch:
+    def test_refresh_under_load_completes_everything(self, handle):
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(
+                num_shards=3, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                before = service.handle.public_key.to_bytes()
+                first = await service.sign(b"epoch msg 0")
+                tasks = [
+                    asyncio.create_task(service.sign(b"epoch msg %d" % i))
+                    for i in range(24)
+                ]
+                pause_ms = await service.refresh(rng=random.Random(21))
+                results = await asyncio.gather(*tasks)
+                again = await service.sign(b"epoch msg 0")
+                after = service.handle.public_key.to_bytes()
+                return before, after, first, again, results, pause_ms, \
+                    service.stats
+        before, after, first, again, results, pause_ms, stats = \
+            run(scenario())
+        # The master key never moves; signatures are byte-identical
+        # across the transition (deterministic signing).
+        assert after == before
+        assert again.signature.to_bytes() == first.signature.to_bytes()
+        for position, result in enumerate(results):
+            assert handle.verify(b"epoch msg %d" % position,
+                                 result.signature)
+        # Zero lifecycle rejections: everything admitted completed.
+        assert stats.rejected == 0
+        assert stats.completed == len(results) + 2
+        assert stats.epochs.epoch == 1
+        assert stats.epochs.transitions == 1
+        assert stats.epochs.refreshes == 1
+        assert stats.epochs.pauses_ms and pause_ms >= 0.0
+        assert "epoch" in stats.summary()
+
+    def test_reshare_rotates_committee_live(self, handle):
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(num_shards=2))
+            async with service:
+                await service.reshare(2, (2, 3, 4, 5, 6),
+                                      rng=random.Random(22))
+                result = await service.sign(b"post-reshare")
+                return result, sorted(service.handle.shares), \
+                    service.stats.epochs
+        result, committee, epochs = run(scenario())
+        assert handle.verify(b"post-reshare", result.signature)
+        assert committee == [2, 3, 4, 5, 6]
+        assert epochs.reshares == 1 and epochs.epoch == 1
+
+    def test_retire_then_recover_signer_signs_next_window(self, handle):
+        # One shard => one quorum, rotation 0: signers (1, 2, 3).  After
+        # retiring signer 3 the quorum re-forms without it; after
+        # recovery (t+1 helpers re-derive the share) the very next
+        # window is signed by the recovered player again.
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(num_shards=1))
+            async with service:
+                quorum_before = list(service._pool.workers[0].quorum)
+                await service.retire_signer(3)
+                quorum_without = list(service._pool.workers[0].quorum)
+                mid = await service.sign(b"while retired")
+                await service.recover_signer(3)
+                quorum_after = list(service._pool.workers[0].quorum)
+                result = await service.sign(b"after recovery")
+                return (quorum_before, quorum_without, quorum_after,
+                        mid, result, service.stats.epochs)
+        before, without, after, mid, result, epochs = run(scenario())
+        assert 3 in before and 3 not in without and 3 in after
+        assert handle.verify(b"while retired", mid.signature)
+        assert handle.verify(b"after recovery", result.signature)
+        assert epochs.recoveries == 1 and epochs.transitions == 2
+
+    def test_rejects_wrong_epoch_step_and_changed_key(self, handle,
+                                                     toy_group):
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(num_shards=1))
+            async with service:
+                same_epoch = ServiceHandle(
+                    handle.scheme, handle.public_key, handle.shares,
+                    handle.verification_keys, epoch=0)
+                with pytest.raises(ServiceError):
+                    await service.begin_epoch(same_epoch)
+                stranger = ServiceHandle.dealer(
+                    toy_group, 2, 5, rng=random.Random(99))
+                imposter = ServiceHandle(
+                    stranger.scheme, stranger.public_key, stranger.shares,
+                    stranger.verification_keys, epoch=1)
+                with pytest.raises(ServiceError):
+                    await service.begin_epoch(imposter)
+                return service.stats.epochs.transitions
+        assert run(scenario()) == 0
+
+    def test_rejects_when_not_running(self, handle):
+        async def scenario():
+            service = SigningService(handle)
+            with pytest.raises(ServiceError):
+                await service.begin_epoch(
+                    handle.refreshed(rng=random.Random(5)))
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Live resize: queued-request migration
+# ---------------------------------------------------------------------------
+
+def _queued_request(message: bytes, loop) -> PendingRequest:
+    return PendingRequest(kind=RequestKind.SIGN, message=message,
+                          enqueued_at=loop.time(),
+                          future=loop.create_future())
+
+
+class TestResize:
+    def _pool(self, handle, num_shards, queue_depth=64):
+        return ShardPool(handle, num_shards, max_batch=4, max_wait_ms=1.0,
+                         queue_depth=queue_depth)
+
+    def test_shrink_migrates_every_queued_request(self, handle):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            pool = self._pool(handle, 4)
+            messages = [b"resize %d" % i for i in range(32)]
+            sources = {}
+            for message in messages:
+                worker = pool.worker_for(message)
+                sources[message] = worker.shard_id
+                worker.queue.put_nowait(_queued_request(message, loop))
+            migrated = await pool.resize(2)
+            return pool, sources, migrated
+        pool, sources, migrated = run(scenario())
+        assert sorted(pool.workers) == [0, 1]
+        # Nothing dropped: every request is queued on its new ring home.
+        landed = {}
+        for shard_id, worker in pool.workers.items():
+            while not worker.queue.empty():
+                landed[worker.queue.get_nowait().message] = shard_id
+        assert len(landed) == len(sources)
+        moved = sum(1 for message, shard in landed.items()
+                    if sources[message] != shard)
+        assert migrated == moved > 0
+        assert sum(w.stats.migrated for w in pool.workers.values()) \
+            == migrated
+        for message, shard in landed.items():
+            assert pool.ring.shard_for(message) == shard
+
+    def test_grow_keeps_unmoved_requests_in_place(self, handle):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            pool = self._pool(handle, 2)
+            for i in range(16):
+                message = b"grow %d" % i
+                pool.worker_for(message).queue.put_nowait(
+                    _queued_request(message, loop))
+            migrated = await pool.resize(6)
+            return pool, migrated
+        pool, migrated = run(scenario())
+        assert sorted(pool.workers) == list(range(6))
+        total = sum(w.queue.qsize() for w in pool.workers.values())
+        assert total == 16
+        assert 0 < migrated <= 16
+
+    def test_overflowing_destination_grows_its_queue(self, handle):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            pool = self._pool(handle, 4, queue_depth=4)
+            count = 0
+            for i in range(64):
+                message = b"deep %d" % i
+                worker = pool.worker_for(message)
+                if worker.queue.full():
+                    continue
+                worker.queue.put_nowait(_queued_request(message, loop))
+                count += 1
+            await pool.resize(1)
+            return pool, count
+        pool, count = run(scenario())
+        # Everything squeezed into the single surviving shard, past its
+        # configured depth (migration must not shed admitted requests).
+        assert pool.workers[0].queue.qsize() == count > 4
+        assert pool.workers[0].accumulator.queue \
+            is pool.workers[0].queue
+
+    def test_resize_under_load_completes_everything(self, handle):
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(
+                num_shards=4, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                tasks = [
+                    asyncio.create_task(service.sign(b"live %d" % i))
+                    for i in range(24)
+                ]
+                await service.resize(6)
+                first_half = await asyncio.gather(*tasks)
+                tasks = [
+                    asyncio.create_task(service.sign(b"live b %d" % i))
+                    for i in range(24)
+                ]
+                await service.resize(2)
+                second_half = await asyncio.gather(*tasks)
+                return first_half + second_half, service.stats
+        results, stats = run(scenario())
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+        assert stats.rejected == 0 and stats.failed == 0
+        assert stats.epochs.resizes == 2
+        assert len(stats.epochs.pauses_ms) == 2
+
+    def test_rejects_zero_shards(self, handle):
+        async def scenario():
+            pool = self._pool(handle, 2)
+            with pytest.raises(ValueError):
+                await pool.resize(0)
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Worker-tier re-warming
+# ---------------------------------------------------------------------------
+
+class TestWorkerRewarm:
+    def test_stale_epoch_job_is_refused(self, handle):
+        fresh = handle.refreshed(rng=random.Random(31))
+        job = SignWindowJob(shard_id=0, epoch=0, messages=(b"stale",),
+                            quorum=(1, 2, 3))
+        with pytest.raises(StaleEpochError) as excinfo:
+            execute_job(fresh, job)
+        assert excinfo.value.job_epoch == 0
+        assert excinfo.value.handle_epoch == 1
+
+    def test_stale_epoch_error_pickles(self):
+        error = pickle.loads(pickle.dumps(StaleEpochError(2, 3)))
+        assert (error.job_epoch, error.handle_epoch) == (2, 3)
+
+    def test_process_pool_rewarms_on_refresh(self, handle):
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(
+                num_shards=2, workers=2, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                first = await service.sign(b"mp epoch")
+                await service.refresh(rng=random.Random(41))
+                again = await service.sign(b"mp epoch")
+                return first, again, service.stats
+        first, again, stats = run(scenario())
+        assert again.signature.to_bytes() == first.signature.to_bytes()
+        assert stats.workers.rewarms == 1
+
+    def test_remote_worker_takes_context_push(self, handle):
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            pool = RemoteWorkerPool(handle, [server.address])
+            pool.start()
+            try:
+                old = await pool.run_job(PartialSignJob(
+                    shard_id=0, epoch=0, message=b"tcp epoch",
+                    signers=(1, 2, 3)))
+                fresh = handle.refreshed(rng=random.Random(51))
+                await pool.update_handle(fresh)
+                new = await pool.run_job(PartialSignJob(
+                    shard_id=0, epoch=1, message=b"tcp epoch",
+                    signers=(1, 2, 3)))
+                return old, new, pool.stats, server
+            finally:
+                await pool.aclose()
+                await server.aclose()
+        old, new, stats, server = run(scenario())
+        # Same master key => byte-identical partials across the refresh
+        # would only hold for the combined signature; partials change
+        # with the shares — what matters is both jobs served, one
+        # rewarm counted, and the server now holds the new epoch.
+        assert stats.jobs == 2 and stats.rewarms == 1
+        assert server._handle.epoch == 1
+
+    def test_remote_worker_refuses_stale_push(self, handle):
+        async def scenario():
+            fresh = handle.refreshed(rng=random.Random(61))
+            server = await WorkerServer(fresh).start()
+            pool = RemoteWorkerPool(fresh, [server.address])
+            pool.start()
+            try:
+                # Pushing epoch 1 onto a worker already at epoch 1:
+                # refused (must be strictly newer), endpoint
+                # quarantined, pool raises — nothing silently served.
+                with pytest.raises(TransportError):
+                    await pool.update_handle(
+                        handle.refreshed(rng=random.Random(62)))
+                return pool._endpoints[0].misprovisioned
+            finally:
+                await pool.aclose()
+                await server.aclose()
+        assert run(scenario()) is not None
+
+
+# ---------------------------------------------------------------------------
+# WAL: epochs are durable, stale-epoch restarts are refused
+# ---------------------------------------------------------------------------
+
+class TestWalEpoch:
+    def test_stale_restart_refused_then_new_context_replays(
+            self, handle, tmp_path):
+        wal_path = tmp_path / "epoch.wal"
+        fresh = handle.refreshed(rng=random.Random(71))
+
+        codec = WireCodec(handle.scheme.group)
+        wal = WriteAheadLog.open(wal_path, codec)
+        wal.append_admit(b"carried across the crash", epoch=1)
+        wal.sync()
+        wal.close()
+
+        async def stale_start():
+            service = SigningService(handle, ServiceConfig(
+                num_shards=1, wal_path=wal_path))
+            with pytest.raises(ServiceError):
+                await service.start()
+            assert not service.running
+
+        async def fresh_start():
+            service = SigningService(fresh, ServiceConfig(
+                num_shards=1, wal_path=wal_path))
+            async with service:
+                recovered = service.stats.recovered
+            return recovered
+
+        run(stale_start())
+        assert run(fresh_start()) == 1
+        # The obligation settled under the correct (new) key material.
+        records, _, _ = scan_records(wal_path, codec)
+        kinds = [type(record).__name__ for record in records]
+        assert kinds.count("WalDoneRecord") == 1
+
+    def test_admits_carry_the_current_epoch(self, handle, tmp_path):
+        wal_path = tmp_path / "live.wal"
+
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(
+                num_shards=1, wal_path=wal_path))
+            async with service:
+                await service.sign(b"epoch zero")
+                await service.refresh(rng=random.Random(81))
+                await service.sign(b"epoch one")
+                return service.wal.max_epoch_seen
+        assert run(scenario()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Chaos: random lifecycle churn under load
+# ---------------------------------------------------------------------------
+
+class TestChurn:
+    def test_churn_under_load_completes_everything(self, handle):
+        async def scenario():
+            rng = random.Random(91)
+            churn = ChurnFault(rng, min_shards=1, max_shards=5)
+            service = SigningService(handle, ServiceConfig(
+                num_shards=3, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                before = service.handle.public_key.to_bytes()
+                results = []
+                for round_no in range(6):
+                    tasks = [
+                        asyncio.create_task(service.sign(
+                            b"churn %d/%d" % (round_no, i)))
+                        for i in range(8)
+                    ]
+                    await churn.step(service)
+                    results.extend(await asyncio.gather(*tasks))
+                after = service.handle.public_key.to_bytes()
+                return before, after, results, churn, service.stats
+        before, after, results, churn, stats = run(scenario())
+        assert after == before
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+        assert stats.rejected == 0 and stats.failed == 0
+        assert len(churn.actions) == 6
+        # Six seeded steps cover more than one action kind.
+        assert len({action for action, _ in churn.actions}) >= 2
+
+    def test_churn_validates_bounds(self):
+        with pytest.raises(ValueError):
+            ChurnFault(random.Random(1), min_shards=0)
+        with pytest.raises(ValueError):
+            ChurnFault(random.Random(1), min_shards=4, max_shards=2)
+
+
+# ---------------------------------------------------------------------------
+# EpochStats plumbing
+# ---------------------------------------------------------------------------
+
+class TestEpochStats:
+    def test_percentiles(self):
+        epochs = EpochStats()
+        assert epochs.pause_p99_ms == 0.0 and epochs.pause_max_ms == 0.0
+        epochs.pauses_ms.extend(float(v) for v in range(1, 101))
+        assert epochs.pause_p99_ms == 99.0
+        assert epochs.pause_max_ms == 100.0
+
+    def test_summary_silent_without_transitions(self, handle):
+        async def scenario():
+            service = SigningService(handle, ServiceConfig(num_shards=1))
+            async with service:
+                await service.sign(b"quiet")
+            return service.stats.summary()
+        assert "epoch" not in run(scenario())

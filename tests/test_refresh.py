@@ -1,10 +1,15 @@
 """Proactive refresh (Section 3.3) and share recovery tests."""
 
+import random
+
 import pytest
 
 from repro.core.keys import ThresholdParams
-from repro.core.scheme import LJYThresholdScheme, reconstruct_master_key
+from repro.core.scheme import (
+    LJYThresholdScheme, ServiceHandle, reconstruct_master_key,
+)
 from repro.dkg.refresh import recover_share, run_refresh
+from repro.errors import ParameterError
 
 
 @pytest.fixture
@@ -97,3 +102,50 @@ class TestShareRecovery:
         recovered = recover_share(scheme, index=3, helper_shares=helpers)
         partial = scheme.share_sign(recovered, b"m")
         assert scheme.share_verify(pk, vks[3], b"m", partial)
+
+
+class TestServicePathRecovery:
+    """``recover_share`` reached through the ``ServiceHandle`` lifecycle
+    (the path the live service's ``retire_signer``/``recover_signer``
+    take): drop a crashed holder, re-derive its share from the
+    survivors, and have the recovered player sign again."""
+
+    @pytest.fixture
+    def handle(self, toy_group):
+        return ServiceHandle.dealer(toy_group, 2, 5,
+                                    rng=random.Random(17))
+
+    def test_without_then_with_recovered_round_trip(self, handle):
+        retired = handle.without_signer(4)
+        assert 4 not in retired.shares
+        assert 4 in retired.verification_keys  # kept for recovery
+        assert retired.epoch == 1
+        recovered = retired.with_recovered(4)
+        assert recovered.epoch == 2
+        # Lagrange interpolation at the victim's index reproduces the
+        # exact share the dealer handed out.
+        assert recovered.shares[4] == handle.shares[4].reduce(
+            handle.scheme.group.order)
+
+    def test_recovered_player_signs_in_next_window(self, handle):
+        recovered = handle.without_signer(2).with_recovered(2)
+        message = b"recovered window"
+        signatures = recovered.sign_window(
+            [message], signers=(1, 2, 3), rng=random.Random(18))
+        assert recovered.verify(message, signatures[0])
+        # Byte-identical to the pre-crash service's signature: the
+        # recovered share is the original share.
+        assert signatures[0].to_bytes() == handle.sign(message).to_bytes()
+
+    def test_retire_below_quorum_refused(self, handle):
+        shrunk = handle.without_signer(1).without_signer(2)
+        # 3 holders left == t+1: dropping another would make recovery
+        # (and signing) impossible, so the lifecycle refuses.
+        with pytest.raises(ParameterError):
+            shrunk.without_signer(3)
+
+    def test_recover_requires_missing_share_and_present_vk(self, handle):
+        with pytest.raises(ParameterError):
+            handle.with_recovered(3)  # share still present
+        with pytest.raises(ParameterError):
+            handle.without_signer(3).with_recovered(9)  # never a member

@@ -1,0 +1,283 @@
+"""Resharing DKG tests: join/leave, threshold change, adversaries."""
+
+import pytest
+
+from repro.core.keys import ThresholdParams
+from repro.core.scheme import LJYThresholdScheme, reconstruct_master_key
+from repro.dkg.reshare import ResharePlayer, run_reshare
+from repro.errors import ParameterError, ProtocolError
+from repro.net.adversary import ScriptedAdversary
+from repro.net.simulator import private
+
+
+@pytest.fixture
+def deployed(toy_group, rng):
+    params = ThresholdParams.generate(toy_group, t=2, n=5)
+    scheme = LJYThresholdScheme(params)
+    pk, shares, vks = scheme.dealer_keygen(rng=rng)
+    return scheme, pk, shares, vks
+
+
+def reshare(deployed, toy_group, rng, new_t=2, new_indices=(1, 2, 3, 4, 5),
+            **kwargs):
+    scheme, pk, shares, vks = deployed
+    p = scheme.params
+    return run_reshare(
+        toy_group, p.g_z, p.g_r, p.t, new_t, new_indices,
+        kwargs.pop("shares", shares), vks, public_key=pk, rng=rng, **kwargs)
+
+
+class TestReshareSameCommittee:
+    def test_new_shares_sign_under_old_pk(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        new_shares, new_vks, _ = reshare(deployed, toy_group, rng)
+        message = b"post-reshare"
+        partials = [scheme.share_sign(new_shares[i], message)
+                    for i in (1, 2, 3)]
+        signature = scheme.combine(pk, new_vks, message, partials)
+        assert scheme.verify(pk, message, signature)
+
+    def test_master_key_preserved(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        before = reconstruct_master_key(
+            list(shares.values()), toy_group.order, 2)
+        new_shares, _, _ = reshare(deployed, toy_group, rng)
+        after = reconstruct_master_key(
+            list(new_shares.values()), toy_group.order, 2)
+        assert before == after
+
+    def test_shares_change_but_signatures_do_not(self, deployed, toy_group,
+                                                 rng):
+        scheme, pk, shares, vks = deployed
+        new_shares, new_vks, _ = reshare(deployed, toy_group, rng)
+        assert all(new_shares[i] != shares[i] for i in shares)
+        message = b"deterministic"
+        old_sig = scheme.combine(
+            pk, vks, message,
+            [scheme.share_sign(shares[i], message) for i in (1, 2, 3)])
+        new_sig = scheme.combine(
+            pk, new_vks, message,
+            [scheme.share_sign(new_shares[i], message) for i in (3, 4, 5)])
+        assert old_sig.to_bytes() == new_sig.to_bytes()
+
+    def test_new_vks_verify_new_partials(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        new_shares, new_vks, _ = reshare(deployed, toy_group, rng)
+        for i in new_shares:
+            partial = scheme.share_sign(new_shares[i], b"m")
+            assert scheme.share_verify(pk, new_vks[i], b"m", partial)
+            assert not scheme.share_verify(pk, vks[i], b"m", partial)
+
+
+class TestJoinLeave:
+    def test_signer_out_signer_in(self, deployed, toy_group, rng):
+        """Signer 1 leaves, signer 6 joins: committee {2..6}."""
+        scheme, pk, shares, vks = deployed
+        new_shares, new_vks, _ = reshare(
+            deployed, toy_group, rng, new_indices=(2, 3, 4, 5, 6))
+        assert sorted(new_shares) == [2, 3, 4, 5, 6]
+        message = b"after churn"
+        partials = [scheme.share_sign(new_shares[i], message)
+                    for i in (2, 5, 6)]
+        signature = scheme.combine(pk, new_vks, message, partials)
+        assert scheme.verify(pk, message, signature)
+
+    def test_departed_share_useless_in_new_committee(self, deployed,
+                                                     toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        _, new_vks, _ = reshare(
+            deployed, toy_group, rng, new_indices=(2, 3, 4, 5, 6))
+        stale = scheme.share_sign(shares[2], b"m")
+        assert not scheme.share_verify(pk, new_vks[2], b"m", stale)
+
+    def test_threshold_can_grow(self, deployed, toy_group, rng):
+        """(2, 5) -> (3, 7): four partials now needed and sufficient."""
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        new_shares, new_vks, _ = reshare(
+            deployed, toy_group, rng, new_t=3,
+            new_indices=(1, 2, 3, 4, 5, 6, 7))
+        # Combining is threshold-aware: the new committee runs a t'=3
+        # scheme over the same generators and hash domain.
+        grown = LJYThresholdScheme(ThresholdParams(
+            group=toy_group, t=3, n=7, g_z=p.g_z, g_r=p.g_r,
+            hash_domain=p.hash_domain))
+        message = b"wider committee"
+        partials = [grown.share_sign(new_shares[i], message)
+                    for i in (1, 3, 5, 7)]
+        signature = grown.combine(pk, new_vks, message, partials)
+        assert grown.verify(pk, message, signature)
+        assert scheme.verify(pk, message, signature)
+
+    def test_crashed_holder_not_needed(self, deployed, toy_group, rng):
+        """Only t+1 = 3 of 5 holders deal; the reshare still lands."""
+        scheme, pk, shares, vks = deployed
+        surviving = {i: shares[i] for i in (2, 4, 5)}
+        new_shares, new_vks, _ = reshare(
+            deployed, toy_group, rng, shares=surviving,
+            new_indices=(1, 2, 3, 4, 5))
+        partials = [scheme.share_sign(new_shares[i], b"m")
+                    for i in (1, 2, 3)]
+        assert scheme.verify(
+            pk, b"m", scheme.combine(pk, new_vks, b"m", partials))
+
+    def test_old_plus_new_shares_below_threshold_useless(
+            self, deployed, toy_group, rng):
+        """t old shares plus t new ones never meet the threshold in any
+        single sharing, so the mobile adversary learns nothing."""
+        scheme, pk, shares, vks = deployed
+        new_shares, _, _ = reshare(deployed, toy_group, rng)
+        mixed = [shares[1], shares[2], new_shares[3]]
+        recovered = reconstruct_master_key(mixed, toy_group.order, 2)
+        true_key = reconstruct_master_key(
+            list(shares.values()), toy_group.order, 2)
+        assert recovered != true_key
+
+
+class TestReshareValidation:
+    def test_committee_too_small(self, deployed, toy_group, rng):
+        with pytest.raises(ParameterError):
+            reshare(deployed, toy_group, rng, new_t=2,
+                    new_indices=(1, 2, 3, 4))
+
+    def test_too_few_holders(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        with pytest.raises(ParameterError):
+            reshare(deployed, toy_group, rng,
+                    shares={i: shares[i] for i in (1, 2)})
+
+    def test_missing_dealer_vk_rejected(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        thin_vks = {i: vks[i] for i in (1, 2, 3, 4)}
+        with pytest.raises(ParameterError):
+            run_reshare(toy_group, p.g_z, p.g_r, 2, 2, (1, 2, 3, 4, 5),
+                        shares, thin_vks, rng=rng)
+
+    def test_wrong_public_key_rejected(self, deployed, toy_group, rng):
+        """The recombined components are checked against the PK handed
+        in — a transcript for a different key raises, never signs."""
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+        other_pk, _, _ = scheme.dealer_keygen(rng=rng)
+        with pytest.raises(ProtocolError):
+            run_reshare(toy_group, p.g_z, p.g_r, 2, 2, (1, 2, 3, 4, 5),
+                        shares, vks, public_key=other_pk, rng=rng)
+
+
+class TestReshareAdversary:
+    def test_substituted_secret_dealer_disqualified(self, deployed,
+                                                    toy_group, rng):
+        """A dealer subsharing a *different* value than its real share
+        fails the public VK-binding check and is excluded — this is the
+        check that makes 'PK never changes' a guarantee."""
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                adversary.corrupt(1)
+                # Deal consistently, but for a fabricated share value.
+                minion = ResharePlayer(
+                    1, toy_group, p.g_z, p.g_r, 2, 2,
+                    sorted(shares), [1, 2, 3, 4, 5], vks,
+                    old_share=shares[1] + shares[1], rng=rng)
+                return minion.on_round(0, [])
+            return []
+
+        new_shares, new_vks, network = run_reshare(
+            toy_group, p.g_z, p.g_r, 2, 2, (1, 2, 3, 4, 5), shares, vks,
+            public_key=pk, adversary=ScriptedAdversary(script), rng=rng)
+        for result in network.players.values():
+            if result.index != 1:
+                assert 1 not in result.finalize().qualified
+        partials = [scheme.share_sign(new_shares[i], b"m")
+                    for i in (2, 3, 4)]
+        assert scheme.verify(
+            pk, b"m", scheme.combine(pk, new_vks, b"m", partials))
+
+    def test_bad_subshare_answered_keeps_dealer(self, deployed, toy_group,
+                                                rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                adversary.corrupt(1)
+                minion = ResharePlayer(
+                    1, toy_group, p.g_z, p.g_r, 2, 2,
+                    sorted(shares), [1, 2, 3, 4, 5], vks,
+                    old_share=shares[1], rng=rng)
+                adversary.minion = minion
+                out = []
+                for m in minion.on_round(0, []):
+                    if m.kind == "shares" and m.recipient == 2:
+                        bad = [(a + 1, b) for a, b in m.payload]
+                        out.append(private(1, 2, "shares", bad))
+                    else:
+                        out.append(m)
+                return out
+            inbox = [m for m in deliveries
+                     if m.is_broadcast or m.recipient == 1]
+            adversary.minion.record_round(inbox)
+            return adversary.minion.on_round(round_no, inbox)
+
+        new_shares, new_vks, network = run_reshare(
+            toy_group, p.g_z, p.g_r, 2, 2, (1, 2, 3, 4, 5), shares, vks,
+            public_key=pk, adversary=ScriptedAdversary(script), rng=rng)
+        honest = [w for i, w in network.players.items() if i != 1]
+        assert all(1 in w.finalize().qualified for w in honest)
+        # Player 2 adopted the published response share.
+        partials = [scheme.share_sign(new_shares[i], b"m")
+                    for i in (2, 3, 4)]
+        assert scheme.verify(
+            pk, b"m", scheme.combine(pk, new_vks, b"m", partials))
+
+    def test_unanswered_complaint_disqualifies(self, deployed, toy_group,
+                                               rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                adversary.corrupt(3)
+                minion = ResharePlayer(
+                    3, toy_group, p.g_z, p.g_r, 2, 2,
+                    sorted(shares), [1, 2, 3, 4, 5], vks,
+                    old_share=shares[3], rng=rng)
+                out = []
+                for m in minion.on_round(0, []):
+                    if m.kind == "shares":
+                        bad = [(a + 1, b + 2) for a, b in m.payload]
+                        out.append(private(3, m.recipient, "shares", bad))
+                    else:
+                        out.append(m)
+                return out
+            return []   # never responds
+
+        new_shares, new_vks, network = run_reshare(
+            toy_group, p.g_z, p.g_r, 2, 2, (1, 2, 3, 4, 5), shares, vks,
+            public_key=pk, adversary=ScriptedAdversary(script), rng=rng)
+        honest = [w for i, w in network.players.items() if i != 3]
+        assert all(3 not in w.finalize().qualified for w in honest)
+        partials = [scheme.share_sign(new_shares[i], b"m")
+                    for i in (1, 2, 4)]
+        assert scheme.verify(
+            pk, b"m", scheme.combine(pk, new_vks, b"m", partials))
+
+    def test_silent_dealer_tolerated(self, deployed, toy_group, rng):
+        scheme, pk, shares, vks = deployed
+        p = scheme.params
+
+        def script(adversary, round_no, honest_messages, deliveries):
+            if round_no == 0:
+                adversary.corrupt(5)
+            return []
+
+        new_shares, new_vks, _ = run_reshare(
+            toy_group, p.g_z, p.g_r, 2, 2, (1, 2, 3, 4, 5), shares, vks,
+            public_key=pk, adversary=ScriptedAdversary(script), rng=rng)
+        partials = [scheme.share_sign(new_shares[i], b"m")
+                    for i in (1, 2, 3)]
+        assert scheme.verify(
+            pk, b"m", scheme.combine(pk, new_vks, b"m", partials))

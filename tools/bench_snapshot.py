@@ -26,8 +26,12 @@ batched event-loop pipeline), isolating the framing/socket overhead of
 the multi-machine transport.  ``svc_wal_throughput`` measures the
 durability overhead: the same sign-only pipeline with the write-ahead
 log on versus off (fsync batched per closed window), so its ratio is
-the cost of crash safety — expected slightly below 1.0x.  See
-``benchmarks/README.md`` for the methodology.
+the cost of crash safety — expected slightly below 1.0x.
+``svc_epoch_pause`` measures the key-lifecycle overhead the same way:
+the identical sign-only workload with one live epoch transition
+(``begin_epoch`` barrier: drain in-flight windows, swap shares, resume)
+fired mid-run versus none — the cost of zero-downtime share refresh.
+See ``benchmarks/README.md`` for the methodology.
 
 Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
 record) and regenerates ``benchmarks/results/t2_ops.txt``.
@@ -543,6 +547,68 @@ def run_wal_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
             SVC_PASSES, include_naive)
 
 
+def _drive_epoch_service(handle: ServiceHandle, next_handle,
+                         sign_messages) -> dict:
+    """One sign-only closed-loop pass, with or without a live epoch
+    transition fired mid-run.
+
+    ``next_handle`` is a pre-computed refresh of ``handle`` (epoch 1);
+    passing it fires ``begin_epoch`` — the drain/swap/resume barrier —
+    once half the workload has been admitted.  The DKG math itself is
+    computed *outside* the timed section (a deployment overlaps it with
+    serving; only the barrier pause is unavoidable), so the measured
+    delta is exactly the zero-downtime transition cost.  Returns the
+    per-request wall-clock cost.
+    """
+    total = len(sign_messages)
+    config = ServiceConfig(
+        num_shards=1, max_batch=BATCH_K, max_wait_ms=25.0,
+        queue_depth=4 * total, rng=random.Random(77))
+
+    async def scenario():
+        async with SigningService(handle, config) as service:
+            load = asyncio.ensure_future(LoadGenerator(
+                lambda i: service.sign(sign_messages[i])).run_closed(
+                    total, SVC_CONCURRENCY))
+            if next_handle is not None:
+                while service.stats.accepted < total // 2:
+                    await asyncio.sleep(0)
+                await service.begin_epoch(next_handle)
+            return await load
+
+    report = asyncio.run(scenario())
+    assert report.completed == total and report.failed == 0
+    return {"svc_epoch_pause": report.duration_s * 1000.0 / total}
+
+
+def run_epoch_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
+                          include_naive: bool = True
+                          ) -> "tuple[dict, dict | None]":
+    """The ``svc_epoch_pause`` op: the cost of a live epoch transition.
+
+    Both sides run the identical batched sign-only pipeline; the fast
+    side performs one proactive share refresh mid-run through the
+    ``begin_epoch`` barrier (drain in-flight windows behind per-shard
+    locks, swap shares/quorums, resume — no request is rejected), the
+    baseline never transitions.  The committed ratio is therefore the
+    pause overhead amortized over the workload — expected slightly
+    *below* 1.0x, landing in the overhead-bound ``--check`` band — and
+    the gate exists to catch the barrier blowing up (a transition that
+    drops the queues and forces client retries, or a swap that holds
+    the barrier across the DKG math, is a 0.2x-scale event).  The
+    post-refresh handle is computed once, outside every timed pass.
+    """
+    handle = ServiceHandle(scheme, pk, shares, vks)
+    next_handle = handle.refreshed(rng=random.Random(99))
+    sign_messages = [b"svc epoch sign %d" % i for i in range(SVC_TOTAL)]
+    for message in sign_messages:
+        scheme.params.hash_message(message)
+    return interleaved_best(
+        lambda: _drive_epoch_service(handle, next_handle, sign_messages),
+        lambda: _drive_epoch_service(handle, None, sign_messages),
+        SVC_PASSES, include_naive)
+
+
 def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     group = get_group("bn254")
     rng = random.Random(3)
@@ -639,6 +705,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     wal_fast, wal_naive = run_wal_service_ops(
         scheme, pk, shares, vks, include_naive=include_naive)
     fast_ms.update(wal_fast)
+    epoch_fast, epoch_naive = run_epoch_service_ops(
+        scheme, pk, shares, vks, include_naive=include_naive)
+    fast_ms.update(epoch_fast)
 
     snapshot = {
         "meta": {
@@ -675,6 +744,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
         # WAL baseline: the same sign-only pipeline with the WAL off —
         # the ratio is the durability overhead (expected < 1.0x).
         naive_ms.update(wal_naive)
+        # Epoch baseline: the same sign-only pipeline with no mid-run
+        # transition — the ratio is the live-refresh pause overhead.
+        naive_ms.update(epoch_naive)
         snapshot["naive_ms"] = naive_ms
         snapshot["speedup"] = {
             op: round(naive_ms[op] / fast_ms[op], 2) for op in fast_ms
@@ -704,6 +776,7 @@ def render_table(snapshot: dict) -> Table:
         "svc_tcp_throughput": (
             f"Service mixed load/request ({TCP_WORKERS} TCP workers vs 1)"),
         "svc_wal_throughput": "Service sign/request (WAL on vs off)",
+        "svc_epoch_pause": "Service sign/request (live refresh vs none)",
     }
     has_naive = "naive_ms" in snapshot
     columns = ["operation", "ms"]

@@ -29,7 +29,18 @@ window) and asserts the service contract:
   settled **exactly once** with a signature that verifies under the
   unchanged public key.  The WAL lives at ``.smoke-wal/`` in the repo
   root so CI can upload it as an artifact when this act fails; a clean
-  run removes it.
+  run removes it;
+* the key lifecycle is live: under open-loop load the service refreshes
+  its shares, reshares one signer out and a new one in, and grows the
+  shard ring 4 -> 6 with queued requests migrated — every admitted
+  request completes with a verifying signature, the public key bytes
+  never change, and nothing is rejected because of a transition (the
+  transition log lands in ``.smoke-wal/epoch/`` for CI artifacts); a
+  second victim subprocess is SIGKILLed *mid-transition* (durable
+  admits from both the old and new epoch): a restart holding the
+  pre-transition shares must be refused (the WAL proves a newer epoch
+  was admitting), and a restart with the persisted post-transition
+  context must settle every admit exactly once.
 
 Exit-code contract (CI depends on it): **every** failure path exits
 nonzero — contract violations return 1 with a reason per line, and any
@@ -64,7 +75,8 @@ from repro.serialization import (                          # noqa: E402
     encode_service_context,
 )
 from repro.service import (                                # noqa: E402
-    CorruptSignerFault, LoadGenerator, ServiceConfig, SigningService,
+    CorruptSignerFault, LoadGenerator, ServiceConfig, ServiceError,
+    SigningService,
 )
 from repro.service.transport import (                      # noqa: E402
     parse_address, start_worker_process,
@@ -75,6 +87,10 @@ from repro.service.wal import scan_records                 # noqa: E402
 #: but unprocessed when the SIGKILL lands.
 WAL_PHASE1 = 4
 WAL_PENDING = 6
+#: Act 7 batch sizes: durable admits carried across the SIGKILLed
+#: epoch transition — stamped with the old epoch / the new one.
+EPOCH_PHASE0 = 3
+EPOCH_PHASE1 = 3
 
 
 async def run_wal_victim(wal_dir: pathlib.Path, backend: str) -> int:
@@ -105,6 +121,44 @@ async def run_wal_victim(wal_dir: pathlib.Path, backend: str) -> int:
         await asyncio.sleep(0.01)
     service.wal.sync()
     print(f"wal-victim durable {WAL_PENDING}", flush=True)
+    await asyncio.sleep(300.0)      # the parent SIGKILLs us here
+    for obligation in obligations:
+        obligation.cancel()
+    return 1                        # unreachable in a passing run
+
+
+async def run_epoch_victim(epoch_dir: pathlib.Path, backend: str) -> int:
+    """Act 7's SIGKILL victim (spawned by ``--epoch-victim``).
+
+    Admits a batch into a window that will not close, performs a *live*
+    share refresh while those admits are in flight, persists the
+    post-transition context (the artifact a real deployment would hand
+    the restarted service), admits a second batch under the new epoch,
+    forces everything durable and parks for the SIGKILL — leaving a WAL
+    whose obligations straddle the transition.
+    """
+    handle = decode_service_context((epoch_dir / "ctx.bin").read_bytes())
+    wal_path = epoch_dir / "service.wal"
+    stalled = ServiceConfig(num_shards=1, max_batch=64,
+                            max_wait_ms=60_000.0, wal_path=wal_path)
+    service = SigningService(handle, stalled)
+    await service.start()
+    obligations = [asyncio.ensure_future(
+        service.sign(b"epoch pending 0/%d" % i))
+        for i in range(EPOCH_PHASE0)]
+    while service.wal.stats.admits < EPOCH_PHASE0:
+        await asyncio.sleep(0.01)
+    await service.refresh(rng=random.Random(12))
+    (epoch_dir / "ctx-epoch1.bin").write_bytes(
+        encode_service_context(service.handle))
+    obligations += [asyncio.ensure_future(
+        service.sign(b"epoch pending 1/%d" % i))
+        for i in range(EPOCH_PHASE1)]
+    while service.wal.stats.admits < EPOCH_PHASE0 + EPOCH_PHASE1:
+        await asyncio.sleep(0.01)
+    service.wal.sync()
+    print(f"epoch-victim durable {EPOCH_PHASE0 + EPOCH_PHASE1}",
+          flush=True)
     await asyncio.sleep(300.0)      # the parent SIGKILLs us here
     for obligation in obligations:
         obligation.cancel()
@@ -433,6 +487,151 @@ async def run_smoke(backend: str, requests: int, shards: int,
     async with SigningService(handle, recovery_config) as service:
         check(service.stats.recovered == 0,
               "WAL act: a second restart replayed settled requests")
+
+    # -- act 7: live key lifecycle under churn -------------------------
+    # 7a: refresh + reshare + ring growth while open-loop load flows.
+    epoch_dir = wal_dir / "epoch"
+    epoch_dir.mkdir()
+    pk_before = handle.public_key.to_bytes()
+    lifecycle_lines = []
+    lc_requests = min(requests, 48)
+    lc_config = ServiceConfig(num_shards=4, max_batch=8,
+                              max_wait_ms=10.0, queue_depth=4 * requests,
+                              wal_path=epoch_dir / "service.wal",
+                              rng=random.Random(7))
+    async with SigningService(handle, lc_config) as service:
+        lc_signed = {}
+
+        async def lc_sign(ordinal):
+            result = await service.sign(b"lifecycle doc %d" % ordinal)
+            lc_signed[ordinal] = result
+            return result
+
+        load = asyncio.ensure_future(LoadGenerator(
+            lc_sign, rng=random.Random(8)).run_open(lc_requests, 400.0))
+        pause = await service.refresh(rng=random.Random(9))
+        lifecycle_lines.append(
+            f"refresh  -> epoch {service.handle.epoch} "
+            f"(pause {pause:.3f}ms)")
+        pause = await service.reshare(2, (2, 3, 4, 5, 6),
+                                      rng=random.Random(10))
+        lifecycle_lines.append(
+            f"reshare  -> epoch {service.handle.epoch} committee "
+            f"{sorted(service.handle.shares)} (pause {pause:.3f}ms)")
+        # A burst admitted one loop turn before the resize is still
+        # queued when the barrier drains the ring — the migration path.
+        burst = [asyncio.ensure_future(
+            service.sign(b"lifecycle burst %d" % i)) for i in range(24)]
+        await asyncio.sleep(0)
+        migrated = await service.resize(6)
+        lifecycle_lines.append(
+            f"resize   -> 6 shards ({migrated} queued requests migrated)")
+        lc_report = await load
+        burst_results = await asyncio.gather(*burst)
+        lc_stats = service.snapshot_stats()
+    pk_after = service.handle.public_key.to_bytes()
+    check(pk_after == pk_before,
+          "epoch act: the public key changed across the lifecycle")
+    check(lc_report.rejected == 0 and lc_report.failed == 0
+          and lc_report.completed == lc_requests,
+          f"epoch act: load shed under churn "
+          f"({lc_report.completed}/{lc_requests} completed, "
+          f"{lc_report.rejected} rejected, {lc_report.failed} failed)")
+    for ordinal, result in lc_signed.items():
+        check(handle.verify(result.message, result.signature),
+              f"epoch act: invalid signature for lifecycle doc "
+              f"#{ordinal}")
+    for i, result in enumerate(burst_results):
+        check(handle.verify(b"lifecycle burst %d" % i, result.signature),
+              f"epoch act: invalid signature for migrated burst #{i}")
+    check(lc_stats.epochs.transitions == 2
+          and lc_stats.epochs.resizes == 1,
+          f"epoch act: expected 2 transitions + 1 resize, counted "
+          f"{lc_stats.epochs.transitions}/{lc_stats.epochs.resizes}")
+    check(migrated > 0,
+          "epoch act: the resize migrated no queued requests")
+    lifecycle_lines.append(
+        f"summary  -> pause p99 {lc_stats.epochs.pause_p99_ms:.3f}ms, "
+        f"{lc_stats.epochs.requests_carried} requests carried")
+
+    # 7b: SIGKILL mid-transition; only the new epoch may resume the WAL.
+    victim_dir = epoch_dir / "victim"
+    victim_dir.mkdir()
+    (victim_dir / "ctx.bin").write_bytes(encode_service_context(handle))
+    epoch_victim = subprocess.Popen(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--epoch-victim", str(victim_dir), "--backend", backend],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        ev_line = await loop.run_in_executor(
+            None, lambda: await_marker(epoch_victim,
+                                       "epoch-victim durable"))
+        check(ev_line is not None,
+              "epoch act: the victim never reached its durable marker")
+    finally:
+        epoch_victim.kill()
+        epoch_victim.wait(timeout=10)
+    ev_pending = int(ev_line.split()[-1]) if ev_line else 0
+    ev_wal = victim_dir / "service.wal"
+    restart_config = ServiceConfig(num_shards=2, max_batch=8,
+                                   max_wait_ms=10.0, wal_path=ev_wal)
+    stale_service = SigningService(handle, restart_config)
+    stale_refused = False
+    try:
+        await stale_service.start()
+        await stale_service.stop()
+    except ServiceError:
+        stale_refused = True
+    check(stale_refused,
+          "epoch act: a restart holding pre-transition shares was not "
+          "refused")
+    lifecycle_lines.append("restart  -> stale epoch-0 shares refused")
+    new_context = victim_dir / "ctx-epoch1.bin"
+    check(new_context.exists(),
+          "epoch act: the victim never persisted its new context")
+    if new_context.exists():
+        new_handle = decode_service_context(new_context.read_bytes())
+        check(new_handle.epoch == 1
+              and new_handle.public_key.to_bytes() == pk_before,
+              "epoch act: the persisted context is not epoch 1 under "
+              "the same public key")
+        async with SigningService(new_handle, restart_config) as service:
+            ev_recovered = service.stats.recovered
+        check(ev_recovered == ev_pending,
+              f"epoch act: replayed {ev_recovered} of {ev_pending} "
+              "admits carried across the killed transition")
+        check(service.stats.completed == ev_pending,
+              f"epoch act: only {service.stats.completed}/{ev_pending} "
+              "carried admits completed")
+        ev_records, _, _ = scan_records(ev_wal, WireCodec(group))
+        ev_admits, ev_dones = {}, {}
+        for record in ev_records:
+            if isinstance(record, WalAdmitRecord):
+                ev_admits[record.request_id] = record.message
+            else:
+                ev_dones.setdefault(record.request_id, []).append(record)
+        check(len(ev_admits) == ev_pending,
+              f"epoch act: expected {ev_pending} admits in the victim "
+              f"log, found {len(ev_admits)}")
+        for request_id, message in ev_admits.items():
+            settlements = ev_dones.get(request_id, [])
+            check(len(settlements) == 1,
+                  f"epoch act: request {request_id} settled "
+                  f"{len(settlements)} times (exactly-once violated)")
+            if len(settlements) == 1 and settlements[0].signature \
+                    is not None:
+                check(handle.verify(message, settlements[0].signature),
+                      f"epoch act: request {request_id} settled without "
+                      "a verifying signature")
+            else:
+                check(False,
+                      f"epoch act: request {request_id} settled without "
+                      "a signature")
+        lifecycle_lines.append(
+            f"restart  -> epoch-1 context settled all {ev_pending} "
+            f"carried admits exactly once")
+    (epoch_dir / "epoch.log").write_text(
+        "\n".join(lifecycle_lines) + "\n")
     if not failures:
         shutil.rmtree(wal_dir)
 
@@ -449,7 +648,12 @@ async def run_smoke(backend: str, requests: int, shards: int,
           f"{crash_stats.workers.reconnects} reconnect, "
           f"{crash_stats.workers.resubmissions} resubmissions); WAL act "
           f"replayed {wal_recovered} requests after SIGKILL "
-          f"({wal_torn} torn bytes discarded)")
+          f"({wal_torn} torn bytes discarded); epoch act survived "
+          f"{lc_stats.epochs.transitions} transitions + "
+          f"{lc_stats.epochs.resizes} resize under load "
+          f"({migrated} migrated, pause p99 "
+          f"{lc_stats.epochs.pause_p99_ms:.1f}ms) and settled "
+          f"{ev_pending} admits across a mid-transition SIGKILL")
     if failures:
         print("serve-smoke FAILED:")
         for reason in failures:
@@ -473,10 +677,16 @@ def main(argv=None) -> int:
                         "service contract this smoke gates)")
     parser.add_argument("--wal-victim", type=pathlib.Path, default=None,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--epoch-victim", type=pathlib.Path, default=None,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     if args.wal_victim is not None:
         # Internal re-entry: we are act 6's SIGKILL victim.
         return asyncio.run(run_wal_victim(args.wal_victim, args.backend))
+    if args.epoch_victim is not None:
+        # Internal re-entry: we are act 7's mid-transition SIGKILL victim.
+        return asyncio.run(
+            run_epoch_victim(args.epoch_victim, args.backend))
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     return asyncio.run(
