@@ -32,8 +32,13 @@ bench-check:
 ## the shard ring under open-loop load (public key never changes,
 ## nothing rejected), then SIGKILLs a victim mid-transition: stale
 ## shares must be refused, the persisted post-transition context must
-## settle every admit (leaves `.smoke-wal/` — WALs plus
-## `epoch/epoch.log` — behind on failure for forensics).
+## settle every admit.  The HTTP act drives the gateway over the wire
+## (two tenants with different quotas, over-quota 429s at the edge, an
+## admin reshare mid-load, a line-by-line Prometheus /metrics gate)
+## and SIGKILLs the gateway's host process with admitted HTTP requests
+## durable — the restart must settle them exactly once (leaves
+## `.smoke-wal/` — WALs plus `epoch/epoch.log` — behind on failure for
+## forensics).
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 

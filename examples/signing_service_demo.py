@@ -24,9 +24,15 @@ epoch barrier, swaps shares, and resumes with zero rejections and an
 unchanged public key.  ``--reshare`` then rotates one signer out and a
 fresh one in via live resharing (join/leave, same public key).
 
+``--http`` fronts the service with the HTTP gateway and routes the
+sign/verify load over loopback HTTP — API-key tenant admission, hex
+JSON bodies, keep-alive connections, a Prometheus ``/metrics`` scrape
+at the end (spec: ``docs/HTTP_API.md``).
+
     python examples/signing_service_demo.py
     python examples/signing_service_demo.py --backend bn254 --requests 32
     python examples/signing_service_demo.py --refresh-every 16 --reshare
+    python examples/signing_service_demo.py --http
 """
 
 import argparse
@@ -36,7 +42,8 @@ import random
 
 from repro import ServiceHandle, get_group
 from repro.service import (
-    CorruptSignerFault, LoadGenerator, ServiceConfig, SigningService,
+    CorruptSignerFault, GatewayClient, HttpGateway, LoadGenerator,
+    ServiceConfig, SigningService, TenantConfig,
 )
 
 
@@ -72,9 +79,27 @@ async def demo(args) -> None:
         tier = "in-process"
     print(f"[2/4] Closed-loop signing: {args.requests} requests, "
           f"16 clients, {args.shards} shard(s), window 16, {tier}")
+    gateway = client = None
     async with SigningService(handle, config) as service:
+        if args.http:
+            # Front the service with the HTTP gateway and route every
+            # data-plane call over a real loopback socket — hex JSON
+            # bodies, API-key tenant admission, keep-alive connections.
+            from repro.serialization import WireCodec
+            gateway = HttpGateway(service, tenants=[
+                TenantConfig(name="demo", api_key="demo-key",
+                             admin=True)])
+            await gateway.start()
+            client = GatewayClient(
+                gateway.host, gateway.port, "demo-key",
+                codec=WireCodec(handle.scheme.group))
+            print(f"      HTTP gateway on http://{gateway.host}:"
+                  f"{gateway.port} — tenant 'demo' "
+                  f"(X-API-Key: demo-key)")
+        sign_op = client.sign if client else service.sign
+        verify_op = client.verify if client else service.verify
         generator = LoadGenerator(
-            lambda i: service.sign(b"demo message %d" % i))
+            lambda i: sign_op(b"demo message %d" % i))
         refresher = None
         if args.refresh_every:
             async def refresh_loop():
@@ -116,7 +141,7 @@ async def demo(args) -> None:
             pause = await service.reshare(
                 service.handle.scheme.params.t, new_indices,
                 rng=random.Random(200))
-            result = await service.sign(b"post-reshare doc")
+            result = await sign_op(b"post-reshare doc")
             assert handle.verify(result.message, result.signature)
             print(f"      reshare -> epoch {service.handle.epoch}: "
                   f"signer {leaver} out, {joiner} in (paused "
@@ -128,14 +153,14 @@ async def demo(args) -> None:
         signatures = {}
 
         async def sign_and_stash(ordinal):
-            result = await service.sign(b"verified doc %d" % ordinal)
+            result = await sign_op(b"verified doc %d" % ordinal)
             signatures[ordinal] = result
             return result
 
         await LoadGenerator(sign_and_stash).run_closed(args.requests, 16)
         verifier = LoadGenerator(
-            lambda i: service.verify(signatures[i].message,
-                                     signatures[i].signature),
+            lambda i: verify_op(signatures[i].message,
+                                signatures[i].signature),
             rng=random.Random(3))
         report = await verifier.run_open(args.requests, args.rate)
         print(f"      {report.completed} verified, "
@@ -148,6 +173,14 @@ async def demo(args) -> None:
                   f"over {stats.workers.workers} {what}, "
                   f"{stats.workers.crashes} crashes, "
                   f"{stats.workers.reconnects} reconnects")
+        if client is not None:
+            exposition = await client.metrics()
+            samples = [line for line in exposition.splitlines()
+                       if line and not line.startswith("#")]
+            print(f"      /metrics: {len(samples)} Prometheus samples "
+                  f"(ljy_gateway_*, ljy_tenant_*, ljy_service_*, ...)")
+            await client.close()
+            await gateway.stop()
 
     fault = CorruptSignerFault(signer_index=1)
     print("[4/4] Fault injection: signer 1 forges every partial "
@@ -201,6 +234,11 @@ def main() -> None:
                         help="after the closed-loop act, rotate one "
                         "signer out and a fresh one in via live "
                         "resharing (join/leave, same public key)")
+    parser.add_argument("--http", action="store_true",
+                        help="front the service with the HTTP gateway "
+                        "and route the sign/verify load over loopback "
+                        "HTTP (API-key tenant, hex JSON bodies, "
+                        "Prometheus /metrics)")
     parser.add_argument("--requests", type=int, default=48)
     parser.add_argument("--rate", type=float, default=2000.0,
                         help="open-loop arrival rate (requests/second)")

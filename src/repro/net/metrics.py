@@ -1,15 +1,25 @@
-"""Communication metrics for protocol runs.
+"""Communication metrics for protocol runs, and Prometheus exposition.
 
 ``NetworkMetrics`` counts messages and (estimated) bytes per round and
 distinguishes broadcast from point-to-point traffic.  A round in which no
 player sends anything does not count as a *communication round* — this is
 how "Pedersen's DKG takes one round in the optimistic case" is measured.
+
+The Prometheus half (:class:`MetricFamily`, :class:`Histogram`,
+:func:`render_prometheus`) renders any of the repo's stats objects into
+the text exposition format (version 0.0.4) a real scraper ingests —
+``# HELP`` / ``# TYPE`` comments, escaped label values, and the
+``_bucket``/``_sum``/``_count`` triplet for histograms.  It is
+deliberately tiny and dependency-free: the gateway's ``GET /metrics``
+endpoint is the only producer, and ``tools/serve_smoke.py`` parses the
+output line-by-line as the format gate.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 
 def estimate_size(payload) -> int:
@@ -119,3 +129,144 @@ class NetworkMetrics:
             "messages": self.total_messages,
             "bytes": self.total_bytes,
         }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4)
+# ---------------------------------------------------------------------------
+
+#: Latency bucket upper bounds in milliseconds.  Chosen for the service's
+#: observed range (sub-ms toy-backend windows up to multi-second bn254
+#: robust combines); ``+Inf`` is implicit and always rendered last.
+DEFAULT_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 10000.0,
+)
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string: backslash and newline only (the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double-quote, newline."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_value(value: float) -> str:
+    """Render a sample value: integers without a decimal point, floats
+    with ``repr`` precision, infinities in Prometheus spelling."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_sample(name: str, labels: Mapping[str, str],
+                  value: float) -> str:
+    """One exposition line: ``name{k="v",...} value``."""
+    if labels:
+        rendered = ",".join(
+            f'{key}="{escape_label_value(str(labels[key]))}"'
+            for key in labels)
+        return f"{name}{{{rendered}}} {format_value(value)}"
+    return f"{name} {format_value(value)}"
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``observe`` is O(buckets); the exposition renders the cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Buckets
+    are upper bounds in the observed unit (milliseconds here).
+    """
+
+    buckets: Sequence[float] = DEFAULT_BUCKETS_MS
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[position] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def samples(self, name: str,
+                labels: Mapping[str, str] = ()) -> List[str]:
+        """The rendered sample lines for this histogram."""
+        labels = dict(labels or {})
+        lines = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            lines.append(format_sample(
+                f"{name}_bucket", {**labels, "le": format_value(bound)},
+                cumulative))
+        cumulative += self.counts[-1]
+        lines.append(format_sample(
+            f"{name}_bucket", {**labels, "le": "+Inf"}, cumulative))
+        lines.append(format_sample(f"{name}_sum", labels, self.total))
+        lines.append(format_sample(f"{name}_count", labels, self.count))
+        return lines
+
+
+@dataclass
+class MetricFamily:
+    """One named metric with HELP/TYPE metadata and its samples.
+
+    ``kind`` is a Prometheus type (``counter``, ``gauge``,
+    ``histogram``).  For counters and gauges, ``samples`` is a list of
+    ``(labels, value)`` pairs; for histograms it is a list of
+    ``(labels, Histogram)`` pairs — one full bucket series per label
+    set.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: List[Tuple[Mapping[str, str], object]] = field(
+        default_factory=list)
+
+    def add(self, labels: Mapping[str, str], value) -> "MetricFamily":
+        self.samples.append((dict(labels), value))
+        return self
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for labels, value in self.samples:
+            if isinstance(value, Histogram):
+                lines.extend(value.samples(self.name, labels))
+            else:
+                lines.append(format_sample(self.name, labels, value))
+        return lines
+
+
+def render_prometheus(families: Iterable[MetricFamily]) -> str:
+    """The full exposition body.  Families with no samples are skipped
+    (a family is its samples; HELP/TYPE for nothing is noise), and the
+    body ends with the trailing newline scrapers expect."""
+    lines: List[str] = []
+    for family in families:
+        if family.samples:
+            lines.extend(family.render())
+    return "\n".join(lines) + "\n"

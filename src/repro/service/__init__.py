@@ -20,7 +20,16 @@ Thetacrypt mold:
   message digest; per-shard stats.
 * :class:`~repro.service.loadgen.LoadGenerator` — open-loop Poisson
   arrivals and closed-loop concurrency, reporting p50/p99 latency and
-  throughput.
+  throughput; :class:`~repro.service.loadgen.GatewayClient` drives the
+  same load through the HTTP front door.
+* :class:`~repro.service.gateway.HttpGateway` — the production front
+  door: a dependency-free asyncio HTTP/1.1 server exposing ``POST
+  /v1/sign`` / ``/v1/verify``, admin key-lifecycle routes
+  (``/admin/refresh`` / ``/admin/reshare`` / ``/admin/resize``) and a
+  Prometheus ``GET /metrics`` endpoint.  API keys resolve to tenants
+  (:mod:`~repro.service.tenants`) with token-bucket rate quotas,
+  in-flight caps and per-tenant quorum pinning; typed shedding maps to
+  HTTP 429/503/504 with ``Retry-After``.
 * :class:`~repro.service.workers.WorkerPool` — the process-parallel
   execution tier: shard workers encode their windows into the wire
   format of :mod:`repro.serialization` and dispatch them to a pool of
@@ -69,8 +78,13 @@ from repro.service.faults import (
     ChurnFault, CorruptSignerFault, WorkerCrashFault,
 )
 from repro.service.frontend import ServiceConfig, SigningService
-from repro.service.loadgen import LoadGenerator, LoadReport
+from repro.service.gateway import HttpGateway
+from repro.service.loadgen import GatewayClient, LoadGenerator, LoadReport
 from repro.service.shards import HashRing, ShardPool
+from repro.service.tenants import (
+    TenantConfig, TenantQuotaError, TenantRegistry, TenantStats,
+    TokenBucket, UnknownTenantError,
+)
 from repro.service.transport import RemoteWorkerPool, WorkerServer
 from repro.service.types import (
     EpochStats, HandshakeError, RemoteJobError, RequestExpiredError,
@@ -84,12 +98,14 @@ from repro.service.workers import WorkerPool
 
 __all__ = [
     "BatchAccumulator", "ChurnFault", "CorruptSignerFault", "EpochStats",
-    "HandshakeError", "HashRing", "LoadGenerator", "LoadReport",
-    "RemoteJobError", "RemoteWorkerPool", "RequestExpiredError",
-    "RequestFailedError", "ServiceClosedError", "ServiceConfig",
-    "ServiceError", "ServiceOverloadedError", "ServiceStats", "ShardPool",
-    "ShardStats", "SigningService", "SignResult", "StaleEpochError",
-    "TransportError", "VerifyResult", "WalStats", "WorkerCrashError",
+    "GatewayClient", "HandshakeError", "HashRing", "HttpGateway",
+    "LoadGenerator", "LoadReport", "RemoteJobError", "RemoteWorkerPool",
+    "RequestExpiredError", "RequestFailedError", "ServiceClosedError",
+    "ServiceConfig", "ServiceError", "ServiceOverloadedError",
+    "ServiceStats", "ShardPool", "ShardStats", "SigningService",
+    "SignResult", "StaleEpochError", "TenantConfig", "TenantQuotaError",
+    "TenantRegistry", "TenantStats", "TokenBucket", "TransportError",
+    "UnknownTenantError", "VerifyResult", "WalStats", "WorkerCrashError",
     "WorkerCrashFault", "WorkerPool", "WorkerPoolStats", "WorkerServer",
     "WriteAheadLog",
 ]

@@ -87,6 +87,16 @@ class ServiceConfig:
     #: that does not answer a window job within this many seconds is
     #: treated like a dropped connection (discard, resubmit elsewhere).
     remote_job_timeout_s: float = 60.0
+    #: Scheduled proactive share refresh: every this-many seconds the
+    #: running service performs a live refresh through the
+    #: ``begin_epoch`` barrier (what :class:`ChurnFault` does randomly,
+    #: as deployment policy — the proactive-security model assumes a
+    #: bounded exposure window per share, and this knob *is* that
+    #: bound).  None (the default) never refreshes on a timer.  The
+    #: DKG math runs outside the barrier and transitions serialize
+    #: with any concurrent admin-driven lifecycle call, so load sees
+    #: only the bounded pause, never a rejection.
+    refresh_every_s: Optional[float] = None
 
 
 class SigningService:
@@ -102,6 +112,14 @@ class SigningService:
         self.wal: Optional[WriteAheadLog] = None
         self._pool: Optional[ShardPool] = None
         self._outstanding = 0
+        #: Serializes key-lifecycle transitions: a scheduled refresh
+        #: firing while an admin-driven reshare is mid-barrier would
+        #: otherwise compute its new handle from a stale epoch and be
+        #: refused by the epoch-advance check.  Transitions queue here
+        #: instead (created lazily — it must belong to the running
+        #: loop).
+        self._transition_lock: Optional[asyncio.Lock] = None
+        self._refresh_task: Optional[asyncio.Task] = None
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -140,8 +158,13 @@ class SigningService:
             workers=config.workers, remote_workers=config.remote_workers,
             wal=self.wal, remote_job_timeout_s=config.remote_job_timeout_s)
         self._pool.start()
+        self._transition_lock = asyncio.Lock()
         if self.wal is not None and self.wal.pending:
             await self._replay(dict(self.wal.pending))
+        if config.refresh_every_s is not None:
+            self._refresh_task = asyncio.get_running_loop().create_task(
+                self._scheduled_refresh(config.refresh_every_s),
+                name="scheduled-refresh")
 
     async def _replay(self, pending) -> None:
         """Re-admit recovered obligations.  They bypass load shedding
@@ -164,10 +187,29 @@ class SigningService:
         # service whose inherited obligations are already settled.
         await asyncio.gather(*futures, return_exceptions=True)
 
+    async def _scheduled_refresh(self, every_s: float) -> None:
+        """The ``refresh_every_s`` driver: a live proactive refresh on
+        a fixed cadence, for as long as the service runs.  Runs as a
+        background task; ``stop()`` cancels it before draining."""
+        while True:
+            await asyncio.sleep(every_s)
+            if not self.running:
+                return
+            await self.refresh(rng=self.config.rng)
+
     async def stop(self) -> None:
         """Graceful shutdown: finish every accepted request, then halt."""
         if not self.running:
             return
+        if self._refresh_task is not None:
+            # Cancel the refresh cadence first: a transition firing
+            # while the pool is being torn down would race the drain.
+            self._refresh_task.cancel()
+            try:
+                await self._refresh_task
+            except asyncio.CancelledError:
+                pass
+            self._refresh_task = None
         pool, self._pool = self._pool, None   # reject new admissions now
         while self._outstanding:
             await asyncio.sleep(0.001)
@@ -200,7 +242,23 @@ class SigningService:
         signatures, because a transition provably preserves the master
         key (which is also validated here, along with the epoch being
         exactly one step forward).
+
+        Transitions serialize: a caller that brings a pre-computed
+        handle while another transition is mid-flight waits its turn —
+        and is then refused by the epoch-advance check if its handle
+        was derived from the superseded epoch (compute the handle under
+        the same serialization by using the :meth:`refresh` /
+        :meth:`reshare` wrappers instead).
         """
+        async with self._serialized_transitions():
+            return await self._begin_epoch(new_handle)
+
+    def _serialized_transitions(self):
+        if self._transition_lock is None:
+            raise ServiceClosedError("service is not running")
+        return self._transition_lock
+
+    async def _begin_epoch(self, new_handle: ServiceHandle) -> float:
         if not self.running:
             raise ServiceClosedError("service is not running")
         if new_handle.epoch != self.handle.epoch + 1:
@@ -235,9 +293,13 @@ class SigningService:
     async def refresh(self, rng=None, adversary=None) -> float:
         """Proactive share refresh as a live epoch transition: run the
         refresh protocol (on this loop, *outside* the barrier — only
-        the swap pauses shards), then :meth:`begin_epoch`."""
-        pause_ms = await self.begin_epoch(
-            self.handle.refreshed(rng=rng, adversary=adversary))
+        the swap pauses shards), then the epoch swap.  The new handle
+        is derived *under* the transition lock, so a refresh queued
+        behind another transition re-derives from the then-current
+        epoch instead of being refused."""
+        async with self._serialized_transitions():
+            pause_ms = await self._begin_epoch(
+                self.handle.refreshed(rng=rng, adversary=adversary))
         self.stats.epochs.refreshes += 1
         return pause_ms
 
@@ -245,8 +307,9 @@ class SigningService:
                       rng=None, adversary=None) -> float:
         """Reshare to a new ``(new_t, new_indices)`` committee (signer
         join/leave) as a live epoch transition."""
-        pause_ms = await self.begin_epoch(self.handle.reshared(
-            new_t, new_indices, rng=rng, adversary=adversary))
+        async with self._serialized_transitions():
+            pause_ms = await self._begin_epoch(self.handle.reshared(
+                new_t, new_indices, rng=rng, adversary=adversary))
         self.stats.epochs.reshares += 1
         return pause_ms
 
@@ -254,12 +317,16 @@ class SigningService:
         """Drop a crashed/compromised signer's share from the live
         quorum rotation (its verification key stays, so
         :meth:`recover_signer` can later re-derive the share)."""
-        return await self.begin_epoch(self.handle.without_signer(index))
+        async with self._serialized_transitions():
+            return await self._begin_epoch(
+                self.handle.without_signer(index))
 
     async def recover_signer(self, index: int) -> float:
         """Re-derive a retired signer's share from t+1 helpers and fold
         the player back into the live quorum rotation."""
-        pause_ms = await self.begin_epoch(self.handle.with_recovered(index))
+        async with self._serialized_transitions():
+            pause_ms = await self._begin_epoch(
+                self.handle.with_recovered(index))
         self.stats.epochs.recoveries += 1
         return pause_ms
 
@@ -271,7 +338,8 @@ class SigningService:
             raise ServiceClosedError("service is not running")
         loop = asyncio.get_running_loop()
         started = loop.time()
-        migrated = await self._pool.resize(num_shards)
+        async with self._serialized_transitions():
+            migrated = await self._pool.resize(num_shards)
         self.config.num_shards = num_shards
         epochs = self.stats.epochs
         epochs.resizes += 1
@@ -280,10 +348,16 @@ class SigningService:
         return migrated
 
     # -- admission ----------------------------------------------------------
-    def _admit(self, request: PendingRequest) -> None:
+    def _admit(self, request: PendingRequest,
+               rotation: Optional[int] = None) -> None:
         if not self.running:
             raise ServiceClosedError("service is not running")
-        worker = self._pool.worker_for(request.message)
+        # Routing policy: consistent hash by default; a pinned quorum
+        # rotation (the per-tenant policy) routes to the shard whose
+        # rotated signer quorum has that offset.
+        worker = (self._pool.worker_for(request.message)
+                  if rotation is None
+                  else self._pool.worker_at(rotation))
         try:
             worker.queue.put_nowait(request)
         except asyncio.QueueFull:
@@ -298,6 +372,9 @@ class SigningService:
             request.request_id = self.wal.append_admit(
                 request.message, epoch=self.handle.epoch)
         self.stats.accepted += 1
+        if request.tenant is not None:
+            self.stats.tenant_accepted[request.tenant] = \
+                self.stats.tenant_accepted.get(request.tenant, 0) + 1
         self._register(request)
 
     def _register(self, request: PendingRequest) -> None:
@@ -343,8 +420,16 @@ class SigningService:
         return loop.time() + self.config.request_deadline_s
 
     # -- the request API ----------------------------------------------------
-    async def sign(self, message: bytes) -> SignResult:
+    async def sign(self, message: bytes, *,
+                   tenant: Optional[str] = None,
+                   rotation: Optional[int] = None) -> SignResult:
         """Request a full threshold signature on ``message``.
+
+        ``tenant`` labels the request for multi-tenant accounting;
+        ``rotation`` pins it to the shard whose rotated quorum has that
+        offset instead of routing by consistent hash (the per-tenant
+        quorum policy — see
+        :class:`~repro.service.tenants.TenantConfig`).
 
         Raises :class:`ServiceOverloadedError` (shed at admission),
         :class:`ServiceClosedError`, :class:`RequestFailedError`
@@ -356,21 +441,23 @@ class SigningService:
         request = PendingRequest(
             kind=RequestKind.SIGN, message=message,
             enqueued_at=loop.time(), future=loop.create_future(),
-            deadline=self._deadline_from(loop))
+            deadline=self._deadline_from(loop), tenant=tenant)
         self.stats.ingress.record(message)
-        self._admit(request)
+        self._admit(request, rotation=rotation)
         return await request.future
 
-    async def verify(self, message: bytes,
-                     signature: Signature) -> VerifyResult:
+    async def verify(self, message: bytes, signature: Signature, *,
+                     tenant: Optional[str] = None,
+                     rotation: Optional[int] = None) -> VerifyResult:
         """Request verification of ``(message, signature)``."""
         loop = asyncio.get_running_loop()
         request = PendingRequest(
             kind=RequestKind.VERIFY, message=message,
             enqueued_at=loop.time(), future=loop.create_future(),
-            signature=signature, deadline=self._deadline_from(loop))
+            signature=signature, deadline=self._deadline_from(loop),
+            tenant=tenant)
         self.stats.ingress.record((message, signature))
-        self._admit(request)
+        self._admit(request, rotation=rotation)
         return await request.future
 
     # -- telemetry ----------------------------------------------------------

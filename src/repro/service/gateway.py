@@ -1,0 +1,714 @@
+"""The production front door: a dependency-free asyncio HTTP gateway.
+
+Everything below :class:`~repro.service.frontend.SigningService` speaks
+Python — callers ``await service.sign(...)`` in-process.  Real
+deployments (Thetacrypt's REST front end is the model) put the signing
+core behind HTTP so heterogeneous applications can reach it.  This
+module is that layer, built directly on ``asyncio.start_server`` with a
+small HTTP/1.1 implementation (request line, headers, Content-Length
+bodies, keep-alive) — no web framework, per the repo's
+no-new-dependencies rule.
+
+The route table:
+
+* ``POST /v1/sign`` / ``POST /v1/verify`` — the data plane.  JSON in
+  (hex-encoded message bytes; signatures in the
+  :class:`~repro.serialization.WireCodec` encoding), JSON out, with a
+  server-assigned request id echoed in ``X-Request-Id``.
+* ``GET /healthz`` — liveness (unauthenticated).
+* ``GET /metrics`` — Prometheus text exposition (unauthenticated),
+  rendering the whole telemetry surface: gateway route counters and
+  latency histograms, per-tenant quota accounting, service admission
+  counters, per-shard window stats, worker-tier stats and epoch
+  lifecycle stats.
+* ``POST /admin/refresh`` / ``/admin/reshare`` / ``/admin/resize`` —
+  the control plane: the PR 7 live key-lifecycle machinery driven over
+  the wire (requires a tenant with ``admin=True``).
+
+Typed shedding maps onto HTTP status codes: a tenant over its own quota
+gets ``429`` with a ``Retry-After`` derived from its token bucket; a
+request shed by the service's bounded queues gets ``503``; a deadline
+miss gets ``504``; an exhausted robust fallback gets ``500``.  Every
+error body is JSON with a stable ``error`` discriminator.
+
+Graceful drain: :meth:`HttpGateway.stop` closes the listener, lets
+every in-flight request finish and be answered, then closes idle
+keep-alive connections — so the shutdown order *gateway drain, then
+service stop* loses nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.net.metrics import (
+    Histogram, MetricFamily, render_prometheus,
+)
+from repro.serialization import WireCodec
+from repro.service.frontend import SigningService
+from repro.service.tenants import (
+    TenantConfig, TenantQuotaError, TenantRegistry, TenantState,
+    UnknownTenantError,
+)
+from repro.service.types import (
+    RequestExpiredError, RequestFailedError, ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+#: Request bodies larger than this are refused with ``413`` before the
+#: service sees them (a sign request is a digest-sized message; anything
+#: megabyte-scale is a client bug or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+_JSON = "application/json"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    """An error with a ready HTTP mapping, raised by route handlers."""
+
+    def __init__(self, status: int, error: str, detail: str = "",
+                 headers: Iterable[Tuple[str, str]] = ()):
+        super().__init__(detail or error)
+        self.status = status
+        self.error = error
+        self.detail = detail
+        self.headers = list(headers)
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body", "request_id")
+
+    def __init__(self, method: str, path: str,
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.request_id = ""
+
+    def json(self) -> dict:
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, "bad-json",
+                             f"request body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "bad-json",
+                             "request body must be a JSON object")
+        return payload
+
+
+def _hex_field(payload: dict, field: str) -> bytes:
+    value = payload.get(field)
+    if not isinstance(value, str):
+        raise _HttpError(400, "missing-field",
+                         f"field {field!r} must be a hex string")
+    try:
+        return bytes.fromhex(value)
+    except ValueError:
+        raise _HttpError(400, "bad-hex",
+                         f"field {field!r} is not valid hex") from None
+
+
+def _int_field(payload: dict, field: str) -> int:
+    value = payload.get(field)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise _HttpError(400, "missing-field",
+                         f"field {field!r} must be an integer")
+    return value
+
+
+class _Connection:
+    """Per-connection bookkeeping for the drain protocol."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.busy = False
+
+
+class HttpGateway:
+    """HTTP/1.1 front end for a :class:`SigningService`.
+
+    The gateway does not own the service: ``start``/``stop`` manage only
+    the listener, so the correct shutdown order is ``await
+    gateway.stop()`` (drain the HTTP edge) then ``await service.stop()``
+    (close the signing barrier).  ``port=0`` binds an ephemeral port;
+    the bound address is available as :attr:`host`/:attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(self, service: SigningService,
+                 tenants: Iterable[TenantConfig] = (),
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.tenants = TenantRegistry(tenants)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Dict[asyncio.Task, _Connection] = {}
+        self._draining = False
+        self._next_request_id = 0
+        #: (route, status) -> count; the ``ljy_gateway_requests_total``
+        #: family.  Routes are the table patterns, ``other`` for 404s.
+        self.requests_total: Dict[Tuple[str, int], int] = {}
+        #: route -> latency histogram (parse-to-response-written ms).
+        self.request_ms: Dict[str, Histogram] = {}
+        self.inflight = 0
+        self._codec: Optional[WireCodec] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        if not self.service.running:
+            raise ServiceClosedError(
+                "start the signing service before the gateway")
+        self._codec = WireCodec(self.service.handle.scheme.group)
+        self._draining = False
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=self.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, answer every in-flight
+        request, then close idle keep-alive connections."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        self._draining = True
+        server.close()
+        await server.wait_closed()
+        # Idle connections are parked in readline(); closing the socket
+        # wakes them with EOF.  Busy ones finish their response first —
+        # their handler loop re-checks _draining before the next read.
+        for conn in self._connections.values():
+            if not conn.busy:
+                conn.writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -- connection handling ------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        task = asyncio.current_task()
+        self._connections[task] = conn
+        try:
+            while not self._draining:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    return
+                conn.busy = True
+                self.inflight += 1
+                try:
+                    keep_alive = await self._dispatch(request, writer)
+                finally:
+                    self.inflight -= 1
+                    conn.busy = False
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader,
+            writer: asyncio.StreamWriter) -> Optional[_Request]:
+        """Parse one request off the connection; ``None`` on EOF.  Raises
+        ``_HttpError`` only via the caller's dispatch (malformed framing
+        is answered with 400 and the connection closed)."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, version = line.decode("ascii").split()
+        except ValueError:
+            await self._write_error(
+                writer, None, 400, "bad-request-line",
+                "malformed HTTP request line")
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            await self._write_error(
+                writer, None, 413, "payload-too-large",
+                f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+            return None
+        if headers.get("expect", "").lower() == "100-continue":
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        body = await reader.readexactly(length) if length else b""
+        request = _Request(method.upper(), path.split("?", 1)[0],
+                           headers, body)
+        self._next_request_id += 1
+        request.request_id = f"gw-{self._next_request_id}"
+        return request
+
+    # -- routing ------------------------------------------------------------
+    def _routes(self):
+        return {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/v1/sign"): self._handle_sign,
+            ("POST", "/v1/verify"): self._handle_verify,
+            ("POST", "/admin/refresh"): self._handle_refresh,
+            ("POST", "/admin/reshare"): self._handle_reshare,
+            ("POST", "/admin/resize"): self._handle_resize,
+        }
+
+    async def _dispatch(self, request: _Request,
+                        writer: asyncio.StreamWriter) -> bool:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        routes = self._routes()
+        handler = routes.get((request.method, request.path))
+        route = request.path if handler is not None else "other"
+        if handler is not None:
+            try:
+                status, payload = await handler(request)
+                headers: List[Tuple[str, str]] = []
+            except _HttpError as exc:
+                status, payload, headers = exc.status, {
+                    "error": exc.error, "detail": exc.detail,
+                    "request_id": request.request_id,
+                }, exc.headers
+        elif any(path == request.path for _, path in routes):
+            allowed = ", ".join(sorted(
+                method for method, path in routes if path == request.path))
+            status, payload, headers = 405, {
+                "error": "method-not-allowed",
+                "detail": f"{request.method} not supported",
+                "request_id": request.request_id,
+            }, [("Allow", allowed)]
+        else:
+            status, payload, headers = 404, {
+                "error": "not-found",
+                "detail": f"no route {request.path!r}",
+                "request_id": request.request_id,
+            }, []
+        if request.path == "/metrics" and status == 200:
+            body = payload.encode("utf-8")
+            content_type = _PROMETHEUS
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = _JSON
+        keep_alive = (
+            not self._draining and
+            request.headers.get("connection", "").lower() != "close")
+        await self._write_response(
+            writer, status, body, content_type, keep_alive,
+            [("X-Request-Id", request.request_id), *headers])
+        self.requests_total[(route, status)] = \
+            self.requests_total.get((route, status), 0) + 1
+        self.request_ms.setdefault(route, Histogram()).observe(
+            (loop.time() - started) * 1000.0)
+        return keep_alive
+
+    async def _write_response(
+            self, writer: asyncio.StreamWriter, status: int, body: bytes,
+            content_type: str, keep_alive: bool,
+            headers: Iterable[Tuple[str, str]] = ()) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    async def _write_error(self, writer, request_id, status, error,
+                           detail) -> None:
+        payload = {"error": error, "detail": detail}
+        if request_id:
+            payload["request_id"] = request_id
+        await self._write_response(
+            writer, status, json.dumps(payload).encode("utf-8"),
+            _JSON, keep_alive=False)
+        self.requests_total[("other", status)] = \
+            self.requests_total.get(("other", status), 0) + 1
+
+    # -- auth ---------------------------------------------------------------
+    def _authorize(self, request: _Request,
+                   admin: bool = False) -> TenantState:
+        try:
+            state = self.tenants.resolve(request.headers.get("x-api-key"))
+        except UnknownTenantError as exc:
+            raise _HttpError(401, "unauthorized", str(exc)) from None
+        if admin and not state.config.admin:
+            raise _HttpError(
+                403, "forbidden",
+                f"tenant {state.config.name!r} may not use admin routes")
+        return state
+
+    # -- data plane ---------------------------------------------------------
+    async def _handle_sign(self, request: _Request):
+        state = self._authorize(request)
+        message = _hex_field(request.json(), "message")
+        return await self._submit(
+            request, state, self.service.sign(
+                message, tenant=state.config.name,
+                rotation=state.config.quorum_rotation),
+            self._sign_payload)
+
+    async def _handle_verify(self, request: _Request):
+        state = self._authorize(request)
+        payload = request.json()
+        message = _hex_field(payload, "message")
+        try:
+            signature = self._codec.decode_signature(
+                _hex_field(payload, "signature"))
+        except _HttpError:
+            raise
+        except (ReproError, ValueError) as exc:
+            raise _HttpError(400, "bad-signature",
+                             f"signature does not decode: {exc}") from None
+        return await self._submit(
+            request, state, self.service.verify(
+                message, signature, tenant=state.config.name,
+                rotation=state.config.quorum_rotation),
+            self._verify_payload)
+
+    async def _submit(self, request: _Request, state: TenantState,
+                      operation, render):
+        """Shared sign/verify tail: edge quota, service call, typed
+        error mapping, per-tenant accounting."""
+        loop = asyncio.get_running_loop()
+        try:
+            state.admit(loop.time())
+        except TenantQuotaError as exc:
+            operation.close()
+            raise _HttpError(
+                429, "over-quota", str(exc),
+                [("Retry-After",
+                  TenantRegistry.retry_after_header(exc.retry_after_s))],
+            ) from None
+        try:
+            result = await operation
+        except ServiceClosedError as exc:
+            state.stats.shed += 1
+            raise _HttpError(503, "closed", str(exc)) from None
+        except ServiceOverloadedError as exc:
+            state.stats.shed += 1
+            raise _HttpError(503, "overloaded", str(exc),
+                             [("Retry-After", "1")]) from None
+        except RequestExpiredError as exc:
+            state.stats.failed += 1
+            raise _HttpError(504, "expired", str(exc)) from None
+        except ReproError as exc:
+            state.stats.failed += 1
+            raise _HttpError(500, "failed",
+                             f"{type(exc).__name__}: {exc}") from None
+        finally:
+            state.release()
+        state.stats.completed += 1
+        return 200, render(request, state, result)
+
+    def _sign_payload(self, request: _Request, state: TenantState,
+                      result) -> dict:
+        return {
+            "request_id": request.request_id,
+            "tenant": state.config.name,
+            "signature": self._codec.encode_signature(
+                result.signature).hex(),
+            "shard_id": result.shard_id,
+            "batch_size": result.batch_size,
+            "fallback": result.fallback,
+            "latency_ms": round(result.latency_ms, 3),
+            "epoch": self.service.handle.epoch,
+        }
+
+    def _verify_payload(self, request: _Request, state: TenantState,
+                        result) -> dict:
+        return {
+            "request_id": request.request_id,
+            "tenant": state.config.name,
+            "valid": result.valid,
+            "shard_id": result.shard_id,
+            "batch_size": result.batch_size,
+            "latency_ms": round(result.latency_ms, 3),
+            "epoch": self.service.handle.epoch,
+        }
+
+    # -- control plane ------------------------------------------------------
+    async def _handle_refresh(self, request: _Request):
+        self._authorize(request, admin=True)
+        pause_ms = await self._lifecycle(
+            request, self.service.refresh(rng=self.service.config.rng))
+        return 200, {
+            "request_id": request.request_id,
+            "epoch": self.service.handle.epoch,
+            "pause_ms": round(pause_ms, 3),
+        }
+
+    async def _handle_reshare(self, request: _Request):
+        self._authorize(request, admin=True)
+        payload = request.json()
+        threshold = _int_field(payload, "threshold")
+        indices = payload.get("indices")
+        if not isinstance(indices, list) or \
+                not all(isinstance(i, int) for i in indices):
+            raise _HttpError(400, "missing-field",
+                             "field 'indices' must be a list of integers")
+        pause_ms = await self._lifecycle(
+            request, self.service.reshare(
+                threshold, indices, rng=self.service.config.rng))
+        return 200, {
+            "request_id": request.request_id,
+            "epoch": self.service.handle.epoch,
+            "pause_ms": round(pause_ms, 3),
+            "threshold": self.service.handle.threshold,
+            "signers": sorted(self.service.handle.shares),
+        }
+
+    async def _handle_resize(self, request: _Request):
+        self._authorize(request, admin=True)
+        shards = _int_field(request.json(), "shards")
+        migrated = await self._lifecycle(
+            request, self.service.resize(shards))
+        return 200, {
+            "request_id": request.request_id,
+            "shards": shards,
+            "migrated": migrated,
+        }
+
+    async def _lifecycle(self, request: _Request, operation):
+        try:
+            return await operation
+        except ServiceClosedError as exc:
+            raise _HttpError(503, "closed", str(exc)) from None
+        except (ReproError, ValueError) as exc:
+            # Bad lifecycle parameters (threshold out of range, unknown
+            # signer indices, shards < 1) are caller errors.
+            raise _HttpError(400, "bad-lifecycle",
+                             f"{type(exc).__name__}: {exc}") from None
+
+    # -- observability ------------------------------------------------------
+    async def _handle_healthz(self, request: _Request):
+        return 200, {
+            "status": "ok" if self.service.running else "stopped",
+            "epoch": self.service.handle.epoch,
+            "draining": self._draining,
+        }
+
+    async def _handle_metrics(self, request: _Request):
+        return 200, render_prometheus(self.metric_families())
+
+    def metric_families(self) -> List[MetricFamily]:
+        """The full telemetry surface as Prometheus metric families.
+
+        Counters here mirror — exactly, the serve-smoke gate asserts it
+        — the numbers in :meth:`SigningService.snapshot_stats` and the
+        tenant registry; the gateway adds only its own route counters
+        and latency histograms.
+        """
+        stats = self.service.snapshot_stats()
+        families: List[MetricFamily] = []
+
+        gw_requests = MetricFamily(
+            "ljy_gateway_requests_total", "counter",
+            "HTTP requests served, by route and status code.")
+        for (route, status), count in sorted(self.requests_total.items()):
+            gw_requests.add({"route": route, "code": str(status)}, count)
+        families.append(gw_requests)
+        families.append(MetricFamily(
+            "ljy_gateway_inflight", "gauge",
+            "HTTP requests currently being served.").add({}, self.inflight))
+        gw_latency = MetricFamily(
+            "ljy_gateway_request_ms", "histogram",
+            "HTTP request latency (parse to response written), by route.")
+        for route in sorted(self.request_ms):
+            gw_latency.add({"route": route}, self.request_ms[route])
+        families.append(gw_latency)
+
+        tenant_counters = [
+            ("ljy_tenant_admitted_total",
+             "Requests admitted past the tenant's edge quota.",
+             lambda s: s.stats.admitted),
+            ("ljy_tenant_completed_total",
+             "Requests answered with a result.",
+             lambda s: s.stats.completed),
+            ("ljy_tenant_shed_total",
+             "Requests shed by the service's bounded queues (503).",
+             lambda s: s.stats.shed),
+            ("ljy_tenant_failed_total",
+             "Requests failed or expired inside the service (5xx).",
+             lambda s: s.stats.failed),
+        ]
+        states = self.tenants.states()
+        for name, help_text, getter in tenant_counters:
+            family = MetricFamily(name, "counter", help_text)
+            for tenant in sorted(states):
+                family.add({"tenant": tenant}, getter(states[tenant]))
+            families.append(family)
+        rejected = MetricFamily(
+            "ljy_tenant_rejected_total", "counter",
+            "Requests shed by the tenant's own quota (429), by reason.")
+        inflight = MetricFamily(
+            "ljy_tenant_inflight", "gauge",
+            "Requests the tenant currently holds open.")
+        for tenant in sorted(states):
+            state = states[tenant]
+            rejected.add({"tenant": tenant, "reason": "rate"},
+                         state.stats.rejected_quota)
+            rejected.add({"tenant": tenant, "reason": "in-flight"},
+                         state.stats.rejected_inflight)
+            inflight.add({"tenant": tenant}, state.inflight)
+        families.extend([rejected, inflight])
+
+        service_counters = [
+            ("ljy_service_accepted_total",
+             "Requests admitted into shard queues.", stats.accepted),
+            ("ljy_service_rejected_total",
+             "Requests shed at admission (queue full).", stats.rejected),
+            ("ljy_service_completed_total",
+             "Requests completed with a result.", stats.completed),
+            ("ljy_service_failed_total",
+             "Requests failed past admission.", stats.failed),
+            ("ljy_service_expired_total",
+             "Requests shed because their deadline passed.", stats.expired),
+            ("ljy_service_recovered_total",
+             "WAL admits replayed at start-up.", stats.recovered),
+            ("ljy_service_ingress_messages_total",
+             "Request payloads received.", stats.ingress.messages),
+            ("ljy_service_ingress_bytes_total",
+             "Estimated request payload bytes received.",
+             stats.ingress.bytes_total),
+            ("ljy_service_egress_messages_total",
+             "Results returned.", stats.egress.messages),
+            ("ljy_service_egress_bytes_total",
+             "Estimated result bytes returned.", stats.egress.bytes_total),
+        ]
+        for name, help_text, value in service_counters:
+            families.append(MetricFamily(
+                name, "counter", help_text).add({}, value))
+        tenant_accepted = MetricFamily(
+            "ljy_service_tenant_accepted_total", "counter",
+            "Admissions into shard queues, by tenant label.")
+        for tenant in sorted(stats.tenant_accepted):
+            tenant_accepted.add({"tenant": tenant},
+                                stats.tenant_accepted[tenant])
+        families.append(tenant_accepted)
+
+        shard_counters = [
+            ("ljy_shard_requests_total", "counter",
+             "Requests served, by shard.", lambda s: s.requests),
+            ("ljy_shard_windows_total", "counter",
+             "Batch windows executed, by shard.", lambda s: s.windows),
+            ("ljy_shard_expired_total", "counter",
+             "Requests shed at window formation (deadline), by shard.",
+             lambda s: s.expired),
+            ("ljy_shard_migrated_total", "counter",
+             "Queued requests received by live resize migration.",
+             lambda s: s.migrated),
+            ("ljy_shard_busy_ms_total", "counter",
+             "Wall-clock ms spent executing windows, by shard.",
+             lambda s: round(s.busy_ms, 3)),
+        ]
+        for name, kind, help_text, getter in shard_counters:
+            family = MetricFamily(name, kind, help_text)
+            for shard_id in sorted(stats.shards):
+                family.add({"shard": str(shard_id)},
+                           getter(stats.shards[shard_id]))
+            families.append(family)
+        shard_tenants = MetricFamily(
+            "ljy_shard_tenant_requests_total", "counter",
+            "Requests served per shard per tenant (the quorum-pinning "
+            "audit trail).")
+        for shard_id in sorted(stats.shards):
+            shard = stats.shards[shard_id]
+            for tenant in sorted(shard.tenant_requests):
+                shard_tenants.add(
+                    {"shard": str(shard_id), "tenant": tenant},
+                    shard.tenant_requests[tenant])
+        families.append(shard_tenants)
+
+        if stats.workers is not None:
+            worker_counters = [
+                ("ljy_worker_jobs_total", "Window jobs completed.",
+                 stats.workers.jobs),
+                ("ljy_worker_crashes_total", "Worker deaths observed.",
+                 stats.workers.crashes),
+                ("ljy_worker_resubmissions_total",
+                 "Jobs resubmitted after a crash or dropped connection.",
+                 stats.workers.resubmissions),
+                ("ljy_worker_reconnects_total",
+                 "Successful re-dials after a lost connection.",
+                 stats.workers.reconnects),
+                ("ljy_worker_timeouts_total",
+                 "Jobs abandoned on a hung worker.", stats.workers.timeouts),
+                ("ljy_worker_breaker_trips_total",
+                 "Endpoint quarantines (circuit breaker).",
+                 stats.workers.breaker_trips),
+                ("ljy_worker_rewarms_total",
+                 "Live worker context re-warms on epoch swaps.",
+                 stats.workers.rewarms),
+            ]
+            for name, help_text, value in worker_counters:
+                families.append(MetricFamily(
+                    name, "counter", help_text).add({}, value))
+
+        epochs = stats.epochs
+        families.append(MetricFamily(
+            "ljy_epoch", "gauge",
+            "Current key-lifecycle generation.").add({}, epochs.epoch))
+        transitions = MetricFamily(
+            "ljy_epoch_transitions_total", "counter",
+            "Completed lifecycle transitions, by kind.")
+        for kind, value in (("refresh", epochs.refreshes),
+                            ("reshare", epochs.reshares),
+                            ("recovery", epochs.recoveries),
+                            ("resize", epochs.resizes)):
+            transitions.add({"kind": kind}, value)
+        families.append(transitions)
+        families.append(MetricFamily(
+            "ljy_epoch_requests_carried_total", "counter",
+            "Requests carried across epoch swaps in shard queues.")
+            .add({}, epochs.requests_carried))
+        pause = Histogram()
+        for pause_ms in epochs.pauses_ms:
+            pause.observe(pause_ms)
+        families.append(MetricFamily(
+            "ljy_epoch_pause_ms", "histogram",
+            "Barrier pause per lifecycle transition.").add({}, pause))
+        return families

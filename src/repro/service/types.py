@@ -157,6 +157,10 @@ class ShardStats:
     #: re-routed off a departing shard during a ``resize`` instead of
     #: being stranded there (counted at the destination).
     migrated: int = 0
+    #: Requests this shard served per tenant (requests carrying no
+    #: tenant label — library callers, WAL replay — are not counted
+    #: here; the aggregate counters above cover them).
+    tenant_requests: Dict[str, int] = field(default_factory=dict)
     busy_ms: float = 0.0
 
     @property
@@ -253,6 +257,11 @@ class ServiceStats:
     expired: int = 0
     #: Unacknowledged WAL entries replayed at start-up.
     recovered: int = 0
+    #: Admissions per tenant label (the service-side half of the
+    #: multi-tenant accounting; the edge-side half — quota rejections
+    #: the service never sees — lives in
+    #: :class:`~repro.service.tenants.TenantStats`).
+    tenant_accepted: Dict[str, int] = field(default_factory=dict)
     ingress: TrafficCounter = field(default_factory=TrafficCounter)
     egress: TrafficCounter = field(default_factory=TrafficCounter)
     shards: Dict[int, ShardStats] = field(default_factory=dict)
@@ -284,6 +293,8 @@ class ServiceStats:
             summary["worker_reconnects"] = self.workers.reconnects
             summary["worker_timeouts"] = self.workers.timeouts
             summary["worker_breaker_trips"] = self.workers.breaker_trips
+        if self.tenant_accepted:
+            summary["tenants"] = dict(self.tenant_accepted)
         if self.epochs.transitions or self.epochs.resizes:
             summary["epoch"] = self.epochs.epoch
             summary["epoch_transitions"] = self.epochs.transitions
@@ -308,3 +319,7 @@ class PendingRequest:
     #: Write-ahead-log id of the admit record (None when the WAL is
     #: off, or for verify requests — stateless reads are not logged).
     request_id: Optional[int] = None
+    #: Tenant label for multi-tenant accounting (None for library
+    #: callers and WAL replay — the label is edge metadata, not an
+    #: obligation, so it is deliberately NOT persisted).
+    tenant: Optional[str] = None

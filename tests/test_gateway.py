@@ -1,0 +1,767 @@
+"""Tests for the HTTP gateway, multi-tenancy and Prometheus exposition.
+
+The gateway binds an ephemeral loopback port per test; protocol logic
+runs on the toy backend with one end-to-end test (marked ``bn254``) on
+the real pairing.  The Prometheus tests parse the exposition output
+line-by-line — including label unescaping — and reconcile every counter
+against ``snapshot_stats()`` exactly, which is the same gate
+``tools/serve_smoke.py`` act 8 enforces.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.core.scheme import ServiceHandle
+from repro.serialization import WireCodec
+from repro.service import (
+    GatewayClient, HttpGateway, ServiceConfig, SigningService,
+    TenantConfig, TenantQuotaError, TenantRegistry, TokenBucket,
+    UnknownTenantError,
+)
+from repro.service.loadgen import GatewayError
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def handle(toy_group):
+    return ServiceHandle.dealer(toy_group, 2, 5, rng=random.Random(31))
+
+
+def service_config(**overrides):
+    defaults = dict(num_shards=2, max_batch=4, max_wait_ms=2.0,
+                    queue_depth=256, rng=random.Random(32))
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+TENANTS = [
+    TenantConfig(name="alpha", api_key="alpha-key", admin=True),
+    TenantConfig(name="beta", api_key="beta-key", rate_rps=1.0, burst=2.0),
+]
+
+
+class gateway_running:
+    """Async context manager: a started service + gateway, torn down in
+    drain-then-barrier order."""
+
+    def __init__(self, handle, tenants=TENANTS, config=None):
+        self.service = SigningService(handle, config or service_config())
+        self.tenants = tenants
+
+    async def __aenter__(self):
+        await self.service.start()
+        self.gateway = HttpGateway(self.service, tenants=self.tenants)
+        await self.gateway.start()
+        return self.gateway
+
+    async def __aexit__(self, *exc):
+        await self.gateway.stop()
+        await self.service.stop()
+
+
+def client_for(gateway, api_key, codec=None):
+    return GatewayClient(gateway.host, gateway.port, api_key, codec=codec)
+
+
+async def raw_exchange(gateway, blob: bytes) -> bytes:
+    """Send raw bytes, return the full response (for malformed input)."""
+    reader, writer = await asyncio.open_connection(
+        gateway.host, gateway.port)
+    writer.write(blob)
+    await writer.drain()
+    response = await reader.read(65536)
+    writer.close()
+    return response
+
+
+# ---------------------------------------------------------------------------
+# Token bucket and registry units
+# ---------------------------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate_rps=10.0, burst=2.0)
+        assert bucket.try_acquire(0.0) == 0.0
+        assert bucket.try_acquire(0.0) == 0.0
+        retry = bucket.try_acquire(0.0)
+        assert retry == pytest.approx(0.1)
+        # After one refill period a token is back.
+        assert bucket.try_acquire(0.1) == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate_rps=100.0, burst=3.0)
+        bucket.try_acquire(0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        for _ in range(3):
+            assert bucket.try_acquire(1000.0) == 0.0
+        assert bucket.try_acquire(1000.0) > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_rps=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_rps=1.0, burst=0.0)
+
+
+class TestTenantRegistry:
+    def test_resolve_and_unknown(self):
+        registry = TenantRegistry(TENANTS)
+        assert registry.resolve("alpha-key").config.name == "alpha"
+        with pytest.raises(UnknownTenantError):
+            registry.resolve("wrong")
+        with pytest.raises(UnknownTenantError):
+            registry.resolve(None)
+
+    def test_duplicate_keys_and_names_refused(self):
+        registry = TenantRegistry(TENANTS)
+        with pytest.raises(ValueError):
+            registry.add(TenantConfig(name="other", api_key="alpha-key"))
+        with pytest.raises(ValueError):
+            registry.add(TenantConfig(name="alpha", api_key="fresh-key"))
+
+    def test_retry_after_header_rounds_up(self):
+        assert TenantRegistry.retry_after_header(0.01) == "1"
+        assert TenantRegistry.retry_after_header(1.2) == "2"
+        assert TenantRegistry.retry_after_header(3.0) == "3"
+
+    def test_inflight_cap(self):
+        registry = TenantRegistry(
+            [TenantConfig(name="t", api_key="k", max_inflight=1)])
+        state = registry.resolve("k")
+        state.admit(0.0)
+        with pytest.raises(TenantQuotaError) as info:
+            state.admit(0.0)
+        assert info.value.reason == "in-flight"
+        state.release()
+        state.admit(0.0)  # released slot is usable again
+
+
+# ---------------------------------------------------------------------------
+# Data plane over HTTP
+# ---------------------------------------------------------------------------
+
+class TestGatewayDataPlane:
+    def test_sign_verify_roundtrip(self, handle, toy_group):
+        async def scenario():
+            codec = WireCodec(toy_group)
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "alpha-key", codec=codec)
+                result = await client.sign(b"http message")
+                assert handle.verify(b"http message", result.signature)
+                verdict = await client.verify(
+                    b"http message", result.signature)
+                assert verdict.valid
+                verdict = await client.verify(b"other", result.signature)
+                assert not verdict.valid
+                await client.close()
+        run(scenario())
+
+    def test_request_ids_are_assigned_and_unique(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "alpha-key")
+                ids = set()
+                for i in range(3):
+                    payload = await client.request(
+                        "POST", "/v1/sign",
+                        {"message": (b"m%d" % i).hex()})
+                    ids.add(payload["request_id"])
+                assert len(ids) == 3
+                await client.close()
+        run(scenario())
+
+    def test_unknown_api_key_is_401(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "who-dis")
+                with pytest.raises(GatewayError) as info:
+                    await client.sign(b"nope")
+                assert info.value.status == 401
+                assert info.value.error == "unauthorized"
+                # Missing header entirely is also 401.
+                response = await raw_exchange(
+                    gateway,
+                    b"POST /v1/sign HTTP/1.1\r\nContent-Length: 2\r\n"
+                    b"\r\n{}")
+                assert b"401 Unauthorized" in response
+                await client.close()
+        run(scenario())
+
+    def test_rate_quota_is_429_with_retry_after(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "beta-key")
+                for i in range(2):  # burst
+                    await client.sign(b"beta %d" % i)
+                with pytest.raises(TenantQuotaError) as info:
+                    await client.sign(b"over quota")
+                assert info.value.retry_after_s >= 1.0
+                state = gateway.tenants.resolve("beta-key")
+                assert state.stats.rejected_quota == 1
+                assert state.inflight == 0
+                await client.close()
+        run(scenario())
+
+    def test_inflight_cap_is_429(self, handle):
+        tenants = [TenantConfig(name="capped", api_key="cap-key",
+                                max_inflight=1)]
+        # A wide window holds the first request in flight long enough
+        # for the second to hit the cap.
+        config = service_config(max_batch=64, max_wait_ms=200.0)
+
+        async def scenario():
+            async with gateway_running(handle, tenants, config) as gateway:
+                first = client_for(gateway, "cap-key")
+                second = client_for(gateway, "cap-key")
+                task = asyncio.create_task(first.sign(b"holds the slot"))
+                await asyncio.sleep(0.02)
+                with pytest.raises(TenantQuotaError) as info:
+                    await second.sign(b"hits the cap")
+                assert info.value.reason == "in-flight"
+                result = await task
+                assert result.batch_size >= 1
+                await first.close()
+                await second.close()
+        run(scenario())
+
+    def test_service_overload_is_503(self, handle):
+        config = service_config(max_batch=64, max_wait_ms=500.0,
+                                queue_depth=1)
+
+        async def scenario():
+            async with gateway_running(handle, config=config) as gateway:
+                client = client_for(gateway, "alpha-key")
+                probes = [
+                    asyncio.create_task(client_for(
+                        gateway, "alpha-key").sign(b"fill %d" % i))
+                    for i in range(4)]
+                await asyncio.sleep(0.05)
+                outcomes = []
+                for probe in probes:
+                    try:
+                        await probe
+                        outcomes.append("ok")
+                    except Exception as exc:
+                        outcomes.append(type(exc).__name__)
+                # Depth-1 queues under a long window: at least one shed.
+                assert "ServiceOverloadedError" in outcomes
+                shed = sum(state.stats.shed for state in
+                           gateway.tenants.states().values())
+                assert shed == outcomes.count("ServiceOverloadedError")
+                await client.close()
+        run(scenario())
+
+    def test_malformed_requests_are_400(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "alpha-key")
+                for body in ({"message": "xyz"},       # bad hex
+                             {"message": 7},           # wrong type
+                             {}):                      # missing field
+                    with pytest.raises(GatewayError) as info:
+                        await client.request("POST", "/v1/sign", body)
+                    assert info.value.status == 400
+                # Unparseable JSON.
+                response = await raw_exchange(
+                    gateway,
+                    b"POST /v1/sign HTTP/1.1\r\nX-API-Key: alpha-key\r\n"
+                    b"Content-Length: 4\r\n\r\n{{{{")
+                assert b"400 Bad Request" in response
+                await client.close()
+        run(scenario())
+
+    def test_unknown_route_and_method(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "alpha-key")
+                with pytest.raises(GatewayError) as info:
+                    await client.request("GET", "/v2/nothing")
+                assert info.value.status == 404
+                with pytest.raises(GatewayError) as info:
+                    await client.request("GET", "/v1/sign")
+                assert info.value.status == 405
+                await client.close()
+        run(scenario())
+
+    def test_oversized_body_is_413(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                head = (b"POST /v1/sign HTTP/1.1\r\n"
+                        b"X-API-Key: alpha-key\r\n"
+                        b"Content-Length: 9999999\r\n\r\n")
+                response = await raw_exchange(gateway, head)
+                assert b"413 Payload Too Large" in response
+        run(scenario())
+
+    def test_keep_alive_reuses_one_connection(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "alpha-key")
+                for i in range(3):
+                    await client.sign(b"keep-alive %d" % i)
+                assert len(client._idle) == 1
+                await client.close()
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Quorum pinning (the per-tenant quorum policy)
+# ---------------------------------------------------------------------------
+
+class TestQuorumPinning:
+    def test_pinned_tenant_lands_on_one_shard(self, handle):
+        tenants = [
+            TenantConfig(name="pinned", api_key="pin-key",
+                         quorum_rotation=1),
+            TenantConfig(name="spread", api_key="spread-key"),
+        ]
+
+        async def scenario():
+            async with gateway_running(handle, tenants) as gateway:
+                pinned = client_for(gateway, "pin-key")
+                spread = client_for(gateway, "spread-key")
+                for i in range(12):
+                    await pinned.sign(b"pinned %d" % i)
+                    await spread.sign(b"spread %d" % i)
+                stats = gateway.service.snapshot_stats()
+                pinned_on = {sid for sid, s in stats.shards.items()
+                             if s.tenant_requests.get("pinned")}
+                spread_on = {sid for sid, s in stats.shards.items()
+                             if s.tenant_requests.get("spread")}
+                # rotation=1 with shard ids {0, 1} pins to shard 1;
+                # consistent hashing spreads 12 messages over both.
+                assert pinned_on == {1}
+                assert stats.shards[1].tenant_requests["pinned"] == 12
+                assert spread_on == {0, 1}
+                assert stats.tenant_accepted == {"pinned": 12,
+                                                 "spread": 12}
+                await pinned.close()
+                await spread.close()
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Control plane over HTTP
+# ---------------------------------------------------------------------------
+
+class TestGatewayControlPlane:
+    def test_admin_routes_require_admin_tenant(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                beta = client_for(gateway, "beta-key")
+                with pytest.raises(GatewayError) as info:
+                    await beta.admin_refresh()
+                assert info.value.status == 403
+                await beta.close()
+        run(scenario())
+
+    def test_lifecycle_over_the_wire(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                admin = client_for(gateway, "alpha-key")
+                refreshed = await admin.admin_refresh()
+                assert refreshed["epoch"] == 1
+                reshared = await admin.admin_reshare(2, [1, 2, 3, 4, 5, 6])
+                assert reshared["epoch"] == 2
+                assert reshared["signers"] == [1, 2, 3, 4, 5, 6]
+                resized = await admin.admin_resize(3)
+                assert resized["shards"] == 3
+                # Signing still works across all three transitions.
+                result = await admin.request(
+                    "POST", "/v1/sign", {"message": b"after".hex()})
+                assert result["epoch"] == 2
+                stats = gateway.service.snapshot_stats()
+                assert stats.epochs.refreshes == 1
+                assert stats.epochs.reshares == 1
+                assert stats.epochs.resizes == 1
+                await admin.close()
+        run(scenario())
+
+    def test_bad_lifecycle_parameters_are_400(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                admin = client_for(gateway, "alpha-key")
+                with pytest.raises(GatewayError) as info:
+                    await admin.admin_reshare(9, [1, 2, 3])
+                assert info.value.status == 400
+                with pytest.raises(GatewayError) as info:
+                    await admin.admin_resize(0)
+                assert info.value.status == 400
+                with pytest.raises(GatewayError) as info:
+                    await admin.request("POST", "/admin/reshare",
+                                        {"threshold": 1, "indices": "no"})
+                assert info.value.status == 400
+                await admin.close()
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+class TestGracefulDrain:
+    def test_inflight_requests_finish_during_stop(self, handle):
+        config = service_config(max_batch=64, max_wait_ms=100.0)
+
+        async def scenario():
+            service = SigningService(handle, config)
+            await service.start()
+            gateway = HttpGateway(service, tenants=TENANTS)
+            await gateway.start()
+            client = client_for(gateway, "alpha-key")
+            task = asyncio.create_task(client.sign(b"caught mid-drain"))
+            await asyncio.sleep(0.02)  # parked in the 100ms window
+            await gateway.stop()
+            # The in-flight request was answered, not dropped.
+            result = await task
+            assert result.batch_size == 1
+            # New connections are refused after the drain.
+            with pytest.raises((ConnectionError, OSError)):
+                await client_for(gateway, "alpha-key").healthz()
+            await client.close()
+            await service.stop()
+        run(scenario())
+
+    def test_idle_keepalive_connections_are_closed(self, handle):
+        async def scenario():
+            service = SigningService(handle, service_config())
+            await service.start()
+            gateway = HttpGateway(service, tenants=TENANTS)
+            await gateway.start()
+            client = client_for(gateway, "alpha-key")
+            await client.sign(b"park a keep-alive connection")
+            assert len(gateway._connections) == 1
+            await gateway.stop()
+            assert not gateway._connections
+            await client.close()
+            await service.stop()
+        run(scenario())
+
+    def test_stop_is_idempotent(self, handle):
+        async def scenario():
+            service = SigningService(handle, service_config())
+            await service.start()
+            gateway = HttpGateway(service, tenants=TENANTS)
+            await gateway.start()
+            await gateway.stop()
+            await gateway.stop()
+            await service.stop()
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Scheduled proactive refresh (ServiceConfig.refresh_every_s)
+# ---------------------------------------------------------------------------
+
+class TestScheduledRefresh:
+    def test_two_timed_refreshes_under_load_zero_rejections(self, handle):
+        config = service_config(refresh_every_s=0.05)
+
+        async def scenario():
+            service = SigningService(handle, config)
+            await service.start()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 0.18
+            completed = 0
+
+            async def client_loop():
+                nonlocal completed
+                while loop.time() < deadline:
+                    result = await service.sign(b"under refresh load")
+                    assert service.handle.verify(
+                        b"under refresh load", result.signature)
+                    completed += 1
+
+            await asyncio.gather(*(client_loop() for _ in range(4)))
+            stats = service.snapshot_stats()
+            await service.stop()
+            assert stats.epochs.refreshes >= 2
+            assert service.handle.epoch >= 2
+            # The lifecycle contract: transitions shed nothing.
+            assert stats.rejected == 0
+            assert stats.failed == 0
+            assert completed > 0
+            assert stats.completed >= completed
+        run(scenario())
+
+    def test_refresh_task_stops_with_service(self, handle):
+        config = service_config(refresh_every_s=0.02)
+
+        async def scenario():
+            service = SigningService(handle, config)
+            await service.start()
+            await asyncio.sleep(0.05)
+            await service.stop()
+            epoch_at_stop = service.handle.epoch
+            assert service._refresh_task is None or \
+                service._refresh_task.done()
+            await asyncio.sleep(0.05)
+            assert service.handle.epoch == epoch_at_stop
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+def unescape_label(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            out.append({"n": "\n", "\\": "\\", '"': '"'}[value[i + 1]])
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_labels(blob: str) -> tuple:
+    """``k="v",...`` -> sorted tuple of (key, unescaped value)."""
+    labels, i = [], 0
+    while i < len(blob):
+        eq = blob.index("=", i)
+        key = blob[i:eq]
+        assert blob[eq + 1] == '"'
+        j = eq + 2
+        while blob[j] != '"':
+            j += 2 if blob[j] == "\\" else 1
+        labels.append((key, unescape_label(blob[eq + 2:j])))
+        i = j + 1
+        if i < len(blob):
+            assert blob[i] == ","
+            i += 1
+    return tuple(sorted(labels))
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strict line-by-line parse: every sample belongs to a family whose
+    HELP and TYPE lines preceded it.  Returns
+    ``{family: {"type": ..., "samples": {(name, labels): value}}}``."""
+    assert text.endswith("\n")
+    families = {}
+    current = None
+    for line in text.splitlines():
+        assert line, "blank line in exposition"
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            assert name not in families, f"duplicate family {name}"
+            families[name] = {"help": help_text, "type": None,
+                              "samples": {}}
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name == current, "TYPE does not follow its HELP"
+            assert kind in ("counter", "gauge", "histogram")
+            families[name]["type"] = kind
+        else:
+            name_part, _, value_part = line.rpartition(" ")
+            if "{" in name_part:
+                name = name_part[:name_part.index("{")]
+                assert name_part.endswith("}")
+                labels = parse_labels(
+                    name_part[name_part.index("{") + 1:-1])
+            else:
+                name, labels = name_part, ()
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and \
+                        name[:-len(suffix)] in families:
+                    family = name[:-len(suffix)]
+            assert family == current, \
+                f"sample {name} outside its family block"
+            value = (float("inf") if value_part == "+Inf"
+                     else float(value_part))
+            key = (name, labels)
+            assert key not in families[family]["samples"], \
+                f"duplicate sample {key}"
+            families[family]["samples"][key] = value
+    for name, family in families.items():
+        assert family["type"] is not None, f"{name} has no TYPE"
+    return families
+
+
+def sample(families: dict, name: str, **labels) -> float:
+    key = (name, tuple(sorted(labels.items())))
+    prefix = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[:-len(suffix)] in families:
+            prefix = name[:-len(suffix)]
+    return families[prefix]["samples"][key]
+
+
+class TestPrometheusExposition:
+    def test_counters_reconcile_with_snapshot_stats(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                alpha = client_for(gateway, "alpha-key")
+                beta = client_for(gateway, "beta-key")
+                for i in range(8):
+                    await alpha.sign(b"alpha %d" % i)
+                outcomes = {"ok": 0, "quota": 0}
+                for i in range(4):
+                    try:
+                        await beta.sign(b"beta %d" % i)
+                        outcomes["ok"] += 1
+                    except TenantQuotaError:
+                        outcomes["quota"] += 1
+                assert outcomes == {"ok": 2, "quota": 2}
+                text = await alpha.metrics()
+                families = parse_prometheus(text)
+                stats = gateway.service.snapshot_stats()
+
+                assert sample(families, "ljy_service_accepted_total") == \
+                    stats.accepted == 10
+                assert sample(families, "ljy_service_completed_total") == \
+                    stats.completed
+                assert sample(families, "ljy_service_rejected_total") == \
+                    stats.rejected == 0
+                assert sample(families,
+                              "ljy_service_ingress_messages_total") == \
+                    stats.ingress.messages
+                assert sample(families, "ljy_epoch") == \
+                    stats.epochs.epoch == 0
+
+                for tenant, accepted in stats.tenant_accepted.items():
+                    assert sample(
+                        families, "ljy_service_tenant_accepted_total",
+                        tenant=tenant) == accepted
+                states = gateway.tenants.states()
+                assert sample(families, "ljy_tenant_admitted_total",
+                              tenant="alpha") == \
+                    states["alpha"].stats.admitted == 8
+                assert sample(families, "ljy_tenant_rejected_total",
+                              tenant="beta", reason="rate") == \
+                    states["beta"].stats.rejected_quota == 2
+                assert sample(families, "ljy_tenant_completed_total",
+                              tenant="beta") == 2
+                assert sample(families, "ljy_tenant_inflight",
+                              tenant="alpha") == 0
+
+                per_shard = sum(
+                    sample(families, "ljy_shard_requests_total",
+                           shard=str(sid))
+                    for sid in stats.shards)
+                assert per_shard == sum(
+                    s.requests for s in stats.shards.values()) == 10
+                # The scrape itself is in flight while rendering.
+                assert sample(families, "ljy_gateway_inflight") == 1
+                # Route counters: 10 signs landed 200s and 2 landed 429s
+                # before this scrape.
+                assert sample(families, "ljy_gateway_requests_total",
+                              route="/v1/sign", code="200") == 10
+                assert sample(families, "ljy_gateway_requests_total",
+                              route="/v1/sign", code="429") == 2
+                await alpha.close()
+                await beta.close()
+        run(scenario())
+
+    def test_histogram_series_are_cumulative_and_consistent(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                client = client_for(gateway, "alpha-key")
+                for i in range(5):
+                    await client.sign(b"latency %d" % i)
+                families = parse_prometheus(await client.metrics())
+                family = families["ljy_gateway_request_ms"]
+                assert family["type"] == "histogram"
+                buckets = sorted(
+                    ((labels, value) for (name, labels), value
+                     in family["samples"].items()
+                     if name.endswith("_bucket") and
+                     dict(labels)["route"] == "/v1/sign"),
+                    key=lambda item: float(
+                        dict(item[0])["le"].replace("+Inf", "inf")))
+                counts = [value for _, value in buckets]
+                assert counts == sorted(counts), "buckets not cumulative"
+                assert dict(buckets[-1][0])["le"] == "+Inf"
+                assert counts[-1] == sample(
+                    families, "ljy_gateway_request_ms_count",
+                    route="/v1/sign") == 5
+                assert sample(families, "ljy_gateway_request_ms_sum",
+                              route="/v1/sign") > 0
+                await client.close()
+        run(scenario())
+
+    def test_label_values_are_escaped(self, handle):
+        weird = 'we"ird\\te\nnant'
+        tenants = [TenantConfig(name=weird, api_key="weird-key")]
+
+        async def scenario():
+            async with gateway_running(handle, tenants) as gateway:
+                client = client_for(gateway, "weird-key")
+                await client.sign(b"escape me")
+                text = await client.metrics()
+                families = parse_prometheus(text)
+                assert sample(families, "ljy_tenant_admitted_total",
+                              tenant=weird) == 1
+                raw = [line for line in text.splitlines()
+                       if line.startswith("ljy_tenant_admitted_total")]
+                assert raw == [
+                    'ljy_tenant_admitted_total'
+                    '{tenant="we\\"ird\\\\te\\nnant"} 1']
+                await client.close()
+        run(scenario())
+
+    def test_epoch_and_worker_families_appear(self, handle):
+        async def scenario():
+            async with gateway_running(handle) as gateway:
+                admin = client_for(gateway, "alpha-key")
+                await admin.admin_refresh()
+                await admin.sign(b"after refresh")
+                families = parse_prometheus(await admin.metrics())
+                assert sample(families, "ljy_epoch") == 1
+                assert sample(families, "ljy_epoch_transitions_total",
+                              kind="refresh") == 1
+                assert sample(families, "ljy_epoch_transitions_total",
+                              kind="reshare") == 0
+                assert sample(families, "ljy_epoch_pause_ms_count") == 1
+                await admin.close()
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Real pairing end to end
+# ---------------------------------------------------------------------------
+
+@pytest.mark.bn254
+def test_http_gateway_on_bn254(bn254_group):
+    handle = ServiceHandle.dealer(bn254_group, 1, 3,
+                                  rng=random.Random(41))
+
+    async def scenario():
+        service = SigningService(handle, ServiceConfig(
+            num_shards=1, max_batch=4, max_wait_ms=5.0,
+            rng=random.Random(42)))
+        await service.start()
+        gateway = HttpGateway(service, tenants=[
+            TenantConfig(name="alpha", api_key="alpha-key", admin=True),
+            TenantConfig(name="beta", api_key="beta-key",
+                         rate_rps=0.5, burst=1.0),
+        ])
+        await gateway.start()
+        codec = WireCodec(bn254_group)
+        alpha = client_for(gateway, "alpha-key", codec=codec)
+        result = await alpha.sign(b"bn254 over http")
+        assert handle.verify(b"bn254 over http", result.signature)
+        verdict = await alpha.verify(b"bn254 over http", result.signature)
+        assert verdict.valid
+        # The 401 and 429 edges behave identically on the real backend.
+        with pytest.raises(GatewayError) as info:
+            await client_for(gateway, "bogus").sign(b"x")
+        assert info.value.status == 401
+        beta = client_for(gateway, "beta-key", codec=codec)
+        await beta.sign(b"beta burst")
+        with pytest.raises(TenantQuotaError):
+            await beta.sign(b"beta over")
+        await alpha.close()
+        await beta.close()
+        await gateway.stop()
+        await service.stop()
+    run(scenario())

@@ -31,6 +31,11 @@ the cost of crash safety — expected slightly below 1.0x.
 the identical sign-only workload with one live epoch transition
 (``begin_epoch`` barrier: drain in-flight windows, swap shares, resume)
 fired mid-run versus none — the cost of zero-downtime share refresh.
+The ``svc_http_*`` ops measure the HTTP front door: the identical
+sign-only workload entering through the asyncio gateway (HTTP/1.1
+keep-alive, JSON bodies, API-key tenant admission, a loopback socket
+round trip per request) versus calling ``service.sign`` directly — the
+cost of serving over the wire, also expected below 1.0x.
 See ``benchmarks/README.md`` for the methodology.
 
 Writes ``BENCH_t2_ops.json`` at the repository root (the perf trajectory
@@ -72,7 +77,8 @@ from repro.core.scheme import (                            # noqa: E402
     LJYThresholdScheme, ServiceHandle, reconstruct_master_key,
 )
 from repro.service import (                                # noqa: E402
-    LoadGenerator, ServiceConfig, SigningService,
+    GatewayClient, HttpGateway, LoadGenerator, ServiceConfig,
+    SigningService, TenantConfig,
 )
 from repro.curves.g1 import FP_OPS, G1Point                # noqa: E402
 from repro.curves.pairing import (                         # noqa: E402
@@ -609,6 +615,79 @@ def run_epoch_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
         SVC_PASSES, include_naive)
 
 
+def _drive_http_service(handle: ServiceHandle, sign_messages,
+                        over_http: bool) -> dict:
+    """One sign-only closed-loop pass, over the HTTP gateway or direct.
+
+    The HTTP side boots the gateway on an ephemeral loopback port and
+    drives the workload through ``GatewayClient`` (keep-alive connection
+    pool, hex-encoded JSON bodies, API-key auth on every request); the
+    direct side awaits ``service.sign`` on the same event loop.  Both
+    sides run the identical batched service configuration, so the delta
+    is exactly the front-door cost: HTTP/1.1 framing, JSON
+    encode/decode, tenant admission and the loopback round trip.
+    Returns the per-request wall-clock cost and the sign p50.
+    """
+    total = len(sign_messages)
+    config = ServiceConfig(
+        num_shards=1, max_batch=BATCH_K, max_wait_ms=25.0,
+        queue_depth=4 * total, rng=random.Random(77))
+
+    async def scenario():
+        async with SigningService(handle, config) as service:
+            gateway = client = None
+            if over_http:
+                gateway = HttpGateway(service, tenants=[
+                    TenantConfig(name="bench", api_key="bench-key")])
+                await gateway.start()
+                client = GatewayClient(
+                    gateway.host, gateway.port, "bench-key")
+            try:
+                workload = (
+                    (lambda i: client.sign(sign_messages[i]))
+                    if over_http else
+                    (lambda i: service.sign(sign_messages[i])))
+                return await LoadGenerator(workload).run_closed(
+                    total, SVC_CONCURRENCY)
+            finally:
+                if client is not None:
+                    await client.close()
+                if gateway is not None:
+                    await gateway.stop()
+
+    report = asyncio.run(scenario())
+    assert report.completed == total and report.failed == 0
+    return {
+        "svc_http_sign_p50": report.p50_ms,
+        "svc_http_throughput": report.duration_s * 1000.0 / total,
+    }
+
+
+def run_http_service_ops(scheme: LJYThresholdScheme, pk, shares, vks,
+                         include_naive: bool = True
+                         ) -> "tuple[dict, dict | None]":
+    """The ``svc_http_*`` ops: the cost of the HTTP front door.
+
+    Both sides run the identical batched sign-only pipeline at the same
+    offered load; the fast side enters through the asyncio HTTP gateway
+    (request parsing, tenant auth, JSON bodies, a loopback socket round
+    trip per request), the baseline calls ``service.sign`` directly.
+    The committed ratio is therefore the gateway overhead — expected
+    below 1.0x, landing in the overhead-bound ``--check`` band — and
+    the gate exists to catch the front door becoming the bottleneck
+    (per-request reconnects instead of keep-alive, or head-of-line
+    blocking in the connection handler, is a 0.2x-scale event).
+    """
+    handle = ServiceHandle(scheme, pk, shares, vks)
+    sign_messages = [b"svc http sign %d" % i for i in range(SVC_TOTAL)]
+    for message in sign_messages:
+        scheme.params.hash_message(message)
+    return interleaved_best(
+        lambda: _drive_http_service(handle, sign_messages, True),
+        lambda: _drive_http_service(handle, sign_messages, False),
+        SVC_PASSES, include_naive)
+
+
 def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     group = get_group("bn254")
     rng = random.Random(3)
@@ -708,6 +787,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
     epoch_fast, epoch_naive = run_epoch_service_ops(
         scheme, pk, shares, vks, include_naive=include_naive)
     fast_ms.update(epoch_fast)
+    http_fast, http_naive = run_http_service_ops(
+        scheme, pk, shares, vks, include_naive=include_naive)
+    fast_ms.update(http_fast)
 
     snapshot = {
         "meta": {
@@ -747,6 +829,9 @@ def run_snapshot(rounds: int, include_naive: bool = True) -> dict:
         # Epoch baseline: the same sign-only pipeline with no mid-run
         # transition — the ratio is the live-refresh pause overhead.
         naive_ms.update(epoch_naive)
+        # HTTP baseline: the same sign-only pipeline called directly
+        # (no gateway) — the ratio is the front-door overhead.
+        naive_ms.update(http_naive)
         snapshot["naive_ms"] = naive_ms
         snapshot["speedup"] = {
             op: round(naive_ms[op] / fast_ms[op], 2) for op in fast_ms
@@ -777,6 +862,9 @@ def render_table(snapshot: dict) -> Table:
             f"Service mixed load/request ({TCP_WORKERS} TCP workers vs 1)"),
         "svc_wal_throughput": "Service sign/request (WAL on vs off)",
         "svc_epoch_pause": "Service sign/request (live refresh vs none)",
+        "svc_http_sign_p50": "Service sign p50 (HTTP gateway vs direct)",
+        "svc_http_throughput": (
+            "Service sign/request (HTTP gateway vs direct)"),
     }
     has_naive = "naive_ms" in snapshot
     columns = ["operation", "ms"]

@@ -40,7 +40,17 @@ window) and asserts the service contract:
   admits from both the old and new epoch): a restart holding the
   pre-transition shares must be refused (the WAL proves a newer epoch
   was admitting), and a restart with the persisted post-transition
-  context must settle every admit exactly once.
+  context must settle every admit exactly once;
+* the HTTP front door serves the same contract over the wire: two
+  tenants with different quotas drive the gateway while an admin key
+  reshares the committee mid-load — over-quota requests are answered
+  ``429`` at the edge (they never cost a queue slot), the Prometheus
+  ``GET /metrics`` exposition parses line-by-line and reconciles
+  exactly with ``snapshot_stats()`` and the tenant registry, and
+  SIGKILLing the gateway's host process with admitted-but-unanswered
+  HTTP requests durable in the WAL leaves a log a restart settles
+  **exactly once** with verifying signatures (artifacts in
+  ``.smoke-wal/http/``).
 
 Exit-code contract (CI depends on it): **every** failure path exits
 nonzero — contract violations return 1 with a reason per line, and any
@@ -75,8 +85,9 @@ from repro.serialization import (                          # noqa: E402
     encode_service_context,
 )
 from repro.service import (                                # noqa: E402
-    CorruptSignerFault, LoadGenerator, ServiceConfig, ServiceError,
-    SigningService,
+    CorruptSignerFault, GatewayClient, HttpGateway, LoadGenerator,
+    ServiceConfig, ServiceError, SigningService, TenantConfig,
+    TenantQuotaError,
 )
 from repro.service.transport import (                      # noqa: E402
     parse_address, start_worker_process,
@@ -91,6 +102,9 @@ WAL_PENDING = 6
 #: epoch transition — stamped with the old epoch / the new one.
 EPOCH_PHASE0 = 3
 EPOCH_PHASE1 = 3
+#: Act 8 batch size: HTTP requests admitted (durable in the WAL) but
+#: unanswered when the gateway's host process is SIGKILLed.
+HTTP_PENDING = 5
 
 
 async def run_wal_victim(wal_dir: pathlib.Path, backend: str) -> int:
@@ -165,6 +179,33 @@ async def run_epoch_victim(epoch_dir: pathlib.Path, backend: str) -> int:
     return 1                        # unreachable in a passing run
 
 
+async def run_http_victim(http_dir: pathlib.Path, backend: str) -> int:
+    """Act 8's SIGKILL victim (spawned by ``--http-victim``).
+
+    Boots the service on a stalled window (it will not close for a
+    minute) behind an HTTP gateway on an ephemeral port, prints the
+    port for the parent, waits until the parent's HTTP sign requests
+    are durable in the WAL, prints the durable marker and parks for
+    the SIGKILL — a real front-door crash with admitted-but-unanswered
+    HTTP requests."""
+    handle = decode_service_context((http_dir / "ctx.bin").read_bytes())
+    stalled = ServiceConfig(num_shards=1, max_batch=64,
+                            max_wait_ms=60_000.0,
+                            wal_path=http_dir / "service.wal")
+    service = SigningService(handle, stalled)
+    await service.start()
+    gateway = HttpGateway(service, tenants=[
+        TenantConfig(name="alpha", api_key="alpha-key")])
+    await gateway.start()
+    print(f"http-victim port {gateway.port}", flush=True)
+    while service.wal.stats.admits < HTTP_PENDING:
+        await asyncio.sleep(0.01)
+    service.wal.sync()
+    print(f"http-victim durable {HTTP_PENDING}", flush=True)
+    await asyncio.sleep(300.0)      # the parent SIGKILLs us here
+    return 1                        # unreachable in a passing run
+
+
 def await_marker(process: subprocess.Popen, marker: str,
                  timeout_s: float = 120.0):
     """Block until the victim prints a line starting with ``marker``;
@@ -185,6 +226,50 @@ def await_marker(process: subprocess.Popen, marker: str,
                 return None
             if line.startswith(marker):
                 return line.strip()
+
+
+def parse_prometheus_text(text: str, check) -> dict:
+    """Line-by-line Prometheus text-format gate for ``GET /metrics``.
+
+    Validates the exposition structure (every sample preceded by its
+    family's HELP and TYPE lines, known types, no duplicates, parseable
+    values, trailing newline) and returns ``{sample-name-with-labels:
+    value}`` for the counter reconciliation checks."""
+    samples = {}
+    current = None
+    seen = set()
+    check(text.endswith("\n"), "metrics: missing trailing newline")
+    for line in text.splitlines():
+        check(bool(line), "metrics: blank line in exposition")
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            check(name not in seen, f"metrics: duplicate family {name}")
+            seen.add(name)
+            current = name
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            check(parts[2] == current,
+                  f"metrics: TYPE for {parts[2]} does not follow its HELP")
+            check(parts[3] in ("counter", "gauge", "histogram"),
+                  f"metrics: unknown type {parts[3]!r}")
+        else:
+            name_part, _, value_part = line.rpartition(" ")
+            base = name_part.split("{", 1)[0]
+            stripped = base
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix):
+                    stripped = base[:-len(suffix)]
+            check(current in (base, stripped),
+                  f"metrics: sample {base} outside its family block")
+            try:
+                float(value_part.replace("+Inf", "inf"))
+            except ValueError:
+                check(False, f"metrics: unparseable sample {line!r}")
+                continue
+            check(name_part not in samples,
+                  f"metrics: duplicate sample {name_part}")
+            samples[name_part] = float(value_part.replace("+Inf", "inf"))
+    return samples
 
 
 async def run_smoke(backend: str, requests: int, shards: int,
@@ -632,6 +717,200 @@ async def run_smoke(backend: str, requests: int, shards: int,
             f"carried admits exactly once")
     (epoch_dir / "epoch.log").write_text(
         "\n".join(lifecycle_lines) + "\n")
+
+    # -- act 8: the HTTP front door ------------------------------------
+    # 8a: two tenants with different quotas drive the gateway; an
+    # admin-triggered reshare lands mid-load; the Prometheus exposition
+    # must parse line-by-line and reconcile exactly with
+    # snapshot_stats() and the tenant registry.
+    http_dir = wal_dir / "http"
+    http_dir.mkdir()
+    http_requests = min(requests, 32)
+    http_config = ServiceConfig(num_shards=2, max_batch=8,
+                                max_wait_ms=10.0,
+                                queue_depth=4 * requests,
+                                wal_path=http_dir / "service.wal",
+                                rng=random.Random(13))
+    http_service = SigningService(handle, http_config)
+    await http_service.start()
+    http_gateway = HttpGateway(http_service, tenants=[
+        TenantConfig(name="alpha", api_key="alpha-key", admin=True),
+        TenantConfig(name="beta", api_key="beta-key",
+                     rate_rps=0.1, burst=2.0),
+    ])
+    await http_gateway.start()
+    codec = WireCodec(group)
+    alpha = GatewayClient(http_gateway.host, http_gateway.port,
+                          "alpha-key", codec=codec)
+    beta = GatewayClient(http_gateway.host, http_gateway.port,
+                         "beta-key", codec=codec)
+    http_signed = {}
+
+    async def http_sign(ordinal):
+        result = await alpha.sign(b"http doc %d" % ordinal)
+        http_signed[ordinal] = result
+        return result
+
+    http_load = asyncio.ensure_future(
+        LoadGenerator(http_sign).run_closed(http_requests, 8))
+    await asyncio.sleep(0.01)
+    reshared = await alpha.admin_reshare(2, [2, 3, 4, 5, 6])
+    http_report = await http_load
+    check(http_report.rejected == 0 and http_report.failed == 0
+          and http_report.completed == http_requests,
+          f"HTTP act: alpha load shed "
+          f"({http_report.completed}/{http_requests} completed, "
+          f"{http_report.rejected} rejected, {http_report.failed} "
+          f"failed)")
+    for ordinal, result in http_signed.items():
+        check(handle.verify(result.message, result.signature),
+              f"HTTP act: invalid signature for http doc #{ordinal}")
+    check(reshared["epoch"] == 1
+          and http_service.handle.public_key.to_bytes() == pk_before,
+          "HTTP act: the over-the-wire reshare did not advance the "
+          "epoch under the same public key")
+    # beta: burst of 2 admitted, then deterministic 429s (the refill
+    # rate of 0.1 rps cannot return a token within this act).
+    beta_ok, beta_429 = 0, 0
+    for i in range(6):
+        try:
+            await beta.sign(b"beta doc %d" % i)
+            beta_ok += 1
+        except TenantQuotaError:
+            beta_429 += 1
+    check(beta_ok == 2 and beta_429 == 4,
+          f"HTTP act: beta quota expected 2 admitted + 4 over-quota, "
+          f"got {beta_ok} + {beta_429}")
+    metrics_text = await alpha.metrics()
+    metrics = parse_prometheus_text(metrics_text, check)
+    http_stats = http_service.snapshot_stats()
+    tenant_states = http_gateway.tenants.states()
+    reconcile = [
+        ("ljy_service_accepted_total", http_stats.accepted),
+        ("ljy_service_completed_total", http_stats.completed),
+        ("ljy_service_rejected_total", http_stats.rejected),
+        ("ljy_service_failed_total", http_stats.failed),
+        ("ljy_epoch", http_stats.epochs.epoch),
+        ('ljy_epoch_transitions_total{kind="reshare"}',
+         http_stats.epochs.reshares),
+        ('ljy_tenant_admitted_total{tenant="alpha"}',
+         tenant_states["alpha"].stats.admitted),
+        ('ljy_tenant_completed_total{tenant="alpha"}',
+         tenant_states["alpha"].stats.completed),
+        ('ljy_tenant_admitted_total{tenant="beta"}',
+         tenant_states["beta"].stats.admitted),
+        ('ljy_tenant_rejected_total{tenant="beta",reason="rate"}',
+         tenant_states["beta"].stats.rejected_quota),
+        ('ljy_service_tenant_accepted_total{tenant="alpha"}',
+         http_stats.tenant_accepted.get("alpha", 0)),
+        ('ljy_service_tenant_accepted_total{tenant="beta"}',
+         http_stats.tenant_accepted.get("beta", 0)),
+    ]
+    for sample_name, expected in reconcile:
+        check(metrics.get(sample_name) == float(expected),
+              f"HTTP act: metrics sample {sample_name} = "
+              f"{metrics.get(sample_name)} but stats say {expected}")
+    per_shard_requests = sum(
+        value for name, value in metrics.items()
+        if name.startswith("ljy_shard_requests_total{"))
+    check(per_shard_requests == sum(
+        s.requests for s in http_stats.shards.values()),
+          "HTTP act: per-shard request counters do not sum to the "
+          "shard stats")
+    check(tenant_states["beta"].stats.rejected_quota == 4
+          and http_stats.tenant_accepted.get("beta", 0) == 2,
+          "HTTP act: beta's 429s leaked past the edge into the service")
+    await alpha.close()
+    await beta.close()
+    await http_gateway.stop()
+    await http_service.stop()
+    # Exactly-once audit of the HTTP WAL: every admitted sign settled
+    # once (beta's shed requests never became obligations).
+    http_records, _, _ = scan_records(http_dir / "service.wal",
+                                      WireCodec(group))
+    http_admits, http_dones = {}, {}
+    for record in http_records:
+        if isinstance(record, WalAdmitRecord):
+            http_admits[record.request_id] = record.message
+        else:
+            http_dones.setdefault(record.request_id, []).append(record)
+    check(len(http_admits) == http_requests + beta_ok,
+          f"HTTP act: expected {http_requests + beta_ok} admits in the "
+          f"WAL, found {len(http_admits)}")
+    for request_id in http_admits:
+        check(len(http_dones.get(request_id, [])) == 1,
+              f"HTTP act: request {request_id} settled "
+              f"{len(http_dones.get(request_id, []))} times")
+
+    # 8b: SIGKILL the gateway's host process with admitted-but-
+    # unanswered HTTP requests; a restart against the same WAL must
+    # settle every admitted request exactly once.
+    hv_dir = http_dir / "victim"
+    hv_dir.mkdir()
+    (hv_dir / "ctx.bin").write_bytes(encode_service_context(handle))
+    http_victim = subprocess.Popen(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--http-victim", str(hv_dir), "--backend", backend],
+        stdout=subprocess.PIPE, text=True)
+    hv_tasks = []
+    try:
+        port_line = await loop.run_in_executor(
+            None, lambda: await_marker(http_victim, "http-victim port"))
+        check(port_line is not None,
+              "HTTP act: the victim gateway never bound its port")
+        if port_line is not None:
+            hv_client = GatewayClient(
+                "127.0.0.1", int(port_line.split()[-1]), "alpha-key")
+            hv_tasks = [asyncio.ensure_future(
+                hv_client.sign(b"http pending %d" % i))
+                for i in range(HTTP_PENDING)]
+        durable_line = await loop.run_in_executor(
+            None, lambda: await_marker(http_victim,
+                                       "http-victim durable"))
+        check(durable_line is not None,
+              "HTTP act: the victim never reached its durable marker")
+    finally:
+        http_victim.kill()  # SIGKILL: no drain, no flush, no close
+        http_victim.wait(timeout=10)
+    hv_outcomes = await asyncio.gather(*hv_tasks,
+                                       return_exceptions=True)
+    check(all(isinstance(outcome, Exception)
+              for outcome in hv_outcomes),
+          "HTTP act: a request completed despite the SIGKILL")
+    hv_pending = int(durable_line.split()[-1]) if durable_line else 0
+    hv_wal = hv_dir / "service.wal"
+    hv_config = ServiceConfig(num_shards=2, max_batch=8,
+                              max_wait_ms=10.0, wal_path=hv_wal)
+    async with SigningService(handle, hv_config) as service:
+        hv_recovered = service.stats.recovered
+    check(hv_recovered == hv_pending,
+          f"HTTP act: replayed {hv_recovered} of {hv_pending} admitted "
+          "HTTP requests")
+    check(service.stats.completed == hv_pending,
+          f"HTTP act: only {service.stats.completed}/{hv_pending} "
+          "replayed HTTP requests completed")
+    hv_records, _, _ = scan_records(hv_wal, WireCodec(group))
+    hv_admits, hv_dones = {}, {}
+    for record in hv_records:
+        if isinstance(record, WalAdmitRecord):
+            hv_admits[record.request_id] = record.message
+        else:
+            hv_dones.setdefault(record.request_id, []).append(record)
+    check(len(hv_admits) == hv_pending,
+          f"HTTP act: expected {hv_pending} admits in the victim WAL, "
+          f"found {len(hv_admits)}")
+    for request_id, message in hv_admits.items():
+        settlements = hv_dones.get(request_id, [])
+        check(len(settlements) == 1,
+              f"HTTP act: request {request_id} settled "
+              f"{len(settlements)} times (exactly-once violated)")
+        if len(settlements) == 1:
+            done = settlements[0]
+            check(done.signature is not None
+                  and handle.verify(message, done.signature),
+                  f"HTTP act: request {request_id} settled without a "
+                  "verifying signature")
+
     if not failures:
         shutil.rmtree(wal_dir)
 
@@ -653,7 +932,12 @@ async def run_smoke(backend: str, requests: int, shards: int,
           f"{lc_stats.epochs.resizes} resize under load "
           f"({migrated} migrated, pause p99 "
           f"{lc_stats.epochs.pause_p99_ms:.1f}ms) and settled "
-          f"{ev_pending} admits across a mid-transition SIGKILL")
+          f"{ev_pending} admits across a mid-transition SIGKILL; HTTP "
+          f"front door served {http_requests + beta_ok} requests over "
+          f"the wire ({beta_429} over-quota 429s at the edge, "
+          f"{len(metrics)} metric samples reconciled) and settled "
+          f"{hv_pending} admitted HTTP requests exactly once after a "
+          f"gateway SIGKILL")
     if failures:
         print("serve-smoke FAILED:")
         for reason in failures:
@@ -679,6 +963,8 @@ def main(argv=None) -> int:
                         help=argparse.SUPPRESS)
     parser.add_argument("--epoch-victim", type=pathlib.Path, default=None,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--http-victim", type=pathlib.Path, default=None,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     if args.wal_victim is not None:
         # Internal re-entry: we are act 6's SIGKILL victim.
@@ -687,6 +973,10 @@ def main(argv=None) -> int:
         # Internal re-entry: we are act 7's mid-transition SIGKILL victim.
         return asyncio.run(
             run_epoch_victim(args.epoch_victim, args.backend))
+    if args.http_victim is not None:
+        # Internal re-entry: we are act 8's gateway SIGKILL victim.
+        return asyncio.run(
+            run_http_victim(args.http_victim, args.backend))
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     return asyncio.run(
