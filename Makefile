@@ -1,7 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-check serve-smoke docs-check smoke
+## Single source of truth for what CI installs.  The fast/full jobs
+## need pytest only (pytest-benchmark was installed for a while but
+## nothing imports it); the lint job needs ruff only.
+TEST_DEPS = -e . pytest
+LINT_DEPS = ruff
+
+.PHONY: test test-fast lint install-test install-lint bench \
+	bench-check serve-smoke docs-check smoke
 
 ## Full tier-1 suite (both backends).
 test:
@@ -11,14 +18,42 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not bn254"
 
-## Regenerate BENCH_t2_ops.json + benchmarks/results/t2_ops.txt.
+## Lint gate (the third fast CI gate).  Byte-compiles src/ and tools/
+## unconditionally — a syntax error anywhere fails even without ruff —
+## then runs `ruff check` (zero-warning baseline, rules in ruff.toml)
+## when ruff is importable.  Environments without ruff (the dev
+## container bakes in the Python toolchain only) still get the
+## compileall gate; CI installs ruff via `make install-lint`.
+lint:
+	$(PYTHON) -m compileall -q src tools
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "lint: ruff not installed; compileall gate only"; \
+	fi
+
+## CI install targets, driven by the variables above.
+install-test:
+	$(PYTHON) -m pip install $(TEST_DEPS)
+
+install-lint:
+	$(PYTHON) -m pip install $(LINT_DEPS)
+
+## Regenerate BENCH_t2_ops.json + benchmarks/results/t2_ops.txt +
+## benchmarks/results/pipeline_sweep.txt (the wire-v2 depth sweep).
 bench:
 	$(PYTHON) tools/bench_snapshot.py --rounds 5
 
 ## Re-run the micro-benchmarks and fail if any tracked op's speedup
 ## regressed beyond the tolerance vs the committed snapshot (does not
 ## overwrite it).  Tolerance defaults to 15%; widen on noisy runners
-## with e.g. `BENCH_TOLERANCE=25 make bench-check`.
+## with e.g. `BENCH_TOLERANCE=25 make bench-check`.  The gate includes
+## the wire-v2 ops: svc_robust_batch_shareverify holds the strict band
+## (its committed speedup is real — one cross-message multi-pairing vs
+## a per-share loop), while the svc_pipeline_* ops are overhead-bound
+## on the loopback (committed near 1.0x, below OVERHEAD_REFERENCE) and
+## get the wide OVERHEAD_TOLERANCE floor — their gate catches the
+## pipelined path collapsing, not scheduler jitter.
 bench-check:
 	$(PYTHON) tools/bench_snapshot.py --check --rounds 3
 
@@ -36,9 +71,12 @@ bench-check:
 ## (two tenants with different quotas, over-quota 429s at the edge, an
 ## admin reshare mid-load, a line-by-line Prometheus /metrics gate)
 ## and SIGKILLs the gateway's host process with admitted HTTP requests
-## durable — the restart must settle them exactly once (leaves
-## `.smoke-wal/` — WALs plus `epoch/epoch.log` — behind on failure for
-## forensics).
+## durable — the restart must settle them exactly once.  The wire-v2
+## act drives depth-4 pipelined request shipping over loopback TCP,
+## kills a worker with a full pipeline in flight, and requires every
+## in-flight request id to be resubmitted and settle exactly once
+## (leaves `.smoke-wal/` — WALs plus `epoch/epoch.log` — behind on
+## failure for forensics).
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 

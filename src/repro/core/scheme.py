@@ -181,6 +181,105 @@ class LJYThresholdScheme:
             (h_2, v_2_agg),
         ])
 
+    def batch_share_verify_window(
+            self, public_key: PublicKey,
+            verification_keys: Mapping[int, VerificationKey],
+            items: Sequence[Tuple[bytes, PartialSignature]],
+            rng=None) -> bool:
+        """Check partial signatures across **many messages** with one
+        multi-pairing — the Share-Verify twin of :meth:`batch_verify`.
+
+        :meth:`batch_share_verify` already collapses one message's
+        partials into four pairs, but a robust combiner faced with a
+        poisoned *window* holds partials for many messages at once.
+        Each equation is raised to a fresh random 64-bit exponent; by
+        bilinearity the product groups by pairing argument into
+        ``2 + 2 * distinct_signers`` pairs — ``(z_agg, g_z)``,
+        ``(r_agg, g_r)`` and one ``(H_1-agg_i, V_1i)``/``(H_2-agg_i,
+        V_2i)`` pair per contributing signer — so every G_hat argument
+        stays a *fixed, Miller-loop-prepared* point and the per-item
+        cost is a few small-exponent MSM terms instead of a four-pair
+        pairing product.
+
+        A batch containing any forged partial passes with probability
+        at most 2^-64 over the verifier's coins (standard
+        small-exponent batching).  Returns False when any item's signer
+        has no verification key; True for an empty batch.  Use
+        :meth:`locate_invalid_partials` to identify offenders when a
+        batch fails.
+        """
+        items = list(items)
+        if not items:
+            return True
+        for _, partial in items:
+            vk = verification_keys.get(partial.index)
+            if vk is None or vk.index != partial.index:
+                return False
+        if len(items) == 1:
+            message, partial = items[0]
+            return self.share_verify(
+                public_key, verification_keys[partial.index], message,
+                partial)
+        p = self.params
+        group = self.group
+        # Uniform over [1, 2^64] — 2^64 nonzero values, matching the
+        # stated soundness bound.
+        exponents = [random_scalar(1 << 64, rng) + 1 for _ in items]
+        z_points = [partial.z for _, partial in items]
+        r_points = [partial.r for _, partial in items]
+        group.batch_normalize(z_points + r_points)
+        z_agg = group.multi_exp(z_points, exponents)
+        r_agg = group.multi_exp(r_points, exponents)
+        # Group the hash terms by signer: V_1i/V_2i are the only
+        # non-shared G_hat arguments, so one MSM pair per *distinct*
+        # signer is the finest the product collapses to.
+        hashes: Dict[bytes, Tuple[GroupElement, GroupElement]] = {}
+        buckets: Dict[int, Tuple[list, list, list]] = {}
+        for exponent, (message, partial) in zip(exponents, items):
+            pair = hashes.get(message)
+            if pair is None:
+                pair = hashes[message] = p.hash_message(message)
+            h_1s, h_2s, exps = buckets.setdefault(
+                partial.index, ([], [], []))
+            h_1s.append(pair[0])
+            h_2s.append(pair[1])
+            exps.append(exponent)
+        pairs = [(z_agg, p.g_z), (r_agg, p.g_r)]
+        for index in sorted(buckets):
+            h_1s, h_2s, exps = buckets[index]
+            vk = verification_keys[index]
+            pairs.append((group.multi_exp(h_1s, exps), vk.v_1))
+            pairs.append((group.multi_exp(h_2s, exps), vk.v_2))
+        return group.pairing_product_is_one(pairs)
+
+    def locate_invalid_partials(
+            self, public_key: PublicKey,
+            verification_keys: Mapping[int, VerificationKey],
+            items: Sequence[Tuple[bytes, PartialSignature]],
+            rng=None) -> List[int]:
+        """Positions (into ``items``) of invalid ``(message, partial)``
+        pairs, localized by bisection over
+        :meth:`batch_share_verify_window` — so few forgeries in a big
+        flattened window cost ~2*log2(k) sub-batch multi-pairings
+        instead of k Share-Verify calls.  An item whose signer has no
+        verification key is reported invalid.  Returns [] when the
+        whole batch verifies.
+        """
+        items = list(items)
+
+        def bisect(lo: int, hi: int) -> List[int]:
+            if self.batch_share_verify_window(
+                    public_key, verification_keys, items[lo:hi], rng=rng):
+                return []
+            if hi - lo == 1:
+                return [lo]
+            mid = (lo + hi) // 2
+            return bisect(lo, mid) + bisect(mid, hi)
+
+        if not items:
+            return []
+        return bisect(0, len(items))
+
     # ------------------------------------------------------------------
     # Combining and verification
     # ------------------------------------------------------------------
@@ -361,9 +460,11 @@ class LJYThresholdScheme:
         :meth:`batch_verify` — so a window of k honest requests costs k
         cheap Lagrange MSMs plus a single multi-pairing instead of k
         robust Combines.  When the window check fails,
-        :meth:`locate_invalid` bisects to the poisoned requests and only
-        those are re-run through the robust per-share path (which filters
-        the forged partial signatures).
+        :meth:`locate_invalid` bisects to the poisoned requests, their
+        partial signatures are re-checked together under ONE
+        cross-message :meth:`batch_share_verify_window` (bisecting to
+        the forged shares via :meth:`locate_invalid_partials`), and
+        each flagged request recombines from its surviving shares.
 
         Returns ``(signatures, flagged)`` where ``flagged`` lists the
         window positions that needed the robust fallback.  A flagged
@@ -409,12 +510,36 @@ class LJYThresholdScheme:
         # position lacks t+1 distinct indices outright, so per-share
         # filtering (which only shrinks the usable set) cannot save it —
         # it stays None for the caller's own fallback.
+        #
+        # The retry itself is batched: every flagged position's partials
+        # are flattened into ONE cross-message
+        # :meth:`batch_share_verify_window` (with
+        # :meth:`locate_invalid_partials` bisection pinpointing the
+        # forged shares), instead of each position paying its own
+        # per-share Share-Verify loop.  The surviving partials are
+        # verified — each passed inside a passing batch — so the
+        # recombine can skip share verification.
+        items: List[Tuple[bytes, PartialSignature]] = []
+        item_positions: List[int] = []
         for position in invalid:
             message, partials = windows[position]
+            for partial in partials:
+                if verification_keys.get(partial.index) is not None:
+                    items.append((message, partial))
+                    item_positions.append(position)
+        bad = set(self.locate_invalid_partials(
+            public_key, verification_keys, items, rng=rng))
+        good_by_position: Dict[int, List[PartialSignature]] = {
+            position: [] for position in invalid}
+        for offset, (_, partial) in enumerate(items):
+            if offset not in bad:
+                good_by_position[item_positions[offset]].append(partial)
+        for position in invalid:
+            message, _ = windows[position]
             try:
                 signatures[position] = self.combine(
-                    public_key, verification_keys, message, partials,
-                    verify_shares=True, rng=rng)
+                    public_key, verification_keys, message,
+                    good_by_position[position], verify_shares=False)
             except CombineError:
                 signatures[position] = None
         return signatures, sorted(broken + invalid)

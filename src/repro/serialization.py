@@ -30,6 +30,7 @@ Two layers live here:
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -142,9 +143,13 @@ def measure_shoup(scheme, public_key, partial, signature) -> SizeReport:
 KIND_SIGN_JOB = b"S"
 KIND_VERIFY_JOB = b"V"
 KIND_PARTIAL_JOB = b"P"
+KIND_SIGN_REQUEST_JOB = b"Q"
+KIND_VERIFY_REQUEST_JOB = b"R"
 KIND_SIGN_OUTCOME = b"s"
 KIND_VERIFY_OUTCOME = b"v"
 KIND_PARTIAL_OUTCOME = b"p"
+KIND_SIGN_REQUEST_OUTCOME = b"q"
+KIND_VERIFY_REQUEST_OUTCOME = b"r"
 KIND_CONTEXT = b"C"
 KIND_WAL_ADMIT = b"W"
 KIND_WAL_DONE = b"w"
@@ -191,6 +196,38 @@ class PartialSignJob:
 
 
 @dataclass(frozen=True)
+class SignRequestJob:
+    """ONE sign request, shipped individually so the *worker* — not the
+    dispatcher — accumulates the batch window.
+
+    With pre-built windows (:class:`SignWindowJob`) the parent pays the
+    batching latency: every shard must close its own window before
+    anything crosses the wire, and at high shard counts each shard's
+    share of the traffic is too thin to fill windows quickly.  Shipping
+    single requests down a pipelined connection lets the remote worker
+    re-batch across *all* connected shards (see
+    ``WorkerServer`` in :mod:`repro.service.transport`), so window
+    occupancy follows total traffic instead of per-shard traffic.
+    """
+
+    shard_id: int
+    message: bytes
+    quorum: Tuple[int, ...]
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class VerifyRequestJob:
+    """ONE verify request (the verify-side twin of
+    :class:`SignRequestJob`)."""
+
+    shard_id: int
+    message: bytes
+    signature: Signature
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
 class SignWindowOutcome:
     """Result of a :class:`SignWindowJob`.
 
@@ -222,6 +259,27 @@ class PartialSignOutcome:
     """Result of a :class:`PartialSignJob`."""
 
     partials: Tuple[PartialSignature, ...]
+
+
+@dataclass(frozen=True)
+class SignRequestOutcome:
+    """Result of a :class:`SignRequestJob`.
+
+    ``signature`` is ``None`` exactly when ``failure`` is non-empty;
+    ``flagged`` marks a request that needed the robust fallback inside
+    the window the worker accumulated it into.
+    """
+
+    signature: Optional[Signature]
+    flagged: bool = False
+    failure: str = ""
+
+
+@dataclass(frozen=True)
+class VerifyRequestOutcome:
+    """Result of a :class:`VerifyRequestJob`."""
+
+    verdict: bool
 
 
 @dataclass(frozen=True)
@@ -420,6 +478,15 @@ class WireCodec:
                 _u32(job.epoch) + \
                 _packed(job.message) + _u32(len(job.signers)) + \
                 b"".join(_u32(index) for index in job.signers)
+        if isinstance(job, SignRequestJob):
+            return KIND_SIGN_REQUEST_JOB + _u32(job.shard_id) + \
+                _u32(job.epoch) + _packed(job.message) + \
+                _u32(len(job.quorum)) + \
+                b"".join(_u32(index) for index in job.quorum)
+        if isinstance(job, VerifyRequestJob):
+            return KIND_VERIFY_REQUEST_JOB + _u32(job.shard_id) + \
+                _u32(job.epoch) + _packed(job.message) + \
+                self.encode_signature(job.signature)
         raise SerializationError(f"unknown job type {type(job).__name__}")
 
     def decode_job(self, blob: bytes):
@@ -447,6 +514,16 @@ class WireCodec:
             signers = tuple(reader.u32() for _ in range(reader.u32()))
             job = PartialSignJob(shard_id=shard_id, message=message,
                                  signers=signers, epoch=epoch)
+        elif kind == KIND_SIGN_REQUEST_JOB:
+            message = reader.packed()
+            quorum = tuple(reader.u32() for _ in range(reader.u32()))
+            job = SignRequestJob(shard_id=shard_id, message=message,
+                                 quorum=quorum, epoch=epoch)
+        elif kind == KIND_VERIFY_REQUEST_JOB:
+            message = reader.packed()
+            signature = self._read_signature(reader)
+            job = VerifyRequestJob(shard_id=shard_id, message=message,
+                                   signature=signature, epoch=epoch)
         else:
             raise SerializationError(f"unknown job kind {kind!r}")
         reader.done()
@@ -478,6 +555,20 @@ class WireCodec:
             return KIND_PARTIAL_OUTCOME + _u32(len(outcome.partials)) + \
                 b"".join(self.encode_partial(partial)
                          for partial in outcome.partials)
+        if isinstance(outcome, SignRequestOutcome):
+            flagged = b"\x01" if outcome.flagged else b"\x00"
+            if outcome.signature is None:
+                if not outcome.failure:
+                    raise SerializationError(
+                        "sign-request outcome without a signature needs "
+                        "a failure reason")
+                return KIND_SIGN_REQUEST_OUTCOME + b"\x00" + flagged + \
+                    _packed(outcome.failure.encode("utf-8"))
+            return KIND_SIGN_REQUEST_OUTCOME + b"\x01" + flagged + \
+                self.encode_signature(outcome.signature)
+        if isinstance(outcome, VerifyRequestOutcome):
+            return KIND_VERIFY_REQUEST_OUTCOME + (
+                b"\x01" if outcome.verdict else b"\x00")
         raise SerializationError(
             f"unknown outcome type {type(outcome).__name__}")
 
@@ -518,6 +609,30 @@ class WireCodec:
         elif kind == KIND_PARTIAL_OUTCOME:
             outcome = PartialSignOutcome(partials=tuple(
                 self._read_partial(reader) for _ in range(reader.u32())))
+        elif kind == KIND_SIGN_REQUEST_OUTCOME:
+            status = reader.take(1)
+            flag_byte = reader.take(1)
+            if flag_byte not in (b"\x00", b"\x01"):
+                raise SerializationError(
+                    f"invalid sign-request flagged byte {flag_byte!r}")
+            flagged = flag_byte == b"\x01"
+            if status == b"\x01":
+                outcome = SignRequestOutcome(
+                    signature=self._read_signature(reader),
+                    flagged=flagged)
+            elif status == b"\x00":
+                outcome = SignRequestOutcome(
+                    signature=None, flagged=flagged,
+                    failure=reader.packed().decode("utf-8"))
+            else:
+                raise SerializationError(
+                    f"invalid sign-request status byte {status!r}")
+        elif kind == KIND_VERIFY_REQUEST_OUTCOME:
+            verdict_byte = reader.take(1)
+            if verdict_byte not in (b"\x00", b"\x01"):
+                raise SerializationError(
+                    f"invalid verify-request verdict byte {verdict_byte!r}")
+            outcome = VerifyRequestOutcome(verdict=verdict_byte == b"\x01")
         else:
             raise SerializationError(f"unknown outcome kind {kind!r}")
         reader.done()
@@ -645,17 +760,23 @@ def decode_service_context(blob: bytes):
 # The TCP frame layer
 # ---------------------------------------------------------------------------
 #
-# A frame is a fixed 10-byte header followed by the payload:
+# A frame is a fixed 18-byte header followed by the payload:
 #
-#   offset  size  field
-#   0       4     magic    b"LJYW"
-#   4       1     version  0x02 (FRAME_VERSION)
-#   5       1     kind     H (hello) | J (job) | O (outcome) | E (error)
-#                          | C (context update)
-#   6       4     length   payload bytes, u32 big-endian, <= MAX_FRAME_BYTES
-#   10      ...   payload  a WireCodec blob (J/O), a HELLO payload (H),
-#                          a service-context blob (C) or a UTF-8 error
-#                          message (E)
+#   offset  size  field        notes
+#   0       4     magic        b"LJYW"
+#   4       1     version      0x03 (FRAME_VERSION)
+#   5       1     kind         H (hello) | J (job) | O (outcome) |
+#                              E (error) | C (context update)
+#   6       8     request id   u64 big-endian; pairs an outcome/error
+#                              with the job that caused it, so one
+#                              connection can hold many in-flight jobs
+#                              (out-of-order completion).  0 for frames
+#                              outside any request (HELLO, and the
+#                              errors that refuse a broken handshake).
+#   14      4     length       payload bytes, u32 BE, <= MAX_FRAME_BYTES
+#   18      ...   payload      a WireCodec blob (J/O), a HELLO payload
+#                              (H), a service-context blob (C) or a
+#                              UTF-8 error message (E)
 #
 # The header carries everything a receiver needs to reject garbage
 # *before* touching the payload: a wrong magic or version means the
@@ -666,12 +787,17 @@ def decode_service_context(blob: bytes):
 #
 # Version history: v1 had no C frame; v2 added it for live epoch
 # transitions (a dispatcher pushing refreshed key material to running
-# workers) and stamped jobs with the epoch.  Per the compatibility rule
-# there is no negotiation — both ends upgrade together.
+# workers) and stamped jobs with the epoch; v3 (the "pipelined framing"
+# protocol) added the request-id field, the per-request job kinds
+# (``Q``/``R`` with their lowercase outcomes) and the optional PSK MAC
+# in HELLO.  Per the compatibility rule there is no negotiation — both
+# ends upgrade together.  The version byte sits at the same offset in
+# every version, so an old peer is always refused with a typed
+# version-mismatch error, never parsed as garbage.
 
 FRAME_MAGIC = b"LJYW"
-FRAME_VERSION = 2
-FRAME_HEADER_BYTES = 10
+FRAME_VERSION = 3
+FRAME_HEADER_BYTES = 18
 #: Upper bound on one frame's payload.  The largest legitimate payload
 #: is a service context (a few KiB at n in the hundreds); 16 MiB leaves
 #: three orders of magnitude of headroom while keeping a hostile length
@@ -692,8 +818,10 @@ FRAME_KINDS = (FRAME_KIND_HELLO, FRAME_KIND_JOB, FRAME_KIND_OUTCOME,
                FRAME_KIND_ERROR, FRAME_KIND_CONTEXT)
 
 
-def encode_frame(kind: bytes, payload: bytes) -> bytes:
-    """One wire frame: header (magic, version, kind, length) + payload."""
+def encode_frame(kind: bytes, payload: bytes,
+                 request_id: int = 0) -> bytes:
+    """One wire frame: header (magic, version, kind, request id,
+    length) + payload."""
     if kind not in FRAME_KINDS:
         raise SerializationError(f"unknown frame kind {kind!r}")
     if len(payload) > MAX_FRAME_BYTES:
@@ -701,17 +829,21 @@ def encode_frame(kind: bytes, payload: bytes) -> bytes:
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte cap")
     return FRAME_MAGIC + bytes([FRAME_VERSION]) + kind + \
-        _u32(len(payload)) + payload
+        _u64(request_id) + _u32(len(payload)) + payload
 
 
-def decode_frame_header(header: bytes) -> Tuple[bytes, int]:
-    """Validate a frame header; returns ``(kind, payload_length)``.
+def decode_frame_header(header: bytes) -> Tuple[bytes, int, int]:
+    """Validate a frame header; returns ``(kind, request_id,
+    payload_length)``.
 
     Raises :class:`~repro.errors.SerializationError` on anything that
     is not a well-formed current-version header.  A failure here means
     the byte stream cannot be re-synchronized (the length field is
     untrustworthy), so transports must close the connection rather than
-    skip the frame.
+    skip the frame.  The magic and version checks come first and sit at
+    version-independent offsets, so a peer speaking an older frame
+    version is refused with the version-mismatch error below — a typed
+    refusal, never a misparse of its differently-shaped header.
     """
     if len(header) != FRAME_HEADER_BYTES:
         raise SerializationError(
@@ -724,16 +856,17 @@ def decode_frame_header(header: bytes) -> Tuple[bytes, int]:
     if version != FRAME_VERSION:
         raise SerializationError(
             f"unsupported frame version {version} (this end speaks "
-            f"{FRAME_VERSION})")
+            f"{FRAME_VERSION}; both ends must upgrade together)")
     kind = header[5:6]
     if kind not in FRAME_KINDS:
         raise SerializationError(f"unknown frame kind {kind!r}")
-    length = int.from_bytes(header[6:10], "big")
+    request_id = int.from_bytes(header[6:14], "big")
+    length = int.from_bytes(header[14:18], "big")
     if length > MAX_FRAME_BYTES:
         raise SerializationError(
             f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
             "cap")
-    return kind, length
+    return kind, request_id, length
 
 
 def service_context_digest(context_blob: bytes) -> bytes:
@@ -748,21 +881,45 @@ def service_context_digest(context_blob: bytes) -> bytes:
     return hashlib.sha256(context_blob).digest()
 
 
-def encode_hello(group_name: str, digest: bytes) -> bytes:
-    """The HELLO frame payload: backend name + service-context digest."""
+def hello_mac(psk: bytes, digest: bytes) -> bytes:
+    """The HELLO authenticator: HMAC-SHA256 of the context digest under
+    a pre-shared key.
+
+    The digest already binds the whole service context, so MACing it
+    proves the peer holds the deployment's PSK without adding a round
+    trip — closing the gap where anyone who could *observe* a context
+    blob (it contains no secrets a worker doesn't need, but it is not
+    secret either) could speak the protocol.  An empty MAC field means
+    "no PSK configured"; both ends must agree, exactly like the digest.
+    """
+    return hmac.new(psk, digest, hashlib.sha256).digest()
+
+
+def encode_hello(group_name: str, digest: bytes,
+                 mac: bytes = b"") -> bytes:
+    """The HELLO frame payload: backend name + service-context digest +
+    the (possibly empty) PSK authenticator from :func:`hello_mac`."""
     if len(digest) != 32:
         raise SerializationError(
             f"context digest must be 32 bytes, got {len(digest)}")
-    return _packed(group_name.encode("utf-8")) + _packed(digest)
+    if len(mac) not in (0, 32):
+        raise SerializationError(
+            f"hello MAC must be empty or 32 bytes, got {len(mac)}")
+    return _packed(group_name.encode("utf-8")) + _packed(digest) + \
+        _packed(mac)
 
 
-def decode_hello(payload: bytes) -> Tuple[str, bytes]:
-    """Parse a HELLO payload; returns ``(group_name, digest)``."""
+def decode_hello(payload: bytes) -> Tuple[str, bytes, bytes]:
+    """Parse a HELLO payload; returns ``(group_name, digest, mac)``."""
     reader = _Reader(payload)
     group_name = reader.packed().decode("utf-8")
     digest = reader.packed()
+    mac = reader.packed()
     reader.done()
     if len(digest) != 32:
         raise SerializationError(
             f"context digest must be 32 bytes, got {len(digest)}")
-    return group_name, digest
+    if len(mac) not in (0, 32):
+        raise SerializationError(
+            f"hello MAC must be empty or 32 bytes, got {len(mac)}")
+    return group_name, digest, mac

@@ -87,6 +87,19 @@ class ServiceConfig:
     #: that does not answer a window job within this many seconds is
     #: treated like a dropped connection (discard, resubmit elsewhere).
     remote_job_timeout_s: float = 60.0
+    #: Pipelining window for the TCP tier: how many requests each
+    #: remote-worker connection may hold in flight at once (answers are
+    #: matched by the frame header's request id, so completions may
+    #: arrive out of order).  Depth 1 (the default) reproduces the old
+    #: one-request-per-turn protocol; depth > 1 additionally ships
+    #: windows as per-message request jobs so the *worker* accumulates
+    #: batches across every connected dispatcher.
+    pipeline_depth: int = 1
+    #: Pre-shared key for the TCP tier's HELLO authenticator
+    #: (``HMAC-SHA256(psk, context digest)``, both directions).  Both
+    #: ends must configure the same key — or neither; a mismatch is
+    #: refused as misprovisioning.  str or bytes.
+    remote_psk: Optional[object] = None
     #: Scheduled proactive share refresh: every this-many seconds the
     #: running service performs a live refresh through the
     #: ``begin_epoch`` barrier (what :class:`ChurnFault` does randomly,
@@ -156,7 +169,9 @@ class SigningService:
             config.max_wait_ms, config.queue_depth,
             fault_injector=config.fault_injector, rng=config.rng,
             workers=config.workers, remote_workers=config.remote_workers,
-            wal=self.wal, remote_job_timeout_s=config.remote_job_timeout_s)
+            wal=self.wal, remote_job_timeout_s=config.remote_job_timeout_s,
+            pipeline_depth=config.pipeline_depth,
+            remote_psk=config.remote_psk)
         self._pool.start()
         self._transition_lock = asyncio.Lock()
         if self.wal is not None and self.wal.pending:

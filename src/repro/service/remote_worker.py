@@ -58,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="die (os._exit) on the first partial signed "
                         "while this file does not exist — crash-recovery "
                         "fault injection")
+    parser.add_argument("--psk", default=None, metavar="KEY",
+                        help="pre-shared key: require dispatchers to "
+                        "authenticate their HELLO with "
+                        "HMAC-SHA256(psk, context digest); both ends "
+                        "must configure the same key (or neither)")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="worker-side accumulator: flush a window "
+                        "once this many shipped requests are pending "
+                        "(default 16)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="worker-side accumulator: linger this long "
+                        "for stragglers before flushing a short window "
+                        "(default 2.0)")
     parser.add_argument("--write-context", type=pathlib.Path,
                         default=None, metavar="PATH",
                         help="provisioning mode: dealer-generate a "
@@ -102,8 +115,11 @@ async def serve(args) -> int:
     warm_handle(handle)
     fault_injector = (WorkerCrashFault(args.crash_sentinel)
                       if args.crash_sentinel is not None else None)
+    psk = args.psk.encode("utf-8") if args.psk else None
     server = WorkerServer(handle, host=args.host, port=args.listen,
-                          fault_injector=fault_injector)
+                          fault_injector=fault_injector, psk=psk,
+                          max_batch=args.max_batch,
+                          max_wait_ms=args.max_wait_ms)
     await server.start()
     print(f"{READY_MARKER}{server.host}:{server.port}", flush=True)
     try:

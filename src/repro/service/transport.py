@@ -12,26 +12,40 @@ bytes on real sockets:
   :mod:`repro.serialization`).
 * :class:`WorkerServer` — the accept loop a standalone worker process
   (:mod:`repro.service.remote_worker`) runs: handshake, then a
-  read-job/execute/write-outcome loop per connection, dispatching
+  pipelined read loop per connection (frames matched to answers by the
+  header's request id, so many jobs ride one connection), dispatching
   through the same :func:`~repro.service.workers.execute_job` the
-  process tier uses.
+  process tier uses.  Single-request jobs
+  (:class:`~repro.serialization.SignRequestJob` /
+  :class:`~repro.serialization.VerifyRequestJob`) are not executed one
+  by one: a server-wide accumulator re-batches them — across *all*
+  connected dispatchers — into windows, so batch occupancy follows
+  total traffic instead of any one shard's share of it.
 * :class:`RemoteWorkerPool` — the dispatcher side, a drop-in for
   :class:`~repro.service.workers.WorkerPool` behind the shard workers
   (``ServiceConfig(remote_workers=["host:port", ...])``): round-robin
-  over configured endpoints, lazy dialing, and the same
-  crash-recovery contract as the process pool — a dropped connection
-  is detected, the endpoint is re-dialed with exponential backoff, and
-  the window job is resubmitted (to the reconnected worker or any
-  other live endpoint), so a killed worker costs latency, never a
-  lost request.
+  over configured endpoints, lazy dialing, up to ``pipeline_depth``
+  concurrently in-flight requests per connection (a per-connection
+  reader task resolves them by request id, in whatever order the
+  worker answers), and the same crash-recovery contract as the process
+  pool — a dropped connection fails every in-flight request id at
+  once, each owning call re-dials/resubmits exactly its own job, so a
+  killed worker costs latency, never a lost or double-served request.
+  With ``ship_requests`` the pool fans a window job out into
+  per-message request jobs down the pipeline (the worker re-batches
+  them), cutting parent-side batching latency at high shard counts.
 
 **Handshake.**  A connection is useless unless both ends hold the same
 service context (scheme, curve, threshold parameters, keys), so the
 first frame each way is a HELLO carrying the backend name and the
 SHA-256 digest of the encoded context
-(:func:`~repro.serialization.service_context_digest`).  A mismatch is
-misprovisioning, not a transient fault: the server refuses with an
-error frame and the client raises a typed
+(:func:`~repro.serialization.service_context_digest`).  When a
+pre-shared key is configured the HELLO also carries
+``HMAC-SHA256(psk, digest)`` (:func:`~repro.serialization.hello_mac`),
+checked in both directions — holding the context blob is no longer
+enough to speak the protocol.  A mismatch (digest, backend, frame
+version or PSK) is misprovisioning, not a transient fault: the server
+refuses with an error frame and the client raises a typed
 :class:`~repro.service.types.HandshakeError` instead of retrying.
 
 **Failure taxonomy** (mirrors the process tier's
@@ -63,26 +77,31 @@ retry budget exhausted       :class:`~repro.service.types.TransportError`
 from __future__ import annotations
 
 import asyncio
+import hmac
 import os
 import pathlib
 import select
 import subprocess
 import sys
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SerializationError
 from repro.serialization import (
     FRAME_HEADER_BYTES, FRAME_KIND_CONTEXT, FRAME_KIND_ERROR,
-    FRAME_KIND_HELLO, FRAME_KIND_JOB, FRAME_KIND_OUTCOME, WireCodec,
+    FRAME_KIND_HELLO, FRAME_KIND_JOB, FRAME_KIND_OUTCOME,
+    SignRequestJob, SignWindowJob, SignWindowOutcome, VerifyRequestJob,
+    VerifyRequestOutcome, VerifyWindowJob, VerifyWindowOutcome, WireCodec,
     decode_frame_header, decode_hello, decode_service_context,
-    encode_frame, encode_hello, encode_service_context,
+    encode_frame, encode_hello, encode_service_context, hello_mac,
     service_context_digest,
 )
 from repro.service.types import (
     HandshakeError, RemoteJobError, TransportError, WorkerPoolStats,
 )
-from repro.service.workers import execute_job, warm_handle
+from repro.service.workers import (
+    execute_job, sign_request_outcome, warm_handle,
+)
 
 #: Errors that mean "this connection is gone" (``IncompleteReadError``
 #: is an ``EOFError``; ``ConnectionError`` and timeouts are ``OSError``
@@ -94,8 +113,9 @@ _CONNECTION_ERRORS = (OSError, EOFError)
 # Stream framing
 # ---------------------------------------------------------------------------
 
-async def read_frame(reader: asyncio.StreamReader) -> Tuple[bytes, bytes]:
-    """Read one frame; returns ``(kind, payload)``.
+async def read_frame(reader: asyncio.StreamReader
+                     ) -> Tuple[bytes, int, bytes]:
+    """Read one frame; returns ``(kind, request_id, payload)``.
 
     Raises :class:`asyncio.IncompleteReadError` when the peer closes
     (cleanly between frames or mid-frame — the transport treats both as
@@ -105,15 +125,15 @@ async def read_frame(reader: asyncio.StreamReader) -> Tuple[bytes, bytes]:
     way to find the next frame boundary.
     """
     header = await reader.readexactly(FRAME_HEADER_BYTES)
-    kind, length = decode_frame_header(header)
+    kind, request_id, length = decode_frame_header(header)
     payload = await reader.readexactly(length)
-    return kind, payload
+    return kind, request_id, payload
 
 
 def write_frame(writer: asyncio.StreamWriter, kind: bytes,
-                payload: bytes) -> None:
+                payload: bytes, request_id: int = 0) -> None:
     """Queue one frame on the writer (callers ``await writer.drain()``)."""
-    writer.write(encode_frame(kind, payload))
+    writer.write(encode_frame(kind, payload, request_id))
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -138,19 +158,52 @@ def parse_address(address: str) -> Tuple[str, int]:
 # The server side (what a remote worker process runs)
 # ---------------------------------------------------------------------------
 
+class _ServedConnection:
+    """One accepted dispatcher connection: its writer, the write lock
+    that keeps concurrently-answering tasks (the inline executor and
+    the server-wide accumulator flush) from interleaving frames, and
+    the set of request ids currently in flight on it (the duplicate-id
+    guard)."""
+
+    __slots__ = ("writer", "write_lock", "pending")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.pending: Set[int] = set()
+
+    @property
+    def open(self) -> bool:
+        return not self.writer.is_closing()
+
+
 class WorkerServer:
     """Serve window jobs over TCP for one service context.
 
     One instance per worker process; any number of dispatcher
-    connections, each handled by its own coroutine (handshake, then a
-    job/outcome loop).  The crypto itself runs synchronously on the
-    loop — a worker process exists to burn its core on pairings, and
-    back-to-back jobs on separate connections simply queue, exactly
-    like a process-pool worker's mailbox.
+    connections, each handled by its own coroutine.  Per connection the
+    protocol is pipelined: a reader coroutine keeps draining frames
+    (socket buffers stay open while crypto runs) and every answer
+    carries the request id of the job that caused it, so a dispatcher
+    may hold many in-flight jobs and receive completions out of order.
+    A job frame reusing an id that is still in flight on the same
+    connection is refused with an error frame — silently serving it
+    would let one answer settle two different requests.
+
+    Window jobs execute inline, in arrival order, on the loop — a
+    worker process exists to burn its core on pairings.  Single-request
+    jobs instead land in a server-wide accumulator that re-batches them
+    into windows across *all* connections (``max_batch`` /
+    ``max_wait_ms``, the same greedy-then-linger policy as the parent's
+    :class:`~repro.service.accumulator.BatchAccumulator`), so the
+    cross-message amortization follows the worker's total traffic.
     """
 
     def __init__(self, handle, host: str = "127.0.0.1", port: int = 0,
-                 fault_injector=None):
+                 fault_injector=None, psk: Optional[bytes] = None,
+                 max_batch: int = 16, max_wait_ms: float = 2.0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
         # Raises TypeError for schemes without window entry points —
         # fail at construction, like WorkerPool.
         self._context = encode_service_context(handle)
@@ -158,88 +211,284 @@ class WorkerServer:
         self._handle = handle
         self._codec = WireCodec(handle.scheme.group)
         self._group_name = handle.scheme.group.name
+        self._psk = psk or None
         self.host = host
         self.port = port
         self.fault_injector = fault_injector
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
         self.jobs_served = 0
+        #: Accumulator telemetry: windows flushed and the requests they
+        #: carried (``requests_accumulated / windows_accumulated`` is
+        #: the worker-side batch occupancy the request-shipping mode
+        #: exists to raise).
+        self.windows_accumulated = 0
+        self.requests_accumulated = 0
         self._server: Optional[asyncio.base_events.Server] = None
+        #: (connection, request_id, job) triples awaiting a window.
+        self._request_queue: "asyncio.Queue[Tuple[_ServedConnection, int, object]]" = \
+            asyncio.Queue()
+        self._flush_task: Optional[asyncio.Task] = None
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    def _hello_payload(self) -> bytes:
+        mac = hello_mac(self._psk, self._digest) if self._psk else b""
+        return encode_hello(self._group_name, self._digest, mac)
 
     async def start(self) -> "WorkerServer":
         """Bind and start accepting; resolves ``port`` when it was 0."""
         self._server = await asyncio.start_server(
             self._serve_connection, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._flush_task = asyncio.get_running_loop().create_task(
+            self._flush_loop(), name="worker-accumulator")
         return self
 
     async def serve_forever(self) -> None:
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+            self._flush_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
 
+    # -- frame output (any task answering on a connection) ------------------
+    async def _send(self, connection: _ServedConnection, kind: bytes,
+                    payload: bytes, request_id: int = 0) -> None:
+        """Write one frame under the connection's write lock.  Send
+        failures are swallowed: a connection dying with answers in
+        flight is the dispatcher's crash-recovery problem (it resubmits
+        elsewhere), not a reason to kill the task that was answering."""
+        async with connection.write_lock:
+            if not connection.open:
+                return
+            try:
+                write_frame(connection.writer, kind, payload, request_id)
+                await connection.writer.drain()
+            except _CONNECTION_ERRORS:
+                pass
+
+    async def _send_error(self, connection: _ServedConnection,
+                          request_id: int, reason: str) -> None:
+        await self._send(connection, FRAME_KIND_ERROR,
+                         reason.encode("utf-8"), request_id)
+
     # -- per-connection protocol -------------------------------------------
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        connection = _ServedConnection(writer)
+        executor_task = None
         try:
-            if not await self._handshake(reader, writer):
+            if not await self._handshake(reader, connection):
                 return
+            # Inline-job mailbox: the reader keeps draining the socket
+            # (that is what makes the connection pipelined) while this
+            # task runs the crypto in arrival order.
+            inline_jobs: "asyncio.Queue[Tuple[int, bytes]]" = \
+                asyncio.Queue()
+            executor_task = asyncio.get_running_loop().create_task(
+                self._execute_loop(connection, inline_jobs))
             while True:
                 try:
-                    kind, payload = await read_frame(reader)
+                    kind, request_id, payload = await read_frame(reader)
                 except _CONNECTION_ERRORS:
                     return                      # dispatcher went away
                 except SerializationError as exc:
                     # Garbage header: framing is lost, close after a
                     # best-effort explanation.
-                    await self._refuse(writer, str(exc))
+                    await self._refuse(connection, str(exc))
                     return
                 if kind == FRAME_KIND_CONTEXT:
                     # Live re-provisioning: a key-lifecycle transition
                     # pushes the new epoch's context in place instead
-                    # of tearing the worker down.  The stream stays in
-                    # sync either way, so a refused push answers with
-                    # an E frame and keeps serving the *old* epoch.
-                    await self._apply_context_push(writer, payload)
+                    # of tearing the worker down.  Pushes arrive inside
+                    # the dispatcher's epoch barrier (no jobs in
+                    # flight), so applying it here cannot interleave
+                    # with a window mid-crypto.  A refused push answers
+                    # with an E frame and keeps serving the *old*
+                    # epoch.
+                    await self._apply_context_push(
+                        connection, request_id, payload)
                     continue
                 if kind != FRAME_KIND_JOB:
                     await self._refuse(
-                        writer, f"expected a job frame, got {kind!r}")
+                        connection,
+                        f"expected a job frame, got {kind!r}")
                     return
-                try:
-                    job = self._codec.decode_job(payload)
-                    outcome_blob = self._codec.encode_outcome(execute_job(
-                        self._handle, job,
-                        fault_injector=self.fault_injector))
-                except Exception as exc:
-                    # The frame arrived intact, so the stream is still
-                    # in sync: report the job-level failure and keep
-                    # serving this connection (the dispatcher raises
-                    # RemoteJobError instead of resubmitting).
-                    write_frame(writer, FRAME_KIND_ERROR,
-                                f"{type(exc).__name__}: {exc}".encode(
-                                    "utf-8"))
-                    await writer.drain()
+                if request_id in connection.pending:
+                    # Answering two jobs under one id would make one
+                    # outcome settle both; refuse the duplicate and
+                    # keep the stream (the header parsed fine, framing
+                    # is intact).
+                    await self._send_error(
+                        connection, request_id,
+                        f"duplicate request id {request_id} is already "
+                        f"in flight on this connection")
                     continue
-                write_frame(writer, FRAME_KIND_OUTCOME, outcome_blob)
-                await writer.drain()
-                self.jobs_served += 1
+                connection.pending.add(request_id)
+                inline_jobs.put_nowait((request_id, payload))
         except _CONNECTION_ERRORS:
             pass
         finally:
+            if executor_task is not None:
+                executor_task.cancel()
+                try:
+                    await executor_task
+                except asyncio.CancelledError:
+                    pass
             writer.close()
             try:
                 await writer.wait_closed()
-            except _CONNECTION_ERRORS:
+            except _CONNECTION_ERRORS + (asyncio.CancelledError,):
+                # Loop teardown can cancel this task while it drains
+                # the close handshake; the socket is closed either way.
                 pass
 
-    async def _apply_context_push(self, writer: asyncio.StreamWriter,
+    async def _execute_loop(self, connection: _ServedConnection,
+                            inline_jobs: "asyncio.Queue") -> None:
+        """Decode and answer this connection's jobs in arrival order;
+        single-request jobs detour through the server-wide accumulator
+        and are answered by its flush task instead."""
+        while True:
+            request_id, payload = await inline_jobs.get()
+            try:
+                job = self._codec.decode_job(payload)
+            except Exception as exc:
+                await self._send_error(
+                    connection, request_id,
+                    f"{type(exc).__name__}: {exc}")
+                connection.pending.discard(request_id)
+                continue
+            if isinstance(job, (SignRequestJob, VerifyRequestJob)):
+                self._request_queue.put_nowait(
+                    (connection, request_id, job))
+                continue
+            try:
+                outcome_blob = self._codec.encode_outcome(execute_job(
+                    self._handle, job, fault_injector=self.fault_injector))
+            except Exception as exc:
+                # The frame arrived intact, so the stream is still in
+                # sync: report the job-level failure and keep serving
+                # this connection (the dispatcher raises RemoteJobError
+                # instead of resubmitting).
+                await self._send_error(
+                    connection, request_id,
+                    f"{type(exc).__name__}: {exc}")
+                connection.pending.discard(request_id)
+                continue
+            await self._send(connection, FRAME_KIND_OUTCOME, outcome_blob,
+                             request_id)
+            connection.pending.discard(request_id)
+            self.jobs_served += 1
+            # One cooperative yield per job so the reader task drains
+            # newly-arrived frames between crypto calls.
+            await asyncio.sleep(0)
+
+    # -- the server-wide request accumulator --------------------------------
+    async def _flush_loop(self) -> None:
+        """Gather single-request jobs — from every connection — into
+        windows: greedy drain, then linger up to ``max_wait_ms`` for
+        stragglers, flush at ``max_batch``."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._request_queue.get()]
+            deadline = loop.time() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch:
+                while len(batch) < self.max_batch:
+                    try:
+                        batch.append(self._request_queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                remaining = deadline - loop.time()
+                if len(batch) >= self.max_batch or remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._request_queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            try:
+                await self._execute_accumulated(batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:   # defensive: fail the batch's
+                for connection, request_id, _ in batch:  # ids, not the
+                    await self._send_error(                # flush loop
+                        connection, request_id,
+                        f"{type(exc).__name__}: {exc}")
+                    connection.pending.discard(request_id)
+
+    async def _execute_accumulated(self, batch) -> None:
+        """Execute one accumulated window, grouped into the largest
+        batchable units: sign requests by (epoch, quorum) — different
+        quorums need different Lagrange sets — and verify requests by
+        epoch.  Answers go back per request id, to whichever connection
+        each request arrived on."""
+        self.windows_accumulated += 1
+        self.requests_accumulated += len(batch)
+        sign_groups: Dict[Tuple[int, Tuple[int, ...]], list] = {}
+        verify_groups: Dict[int, list] = {}
+        for item in batch:
+            job = item[2]
+            if isinstance(job, SignRequestJob):
+                sign_groups.setdefault(
+                    (job.epoch, tuple(job.quorum)), []).append(item)
+            else:
+                verify_groups.setdefault(job.epoch, []).append(item)
+        for (epoch, quorum), items in sign_groups.items():
+            window_job = SignWindowJob(
+                shard_id=items[0][2].shard_id, epoch=epoch,
+                messages=tuple(item[2].message for item in items),
+                quorum=quorum)
+            await self._answer_group(
+                items, window_job,
+                lambda outcome, position: self._codec.encode_outcome(
+                    sign_request_outcome(outcome, position)))
+        for epoch, items in verify_groups.items():
+            window_job = VerifyWindowJob(
+                shard_id=items[0][2].shard_id, epoch=epoch,
+                messages=tuple(item[2].message for item in items),
+                signatures=tuple(item[2].signature for item in items))
+            await self._answer_group(
+                items, window_job,
+                lambda outcome, position: self._codec.encode_outcome(
+                    VerifyRequestOutcome(
+                        verdict=outcome.verdicts[position])))
+        # Yield between accumulated windows, like the inline executor.
+        await asyncio.sleep(0)
+
+    async def _answer_group(self, items, window_job, project) -> None:
+        """Run one synthesized window job and answer each request id
+        from its own position (or fail them all with one E frame each
+        when the window itself refuses, e.g. a stale epoch)."""
+        try:
+            outcome = execute_job(self._handle, window_job,
+                                  fault_injector=self.fault_injector)
+        except Exception as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+            for connection, request_id, _ in items:
+                await self._send_error(connection, request_id, reason)
+                connection.pending.discard(request_id)
+            return
+        for position, (connection, request_id, _) in enumerate(items):
+            await self._send(connection, FRAME_KIND_OUTCOME,
+                             project(outcome, position), request_id)
+            connection.pending.discard(request_id)
+            self.jobs_served += 1
+
+    async def _apply_context_push(self, connection: _ServedConnection,
+                                  request_id: int,
                                   payload: bytes) -> None:
         """Validate and install a pushed new-epoch service context.
 
@@ -249,14 +498,14 @@ class WorkerServer:
         public key bytes must be *identical* (refresh/reshare never
         change the master key), and the epoch must be strictly newer.
         On success the caches are re-warmed and the new HELLO (with the
-        new context digest) is the acknowledgement.
+        new context digest, echoing the push's request id) is the
+        acknowledgement.
         """
         try:
             handle = decode_service_context(payload)
         except Exception as exc:
-            write_frame(writer, FRAME_KIND_ERROR,
-                        f"bad context push: {exc}".encode("utf-8"))
-            await writer.drain()
+            await self._send_error(connection, request_id,
+                                   f"bad context push: {exc}")
             return
         problem = None
         if handle.scheme.group.name != self._group_name:
@@ -271,56 +520,67 @@ class WorkerServer:
             problem = (f"stale context push: epoch {handle.epoch} is "
                        f"not newer than epoch {self._handle.epoch}")
         if problem is not None:
-            write_frame(writer, FRAME_KIND_ERROR, problem.encode("utf-8"))
-            await writer.drain()
+            await self._send_error(connection, request_id, problem)
             return
         warm_handle(handle)
         self._handle = handle
         self._context = payload
         self._digest = service_context_digest(payload)
-        write_frame(writer, FRAME_KIND_HELLO,
-                    encode_hello(self._group_name, self._digest))
-        await writer.drain()
+        await self._send(connection, FRAME_KIND_HELLO,
+                         self._hello_payload(), request_id)
+
+    def _psk_agrees(self, mac: bytes, digest: bytes) -> bool:
+        """Constant-time check of the peer's HELLO authenticator.  Both
+        ends must agree on *whether* a PSK is configured, exactly like
+        they must agree on the digest itself."""
+        if not self._psk:
+            return not mac
+        return len(mac) == 32 and hmac.compare_digest(
+            mac, hello_mac(self._psk, digest))
 
     async def _handshake(self, reader: asyncio.StreamReader,
-                         writer: asyncio.StreamWriter) -> bool:
-        """First frame must be a HELLO matching our context digest."""
+                         connection: _ServedConnection) -> bool:
+        """First frame must be a HELLO matching our context digest (and
+        PSK authenticator, when a pre-shared key is configured)."""
         try:
-            kind, payload = await read_frame(reader)
+            kind, _, payload = await read_frame(reader)
         except _CONNECTION_ERRORS:
             return False
         except SerializationError as exc:
-            await self._refuse(writer, str(exc))
+            await self._refuse(connection, str(exc))
             return False
         if kind != FRAME_KIND_HELLO:
             await self._refuse(
-                writer, f"expected HELLO as the first frame, got {kind!r}")
+                connection,
+                f"expected HELLO as the first frame, got {kind!r}")
             return False
         try:
-            group_name, digest = decode_hello(payload)
+            group_name, digest, mac = decode_hello(payload)
         except SerializationError as exc:
-            await self._refuse(writer, f"bad HELLO payload: {exc}")
+            await self._refuse(connection, f"bad HELLO payload: {exc}")
             return False
         if group_name != self._group_name or digest != self._digest:
             await self._refuse(
-                writer,
+                connection,
                 f"service-context mismatch: this worker serves backend "
                 f"{self._group_name!r} with context digest "
                 f"{self._digest.hex()[:16]}..., dispatcher offered "
                 f"{group_name!r}/{digest.hex()[:16]}...")
             return False
-        write_frame(writer, FRAME_KIND_HELLO,
-                    encode_hello(self._group_name, self._digest))
-        await writer.drain()
+        if not self._psk_agrees(mac, digest):
+            await self._refuse(
+                connection,
+                "pre-shared-key mismatch: the dispatcher's HELLO "
+                "authenticator does not match this worker's PSK "
+                "configuration")
+            return False
+        await self._send(connection, FRAME_KIND_HELLO,
+                         self._hello_payload())
         return True
 
-    async def _refuse(self, writer: asyncio.StreamWriter,
+    async def _refuse(self, connection: _ServedConnection,
                       reason: str) -> None:
-        try:
-            write_frame(writer, FRAME_KIND_ERROR, reason.encode("utf-8"))
-            await writer.drain()
-        except _CONNECTION_ERRORS:
-            pass
+        await self._send_error(connection, 0, reason)
 
 
 # ---------------------------------------------------------------------------
@@ -328,21 +588,32 @@ class WorkerServer:
 # ---------------------------------------------------------------------------
 
 class _Endpoint:
-    """One configured remote worker address plus its live connection
-    and circuit-breaker state."""
+    """One configured remote worker address plus its live connection,
+    in-flight request window and circuit-breaker state."""
 
-    __slots__ = ("host", "port", "reader", "writer", "request_lock",
-                 "dial_lock", "dialed_once", "failures", "open_until",
+    __slots__ = ("host", "port", "reader", "writer", "send_lock",
+                 "depth", "pending", "reader_task", "dial_lock",
+                 "dialed_once", "failures", "open_until",
                  "misprovisioned")
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int, pipeline_depth: int):
         self.host = host
         self.port = port
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
-        #: One in-flight request per connection — the protocol has no
-        #: request ids, so responses are matched by ordering.
-        self.request_lock = asyncio.Lock()
+        #: Serializes frame *writes* only — reads are the reader task's
+        #: job, and completions are matched by request id, so up to
+        #: ``depth`` requests ride the connection concurrently.
+        self.send_lock = asyncio.Lock()
+        #: Admission window: how many requests may be in flight on this
+        #: connection at once (``pipeline_depth`` 1 reproduces the old
+        #: one-request-per-turn protocol exactly).
+        self.depth = asyncio.Semaphore(pipeline_depth)
+        #: In-flight request ids -> the futures their answers resolve.
+        self.pending: Dict[int, asyncio.Future] = {}
+        #: Per-connection reader: drains answer frames and resolves
+        #: ``pending`` futures by id, in whatever order they arrive.
+        self.reader_task: Optional[asyncio.Task] = None
         #: One dial at a time, so concurrent shards cannot open
         #: duplicate connections to the same worker.
         self.dial_lock = asyncio.Lock()
@@ -355,8 +626,8 @@ class _Endpoint:
         #: passes, the next acquire re-probes (half-open).
         self.open_until = 0.0
         #: HELLO refusal reason.  Misprovisioning (wrong backend, keys,
-        #: committee) is a *configuration* error, not a transient fault:
-        #: the quarantine is sticky for the pool's lifetime.
+        #: committee, PSK) is a *configuration* error, not a transient
+        #: fault: the quarantine is sticky for the pool's lifetime.
         self.misprovisioned: Optional[str] = None
 
     @property
@@ -392,7 +663,10 @@ class RemoteWorkerPool:
                  backoff_max_s: float = 1.0,
                  job_timeout_s: float = 60.0,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_s: float = 2.0):
+                 breaker_cooldown_s: float = 2.0,
+                 pipeline_depth: int = 1,
+                 psk: Optional[bytes] = None,
+                 ship_requests: bool = False):
         if not addresses:
             raise ValueError("need at least one remote worker address")
         if max_retries < 0:
@@ -401,14 +675,31 @@ class RemoteWorkerPool:
             raise ValueError("job_timeout_s must be positive")
         if breaker_threshold < 1:
             raise ValueError("breaker_threshold must be at least 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
+        if isinstance(psk, str):
+            psk = psk.encode("utf-8")
         # Raises TypeError for schemes without window entry points.
         self._context = encode_service_context(handle)
         self._digest = service_context_digest(self._context)
         self._group_name = handle.scheme.group.name
-        self._hello = encode_hello(self._group_name, self._digest)
+        self._psk = psk or None
         self._codec = WireCodec(handle.scheme.group)
+        #: How many requests each connection may hold in flight.
+        self.pipeline_depth = pipeline_depth
+        #: Ship per-message request jobs down the pipeline instead of
+        #: pre-built windows, letting the worker re-batch across every
+        #: connected dispatcher (see :class:`WorkerServer`).
+        self.ship_requests = ship_requests
         self._endpoints: List[_Endpoint] = [
-            _Endpoint(*parse_address(address)) for address in addresses]
+            _Endpoint(*parse_address(address),
+                      pipeline_depth=pipeline_depth)
+            for address in addresses]
+        #: Monotonic request-id source, shared by every endpoint (ids
+        #: are scoped per connection by the protocol, but a pool-wide
+        #: counter costs nothing and makes traces unambiguous).  Id 0
+        #: is reserved for handshake-phase frames.
+        self._request_counter = 0
         self.max_retries = max_retries
         self.dial_timeout_s = dial_timeout_s
         self.dial_deadline_s = dial_deadline_s
@@ -438,6 +729,19 @@ class RemoteWorkerPool:
         booting (or being restarted) must not fail service start-up —
         the first job waits for it inside the backoff loop instead."""
         self._running = True
+
+    def _hello_payload(self) -> bytes:
+        mac = hello_mac(self._psk, self._digest) if self._psk else b""
+        return encode_hello(self._group_name, self._digest, mac)
+
+    def _psk_agrees(self, mac: bytes, digest: bytes) -> bool:
+        """Constant-time check of the worker's HELLO authenticator —
+        mutual authentication, so a dispatcher cannot be fooled into
+        shipping jobs to a worker that merely replayed a digest."""
+        if not self._psk:
+            return not mac
+        return len(mac) == 32 and hmac.compare_digest(
+            mac, hello_mac(self._psk, digest))
 
     async def aclose(self) -> None:
         self._running = False
@@ -488,18 +792,15 @@ class RemoteWorkerPool:
                 f"{', '.join(e.address for e in self._endpoints)})")
         self._context = context
         self._digest = digest
-        self._hello = encode_hello(self._group_name, digest)
         self.stats.rewarms += 1
 
     async def _push_context(self, endpoint: "_Endpoint", context: bytes,
                             digest: bytes) -> bool:
-        async with endpoint.request_lock:
-            if not endpoint.connected:
-                return False
-            write_frame(endpoint.writer, FRAME_KIND_CONTEXT, context)
-            await endpoint.writer.drain()
-            kind, payload = await asyncio.wait_for(
-                read_frame(endpoint.reader), self.job_timeout_s)
+        if not endpoint.connected:
+            return False
+        kind, payload = await asyncio.wait_for(
+            self._roundtrip(endpoint, FRAME_KIND_CONTEXT, context),
+            self.job_timeout_s)
         if kind == FRAME_KIND_ERROR:
             raise HandshakeError(
                 f"remote worker {endpoint.address} refused the context "
@@ -507,29 +808,126 @@ class RemoteWorkerPool:
         if kind != FRAME_KIND_HELLO:
             raise SerializationError(
                 f"expected HELLO after a context push, got {kind!r}")
-        group_name, answered = decode_hello(payload)
+        group_name, answered, mac = decode_hello(payload)
         if group_name != self._group_name or answered != digest:
             raise HandshakeError(
                 f"remote worker {endpoint.address} acknowledged the "
                 f"context push with the wrong digest")
+        if not self._psk_agrees(mac, answered):
+            raise HandshakeError(
+                f"remote worker {endpoint.address} acknowledged the "
+                f"context push with a bad PSK authenticator")
         return True
 
     # -- connection management ----------------------------------------------
+    def _fail_pending(self, endpoint: _Endpoint) -> bool:
+        """Fail every unresolved in-flight future on a dead connection
+        (their owning ``run_job`` calls each resubmit exactly their own
+        job).  Returns True when at least one request really was in
+        flight — the connection died mid-job, not idle."""
+        had_inflight = False
+        for future in list(endpoint.pending.values()):
+            if not future.done():
+                future.set_exception(ConnectionResetError(
+                    f"connection to {endpoint.address} lost with the "
+                    f"request in flight"))
+                had_inflight = True
+        return had_inflight
+
     async def _discard(self, endpoint: _Endpoint) -> bool:
         """Tear down a (broken) connection.  Returns True only for the
-        caller that actually closed it, so one worker death breaking
-        several queued jobs is counted as one crash — the same
-        first-observer rule as ``WorkerPool._restart``."""
+        caller that actually closed it, so one worker death breaking a
+        whole window of in-flight requests is counted as one crash —
+        the same first-observer rule as ``WorkerPool._restart``.  The
+        reader task tears its own connection down when the socket dies
+        under it, so callers arriving here afterwards get False."""
         writer = endpoint.writer
+        reader_task = endpoint.reader_task
         endpoint.reader = endpoint.writer = None
+        endpoint.reader_task = None
         if writer is None:
             return False
+        if reader_task is not None and \
+                reader_task is not asyncio.current_task():
+            reader_task.cancel()
+            try:
+                await reader_task
+            except asyncio.CancelledError:
+                pass
+        self._fail_pending(endpoint)
         writer.close()
         try:
             await writer.wait_closed()
         except _CONNECTION_ERRORS:
             pass
         return True
+
+    async def _reader_loop(self, endpoint: _Endpoint) -> None:
+        """Drain answer frames from one connection for as long as it
+        lives, resolving in-flight futures by request id — out-of-order
+        completion is the point: a slow window job no longer blocks the
+        answers queued behind it.
+
+        When the socket dies (drop, EOF, garbage frame) *this* task
+        owns the teardown: every in-flight future fails at once with
+        ``ConnectionResetError`` and each owning call resubmits its own
+        job — so a killed worker fails a whole pipeline window in one
+        instant instead of one ``job_timeout_s`` at a time.  Dying
+        mid-job counts as one crash; a drop while idle is just churn.
+        """
+        reader, writer = endpoint.reader, endpoint.writer
+        try:
+            while True:
+                kind, request_id, payload = await read_frame(reader)
+                future = endpoint.pending.get(request_id)
+                if future is not None and not future.done():
+                    future.set_result((kind, payload))
+                # An unknown id is an answer whose owner already gave
+                # up (timed out and discarded) — by then this reader is
+                # cancelled, so in practice: ignore and keep draining.
+        except asyncio.CancelledError:
+            raise               # _discard owns this teardown
+        except _CONNECTION_ERRORS + (SerializationError,):
+            pass
+        if endpoint.writer is not writer:
+            return              # somebody else already tore it down
+        endpoint.reader = endpoint.writer = None
+        endpoint.reader_task = None
+        if self._fail_pending(endpoint):
+            self.stats.crashes += 1
+            self._record_failure(endpoint, asyncio.get_running_loop())
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except _CONNECTION_ERRORS:
+            pass
+
+    async def _roundtrip(self, endpoint: _Endpoint, kind: bytes,
+                         blob: bytes) -> Tuple[bytes, bytes]:
+        """Ship one frame and await its answer ``(kind, payload)``,
+        matched by request id.  Concurrent callers interleave freely up
+        to the endpoint's depth; only the write itself is serialized."""
+        self._request_counter += 1
+        request_id = self._request_counter
+        future = asyncio.get_running_loop().create_future()
+        endpoint.pending[request_id] = future
+        inflight = len(endpoint.pending)
+        if inflight > self.stats.max_inflight:
+            self.stats.max_inflight = inflight
+        try:
+            async with endpoint.send_lock:
+                if not endpoint.connected:
+                    # The connection died while we queued on the lock;
+                    # the caller discards (a no-op for non-first
+                    # observers) and resubmits.
+                    raise ConnectionResetError(
+                        f"connection to {endpoint.address} lost before "
+                        "dispatch")
+                write_frame(endpoint.writer, kind, blob, request_id)
+                await endpoint.writer.drain()
+            return await future
+        finally:
+            endpoint.pending.pop(request_id, None)
 
     async def _dial(self, endpoint: _Endpoint) -> bool:
         """(Re)connect one endpoint and run the HELLO handshake.
@@ -550,9 +948,10 @@ class RemoteWorkerPool:
             except _CONNECTION_ERRORS + (asyncio.TimeoutError,):
                 return False
             try:
-                write_frame(writer, FRAME_KIND_HELLO, self._hello)
+                write_frame(writer, FRAME_KIND_HELLO,
+                            self._hello_payload())
                 await writer.drain()
-                kind, payload = await asyncio.wait_for(
+                kind, _, payload = await asyncio.wait_for(
                     read_frame(reader), self.dial_timeout_s)
             except _CONNECTION_ERRORS + (asyncio.TimeoutError,):
                 writer.close()
@@ -573,7 +972,7 @@ class RemoteWorkerPool:
                     f"remote worker {endpoint.address} answered HELLO "
                     f"with frame kind {kind!r}")
             try:
-                group_name, digest = decode_hello(payload)
+                group_name, digest, mac = decode_hello(payload)
             except SerializationError as exc:
                 writer.close()
                 raise HandshakeError(
@@ -586,7 +985,16 @@ class RemoteWorkerPool:
                     f"service context ({group_name!r}/"
                     f"{digest.hex()[:16]}..., expected "
                     f"{self._group_name!r}/{self._digest.hex()[:16]}...)")
+            if not self._psk_agrees(mac, digest):
+                writer.close()
+                raise HandshakeError(
+                    f"remote worker {endpoint.address} answered HELLO "
+                    f"with a bad PSK authenticator (pre-shared keys "
+                    f"differ, or only one side has one configured)")
             endpoint.reader, endpoint.writer = reader, writer
+            endpoint.reader_task = asyncio.get_running_loop().create_task(
+                self._reader_loop(endpoint),
+                name=f"remote-worker-reader-{endpoint.address}")
             if endpoint.dialed_once:
                 self.stats.reconnects += 1
             endpoint.dialed_once = True
@@ -663,63 +1071,112 @@ class RemoteWorkerPool:
         """Dispatch one window job to a remote worker and decode its
         outcome, reconnecting and resubmitting on dropped connections —
         the socket analogue of ``WorkerPool.run_job``'s
-        ``BrokenProcessPool`` recovery."""
+        ``BrokenProcessPool`` recovery.
+
+        With ``ship_requests`` a window job never crosses the wire
+        whole: it fans out into per-message request jobs that ride the
+        pipeline individually and are re-batched *worker-side* (see
+        :class:`WorkerServer`), then the outcomes are reassembled into
+        the window shape the shard expects.
+        """
         if not self._running:
             raise TransportError("remote worker pool is not running")
-        blob = self._codec.encode_job(job)
+        if self.ship_requests and isinstance(
+                job, (SignWindowJob, VerifyWindowJob)) and job.messages:
+            return await self._run_window_as_requests(job)
+        return await self._run_single(self._codec.encode_job(job))
+
+    async def _run_window_as_requests(self, job):
+        """Fan one window job out into per-message request jobs (each
+        with its own request id, its own retry budget and its own
+        crash recovery) and reassemble the window outcome.  Positions
+        are preserved: outcome ``i`` answers message ``i``."""
+        if isinstance(job, SignWindowJob):
+            subjobs = [SignRequestJob(
+                shard_id=job.shard_id, message=message,
+                quorum=tuple(job.quorum), epoch=job.epoch)
+                for message in job.messages]
+        else:
+            subjobs = [VerifyRequestJob(
+                shard_id=job.shard_id, message=message,
+                signature=signature, epoch=job.epoch)
+                for message, signature in zip(job.messages,
+                                              job.signatures)]
+        outcomes = await asyncio.gather(
+            *(self._run_single(self._codec.encode_job(subjob))
+              for subjob in subjobs),
+            return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        if isinstance(job, VerifyWindowJob):
+            return VerifyWindowOutcome(verdicts=tuple(
+                outcome.verdict for outcome in outcomes))
+        signatures, flagged, failures = [], [], []
+        for position, outcome in enumerate(outcomes):
+            signatures.append(outcome.signature)
+            if outcome.flagged:
+                flagged.append(position)
+            if outcome.signature is None:
+                failures.append((position, outcome.failure))
+        # fallback_combines stays 0: the robust recombines (if any)
+        # happened inside the worker's accumulated windows, and their
+        # count belongs to whichever window each request landed in.
+        return SignWindowOutcome(
+            signatures=tuple(signatures), flagged=tuple(flagged),
+            failures=tuple(failures), fallback_combines=0)
+
+    async def _run_single(self, blob: bytes):
+        """Ship one encoded job, with the retry/teardown state machine
+        both dispatch shapes share."""
         loop = asyncio.get_running_loop()
         last_error = None
         for attempt in range(self.max_retries + 1):
             endpoint = await self._acquire()
-            try:
-                outcome_blob = await asyncio.wait_for(
-                    self._request(endpoint, blob), self.job_timeout_s)
-            except asyncio.TimeoutError:
-                # Hung worker: connected but silent past the job
-                # timeout.  A late answer would desync the one-in-
-                # flight stream, so the connection is as dead as a
-                # dropped one — discard and resubmit (the breaker keeps
-                # a chronically hung endpoint out of the rotation).
-                last_error = TransportError(
-                    f"remote worker {endpoint.address} did not answer a "
-                    f"job within {self.job_timeout_s:.1f}s")
-                if await self._discard(endpoint):
-                    self.stats.timeouts += 1
-                self._record_failure(endpoint, loop)
-                if attempt < self.max_retries:
-                    self.stats.resubmissions += 1
-                continue
-            except _CONNECTION_ERRORS + (SerializationError,) as exc:
-                # The worker died or the stream desynchronized; either
-                # way this connection is unusable.  First observer
-                # counts the crash; everyone resubmits.
-                last_error = exc
-                if await self._discard(endpoint):
-                    self.stats.crashes += 1
-                self._record_failure(endpoint, loop)
-                if attempt < self.max_retries:
-                    self.stats.resubmissions += 1
-                continue
-            self.stats.jobs += 1
-            self._record_success(endpoint)
-            return self._codec.decode_outcome(outcome_blob)
+            async with endpoint.depth:
+                try:
+                    outcome_blob = await asyncio.wait_for(
+                        self._request(endpoint, blob), self.job_timeout_s)
+                except asyncio.TimeoutError:
+                    # Hung worker: connected but silent past the job
+                    # timeout.  Its event loop is stuck, so every job
+                    # on the connection is doomed — discard it and
+                    # resubmit (the breaker keeps a chronically hung
+                    # endpoint out of the rotation).
+                    last_error = TransportError(
+                        f"remote worker {endpoint.address} did not "
+                        f"answer a job within {self.job_timeout_s:.1f}s")
+                    if await self._discard(endpoint):
+                        self.stats.timeouts += 1
+                        self._record_failure(endpoint, loop)
+                    if attempt < self.max_retries:
+                        self.stats.resubmissions += 1
+                    continue
+                except _CONNECTION_ERRORS + (SerializationError,) as exc:
+                    # The worker died or the stream desynchronized.
+                    # The reader task usually observes the death first
+                    # and already tore the connection down (counting
+                    # the one crash for the whole in-flight window);
+                    # _discard is then a no-op.  Everyone resubmits
+                    # exactly their own job.
+                    last_error = exc
+                    if await self._discard(endpoint):
+                        self.stats.crashes += 1
+                        self._record_failure(endpoint, loop)
+                    if attempt < self.max_retries:
+                        self.stats.resubmissions += 1
+                    continue
+                self.stats.jobs += 1
+                self._record_success(endpoint)
+                return self._codec.decode_outcome(outcome_blob)
         raise TransportError(
             f"job failed after {self.max_retries + 1} attempts on "
             f"dropped or unresponsive remote-worker connections: "
             f"{last_error}")
 
     async def _request(self, endpoint: _Endpoint, blob: bytes) -> bytes:
-        async with endpoint.request_lock:
-            if not endpoint.connected:
-                # The connection died while we queued on the lock; the
-                # caller discards (a no-op for non-first observers) and
-                # resubmits.
-                raise ConnectionResetError(
-                    f"connection to {endpoint.address} lost before "
-                    "dispatch")
-            write_frame(endpoint.writer, FRAME_KIND_JOB, blob)
-            await endpoint.writer.drain()
-            kind, payload = await read_frame(endpoint.reader)
+        kind, payload = await self._roundtrip(
+            endpoint, FRAME_KIND_JOB, blob)
         if kind == FRAME_KIND_ERROR:
             raise RemoteJobError(
                 f"remote worker {endpoint.address} rejected the job: "
@@ -739,7 +1196,10 @@ READY_MARKER = "remote-worker listening on "
 
 def start_worker_process(context_path, host: str = "127.0.0.1",
                          port: int = 0, crash_sentinel=None,
-                         timeout_s: float = 120.0
+                         timeout_s: float = 120.0,
+                         psk: Optional[str] = None,
+                         max_batch: Optional[int] = None,
+                         max_wait_ms: Optional[float] = None
                          ) -> "Tuple[subprocess.Popen, str]":
     """Spawn ``python -m repro.service.remote_worker`` on this machine
     and block until its ready line; returns ``(process, "host:port")``.
@@ -749,7 +1209,9 @@ def start_worker_process(context_path, host: str = "127.0.0.1",
     the ``svc_tcp_*`` benchmarks share.  ``port=0`` lets the worker
     pick an ephemeral port (parsed from the ready line);
     ``crash_sentinel`` forwards ``--crash-sentinel`` for the
-    kill-mid-window acts.
+    kill-mid-window acts; ``psk`` / ``max_batch`` / ``max_wait_ms``
+    forward the v2-protocol knobs (handshake authenticator and the
+    worker-side accumulator policy).
     """
     import repro
     src_dir = str(pathlib.Path(repro.__file__).resolve().parent.parent)
@@ -761,6 +1223,12 @@ def start_worker_process(context_path, host: str = "127.0.0.1",
                "--host", host, "--listen", str(port)]
     if crash_sentinel is not None:
         command += ["--crash-sentinel", str(crash_sentinel)]
+    if psk is not None:
+        command += ["--psk", psk]
+    if max_batch is not None:
+        command += ["--max-batch", str(max_batch)]
+    if max_wait_ms is not None:
+        command += ["--max-wait-ms", str(max_wait_ms)]
     process = subprocess.Popen(command, stdout=subprocess.PIPE,
                                env=env, text=True)
     deadline = time.monotonic() + timeout_s

@@ -198,6 +198,10 @@ class WorkerPoolStats:
     #: place (executor rebuild on the process tier, a ``C`` context-push
     #: frame on the TCP tier) instead of being torn down.
     rewarms: int = 0
+    #: High-water mark of concurrently in-flight requests on one
+    #: connection (TCP tier only) — evidence the pipelined framing is
+    #: actually holding a window open, not serializing at depth 1.
+    max_inflight: int = 0
 
 
 def _percentile(samples, q: float) -> float:

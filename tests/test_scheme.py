@@ -246,6 +246,108 @@ class TestBatchShareVerify:
         assert first.to_bytes() == second.to_bytes()
 
 
+class TestCrossMessageBatchShareVerify:
+    """The window-level Share-Verify: partial signatures for *different*
+    messages checked under one multi-pairing, with bisection down to the
+    forged shares."""
+
+    def _window(self, toy_scheme, toy_keys, signers_per_message):
+        pk, shares, vks = toy_keys
+        items = []
+        for position, (message_index, signer) in enumerate(
+                signers_per_message):
+            message = b"window msg %d" % message_index
+            items.append(
+                (message, toy_scheme.share_sign(shares[signer], message)))
+        return pk, vks, items
+
+    def test_honest_window_accepted(self, toy_scheme, toy_keys, rng):
+        pk, vks, items = self._window(
+            toy_scheme, toy_keys,
+            [(m, s) for m in range(4) for s in (1, 2, 3)])
+        assert toy_scheme.batch_share_verify_window(pk, vks, items,
+                                                    rng=rng)
+        assert toy_scheme.locate_invalid_partials(
+            pk, vks, items, rng=rng) == []
+
+    def test_forged_share_rejected_and_localized(self, toy_scheme,
+                                                 toy_keys, rng):
+        pk, vks, items = self._window(
+            toy_scheme, toy_keys,
+            [(m, s) for m in range(4) for s in (1, 2, 3)])
+        g = toy_scheme.group.g1_generator()
+        message, good = items[7]
+        items[7] = (message, PartialSignature(
+            index=good.index, z=good.z * g, r=good.r))
+        assert not toy_scheme.batch_share_verify_window(pk, vks, items,
+                                                        rng=rng)
+        assert toy_scheme.locate_invalid_partials(
+            pk, vks, items, rng=rng) == [7]
+
+    def test_multiple_forgeries_all_localized(self, toy_scheme,
+                                              toy_keys, rng):
+        pk, vks, items = self._window(
+            toy_scheme, toy_keys,
+            [(m, s) for m in range(6) for s in (1, 2, 3)])
+        g = toy_scheme.group.g1_generator()
+        for position in (2, 9, 16):
+            message, good = items[position]
+            items[position] = (message, PartialSignature(
+                index=good.index, z=g, r=g))
+        assert toy_scheme.locate_invalid_partials(
+            pk, vks, items, rng=rng) == [2, 9, 16]
+
+    def test_unknown_signer_index_fails_closed(self, toy_scheme,
+                                               toy_keys, rng):
+        pk, vks, items = self._window(toy_scheme, toy_keys,
+                                      [(0, 1), (0, 2)])
+        message, good = items[1]
+        items[1] = (message, PartialSignature(
+            index=99, z=good.z, r=good.r))
+        assert not toy_scheme.batch_share_verify_window(pk, vks, items,
+                                                        rng=rng)
+        assert toy_scheme.locate_invalid_partials(
+            pk, vks, items, rng=rng) == [1]
+
+    def test_cross_message_swap_detected(self, toy_scheme, toy_keys, rng):
+        """A share that is valid for message A must not pass when filed
+        under message B in the same window."""
+        pk, shares, vks = toy_keys
+        share_a = toy_scheme.share_sign(shares[1], b"message A")
+        share_b = toy_scheme.share_sign(shares[2], b"message B")
+        swapped = [(b"message B", share_a), (b"message A", share_b)]
+        assert not toy_scheme.batch_share_verify_window(
+            pk, vks, swapped, rng=rng)
+        assert toy_scheme.locate_invalid_partials(
+            pk, vks, swapped, rng=rng) == [0, 1]
+
+    def test_empty_and_singleton_windows(self, toy_scheme, toy_keys, rng):
+        pk, shares, vks = toy_keys
+        assert toy_scheme.batch_share_verify_window(pk, vks, [], rng=rng)
+        assert toy_scheme.locate_invalid_partials(pk, vks, [],
+                                                  rng=rng) == []
+        good = [(b"solo", toy_scheme.share_sign(shares[1], b"solo"))]
+        assert toy_scheme.batch_share_verify_window(pk, vks, good,
+                                                    rng=rng)
+        g = toy_scheme.group.g1_generator()
+        bad = [(b"solo", PartialSignature(index=1, z=g, r=g))]
+        assert not toy_scheme.batch_share_verify_window(pk, vks, bad,
+                                                        rng=rng)
+        assert toy_scheme.locate_invalid_partials(pk, vks, bad,
+                                                  rng=rng) == [0]
+
+    def test_duplicate_message_and_signer_pairs_accepted(
+            self, toy_scheme, toy_keys, rng):
+        """The same (message, signer) pair may appear twice in one
+        worker-side window — two shards racing the same document — and
+        both honest copies must pass."""
+        pk, shares, vks = toy_keys
+        partial = toy_scheme.share_sign(shares[1], b"raced")
+        items = [(b"raced", partial), (b"raced", partial)]
+        assert toy_scheme.batch_share_verify_window(pk, vks, items,
+                                                    rng=rng)
+
+
 class TestCrossMessageBatchVerify:
     """Adversarial tests for the server-side batch_verify/locate_invalid
     API: forged signatures must be rejected AND localized."""

@@ -19,9 +19,9 @@ from repro.errors import SerializationError
 from repro.serialization import (
     FRAME_HEADER_BYTES, FRAME_KIND_ERROR, FRAME_KIND_HELLO, FRAME_KIND_JOB,
     FRAME_KIND_OUTCOME, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_BYTES,
-    PartialSignJob, SignWindowJob, WireCodec, decode_frame_header,
-    decode_hello, encode_frame, encode_hello, encode_service_context,
-    service_context_digest,
+    PartialSignJob, SignRequestJob, SignWindowJob, WireCodec,
+    decode_frame_header, decode_hello, encode_frame, encode_hello,
+    encode_service_context, hello_mac, service_context_digest,
 )
 from repro.service import (
     HandshakeError, RemoteJobError, RemoteWorkerPool, ServiceConfig,
@@ -47,11 +47,25 @@ def run(coroutine):
 
 class TestFrameLayer:
     def test_frame_round_trip(self):
-        frame = encode_frame(FRAME_KIND_JOB, b"payload bytes")
-        kind, length = decode_frame_header(frame[:FRAME_HEADER_BYTES])
+        frame = encode_frame(FRAME_KIND_JOB, b"payload bytes",
+                             request_id=7042)
+        kind, request_id, length = decode_frame_header(
+            frame[:FRAME_HEADER_BYTES])
         assert kind == FRAME_KIND_JOB
+        assert request_id == 7042
         assert length == len(b"payload bytes")
         assert frame[FRAME_HEADER_BYTES:] == b"payload bytes"
+
+    def test_request_id_defaults_to_zero_and_is_bounded(self):
+        frame = encode_frame(FRAME_KIND_HELLO, b"")
+        assert decode_frame_header(frame[:FRAME_HEADER_BYTES])[1] == 0
+        top = (1 << 64) - 1
+        frame = encode_frame(FRAME_KIND_JOB, b"x", request_id=top)
+        assert decode_frame_header(frame[:FRAME_HEADER_BYTES])[1] == top
+        with pytest.raises(SerializationError):
+            encode_frame(FRAME_KIND_JOB, b"x", request_id=1 << 64)
+        with pytest.raises(SerializationError):
+            encode_frame(FRAME_KIND_JOB, b"x", request_id=-1)
 
     def test_header_rejects_bad_magic(self):
         frame = bytearray(encode_frame(FRAME_KIND_JOB, b"x"))
@@ -73,7 +87,7 @@ class TestFrameLayer:
 
     def test_header_rejects_oversized_length(self):
         header = FRAME_MAGIC + bytes([FRAME_VERSION]) + FRAME_KIND_JOB + \
-            (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+            (0).to_bytes(8, "big") + (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
         with pytest.raises(SerializationError, match="cap"):
             decode_frame_header(header)
 
@@ -92,12 +106,19 @@ class TestFrameLayer:
         blob = encode_service_context(handle)
         digest = service_context_digest(blob)
         assert len(digest) == 32
-        name, parsed = decode_hello(encode_hello("toy", digest))
-        assert (name, parsed) == ("toy", digest)
+        name, parsed, mac = decode_hello(encode_hello("toy", digest))
+        assert (name, parsed, mac) == ("toy", digest, b"")
+        authenticator = hello_mac(b"secret", digest)
+        assert len(authenticator) == 32
+        name, parsed, mac = decode_hello(
+            encode_hello("toy", digest, mac=authenticator))
+        assert mac == authenticator
         with pytest.raises(SerializationError):
             decode_hello(encode_hello("toy", digest) + b"extra")
         with pytest.raises(SerializationError):
             encode_hello("toy", b"short")
+        with pytest.raises(SerializationError):
+            encode_hello("toy", digest, mac=b"short-mac")
 
     def test_parse_address(self):
         assert parse_address("worker-3.local:9000") == \
@@ -158,25 +179,82 @@ class TestTruncatedPayloadRejection:
                     service_context_digest(encode_service_context(handle)))
                 write_frame(writer, FRAME_KIND_HELLO, hello)
                 await writer.drain()
-                kind, _ = await read_frame(reader)
+                kind, _, _ = await read_frame(reader)
                 assert kind == FRAME_KIND_HELLO
-                write_frame(writer, FRAME_KIND_JOB, good_job[:-1])
+                write_frame(writer, FRAME_KIND_JOB, good_job[:-1],
+                            request_id=1)
                 await writer.drain()
-                error_kind, error_payload = await read_frame(reader)
-                write_frame(writer, FRAME_KIND_JOB, good_job)
+                error_kind, error_id, error_payload = \
+                    await read_frame(reader)
+                write_frame(writer, FRAME_KIND_JOB, good_job,
+                            request_id=2)
                 await writer.drain()
-                ok_kind, ok_payload = await read_frame(reader)
+                ok_kind, ok_id, ok_payload = await read_frame(reader)
                 writer.close()
                 await writer.wait_closed()
             finally:
                 await server.aclose()
-            return error_kind, error_payload, ok_kind, ok_payload
+            return (error_kind, error_id, error_payload,
+                    ok_kind, ok_id, ok_payload)
 
-        error_kind, error_payload, ok_kind, ok_payload = run(scenario())
+        (error_kind, error_id, error_payload,
+         ok_kind, ok_id, ok_payload) = run(scenario())
         assert error_kind == FRAME_KIND_ERROR
+        assert error_id == 1                # answered under the job's id
         assert b"SerializationError" in error_payload
         assert ok_kind == FRAME_KIND_OUTCOME
+        assert ok_id == 2
         outcome = codec.decode_outcome(ok_payload)
+        assert handle.verify(b"doc", outcome.signatures[0])
+
+    def test_truncated_header_closes_cleanly_and_server_survives(
+            self, codec_handle):
+        """A connection that dies mid-header (10 of 18 bytes, then EOF)
+        is dropped without an error frame — there is no id to answer
+        under — and the server keeps accepting fresh connections."""
+        codec, handle = codec_handle
+        good_job = codec.encode_job(SignWindowJob(
+            shard_id=0, messages=(b"doc",), quorum=tuple(handle.quorum())))
+        hello = encode_hello(
+            handle.scheme.group.name,
+            service_context_digest(encode_service_context(handle)))
+
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                write_frame(writer, FRAME_KIND_HELLO, hello)
+                await writer.drain()
+                kind, _, _ = await read_frame(reader)
+                assert kind == FRAME_KIND_HELLO
+                partial = encode_frame(FRAME_KIND_JOB, good_job,
+                                       request_id=3)[:10]
+                writer.write(partial)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                # The server must still serve a fresh connection.
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                write_frame(writer, FRAME_KIND_HELLO, hello)
+                await writer.drain()
+                kind, _, _ = await read_frame(reader)
+                assert kind == FRAME_KIND_HELLO
+                write_frame(writer, FRAME_KIND_JOB, good_job,
+                            request_id=4)
+                await writer.drain()
+                kind, request_id, payload = await read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+            return kind, request_id, payload
+
+        kind, request_id, payload = run(scenario())
+        assert kind == FRAME_KIND_OUTCOME
+        assert request_id == 4
+        outcome = codec.decode_outcome(payload)
         assert handle.verify(b"doc", outcome.signatures[0])
 
 
@@ -193,7 +271,7 @@ class TestWorkerServerProtocol:
                     server.host, server.port)
                 writer.write(b"GET / HTTP/1.1\r\nHost: worker\r\n\r\n")
                 await writer.drain()
-                kind, payload = await read_frame(reader)
+                kind, _, payload = await read_frame(reader)
                 trailing = await reader.read()
                 writer.close()
                 await writer.wait_closed()
@@ -214,7 +292,7 @@ class TestWorkerServerProtocol:
                     server.host, server.port)
                 write_frame(writer, FRAME_KIND_JOB, b"too eager")
                 await writer.drain()
-                kind, payload = await read_frame(reader)
+                kind, _, payload = await read_frame(reader)
                 writer.close()
                 await writer.wait_closed()
             finally:
@@ -487,7 +565,7 @@ async def start_stall_server(handle):
 
     async def serve(reader, writer):
         try:
-            kind, _ = await read_frame(reader)
+            kind, _, _ = await read_frame(reader)
             if kind != FRAME_KIND_HELLO:
                 return
             write_frame(writer, FRAME_KIND_HELLO, hello)
@@ -738,3 +816,361 @@ class TestMisprovisionedEndpoints:
         assert right_served == 4
         assert pool._endpoints[0].misprovisioned is not None
         assert "context" in pool._endpoints[0].misprovisioned
+
+
+# ---------------------------------------------------------------------------
+# Wire format v2: version negotiation across releases
+# ---------------------------------------------------------------------------
+
+class TestVersionNegotiation:
+    """Old and new peers must refuse each other with a typed error, not
+    a desynchronised stream.  The version byte sits at the same offset
+    in every release of the header, so each side can tell a versioned
+    peer from garbage."""
+
+    def test_v1_client_refused_by_v2_server(self, handle):
+        """A pre-pipelining client (10-byte header: magic, version,
+        kind, u32 length — no request id) gets a typed refusal."""
+        old_payload = b"\x00" * 32      # enough bytes to fill our header
+        old_frame = FRAME_MAGIC + bytes([1]) + FRAME_KIND_HELLO + \
+            len(old_payload).to_bytes(4, "big") + old_payload
+
+        async def scenario():
+            server = await WorkerServer(handle).start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(old_frame)
+                await writer.drain()
+                kind, _, payload = await read_frame(reader)
+                trailing = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+            return kind, payload, trailing
+
+        kind, payload, trailing = run(scenario())
+        assert kind == FRAME_KIND_ERROR
+        assert b"version" in payload and b"upgrade" in payload
+        assert trailing == b""          # server hung up after refusing
+
+    def test_v2_pool_refuses_v1_server(self, handle):
+        """Dialing a worker from the previous release raises a typed
+        HandshakeError (misprovisioning, never retried) instead of
+        misparsing the old header."""
+        async def serve_v1(reader, writer):
+            await reader.read(1024)     # swallow whatever the pool says
+            payload = b"\x00" * 32
+            writer.write(FRAME_MAGIC + bytes([1]) + FRAME_KIND_HELLO +
+                         len(payload).to_bytes(4, "big") + payload)
+            await writer.drain()
+
+        async def scenario():
+            server = await asyncio.start_server(
+                serve_v1, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pool = RemoteWorkerPool(handle, [f"127.0.0.1:{port}"],
+                                    dial_deadline_s=5.0)
+            pool.start()
+            try:
+                with pytest.raises(HandshakeError):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"x",
+                        signers=tuple(handle.quorum())))
+                refusal = pool._endpoints[0].misprovisioned
+            finally:
+                await pool.aclose()
+                server.close()
+                await server.wait_closed()
+            return refusal
+
+        refusal = run(scenario())
+        assert refusal is not None
+        assert "version" in refusal and "upgrade" in refusal
+
+
+# ---------------------------------------------------------------------------
+# Pre-shared-key handshake authentication
+# ---------------------------------------------------------------------------
+
+class TestPresharedKey:
+    def test_matching_psk_serves_jobs(self, handle):
+        async def scenario():
+            server = await WorkerServer(handle, psk=b"wire-psk").start()
+            pool = RemoteWorkerPool(handle, [server.address],
+                                    psk="wire-psk")
+            pool.start()
+            try:
+                outcome = await pool.run_job(PartialSignJob(
+                    shard_id=0, message=b"authenticated",
+                    signers=tuple(handle.quorum())))
+            finally:
+                await pool.aclose()
+                await server.aclose()
+            return outcome
+
+        outcome = run(scenario())
+        signature = handle.scheme.combine(
+            handle.public_key, handle.verification_keys,
+            b"authenticated", list(outcome.partials))
+        assert handle.verify(b"authenticated", signature)
+
+    @pytest.mark.parametrize("server_psk,pool_psk", [
+        (b"worker-only", None),         # worker requires, pool has none
+        (None, "pool-only"),            # pool offers, worker has none
+        (b"alpha", "bravo"),            # both configured, keys differ
+    ])
+    def test_psk_mismatch_is_typed_misprovisioning(self, handle,
+                                                   server_psk, pool_psk):
+        async def scenario():
+            server = await WorkerServer(handle, psk=server_psk).start()
+            pool = RemoteWorkerPool(handle, [server.address],
+                                    psk=pool_psk, dial_deadline_s=5.0)
+            pool.start()
+            try:
+                with pytest.raises(HandshakeError):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"x",
+                        signers=tuple(handle.quorum())))
+                refusal = pool._endpoints[0].misprovisioned
+            finally:
+                await pool.aclose()
+                await server.aclose()
+            return refusal
+
+        refusal = run(scenario())
+        assert refusal is not None
+        assert "PSK" in refusal or "pre-shared" in refusal
+
+    def test_pool_rejects_forged_server_authenticator(self, handle):
+        """The check is mutual: a server that accepts our HELLO but
+        answers with a wrong authenticator is refused by the pool."""
+        digest = service_context_digest(encode_service_context(handle))
+        group_name = handle.scheme.group.name
+
+        async def serve_forged(reader, writer):
+            kind, _, _ = await read_frame(reader)
+            assert kind == FRAME_KIND_HELLO
+            write_frame(writer, FRAME_KIND_HELLO, encode_hello(
+                group_name, digest, mac=hello_mac(b"not-the-psk",
+                                                  digest)))
+            await writer.drain()
+            await reader.read(65536)
+
+        async def scenario():
+            server = await asyncio.start_server(
+                serve_forged, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pool = RemoteWorkerPool(handle, [f"127.0.0.1:{port}"],
+                                    psk="the-real-psk",
+                                    dial_deadline_s=5.0)
+            pool.start()
+            try:
+                with pytest.raises(HandshakeError):
+                    await pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"x",
+                        signers=tuple(handle.quorum())))
+                refusal = pool._endpoints[0].misprovisioned
+            finally:
+                await pool.aclose()
+                server.close()
+                await server.wait_closed()
+            return refusal
+
+        refusal = run(scenario())
+        assert refusal is not None
+        assert "PSK" in refusal
+
+
+# ---------------------------------------------------------------------------
+# Pipelined request-id framing
+# ---------------------------------------------------------------------------
+
+class TestPipelinedFraming:
+    def test_out_of_order_completion_resolves_by_request_id(self, handle):
+        """A worker may answer the second in-flight job first; the pool
+        must route each outcome to its own caller by request id, not by
+        arrival order."""
+        from repro.service.workers import execute_job
+
+        codec = WireCodec(handle.scheme.group)
+        hello = encode_hello(
+            handle.scheme.group.name,
+            service_context_digest(encode_service_context(handle)))
+
+        async def serve_reversed(reader, writer):
+            kind, _, _ = await read_frame(reader)
+            assert kind == FRAME_KIND_HELLO
+            write_frame(writer, FRAME_KIND_HELLO, hello)
+            await writer.drain()
+            jobs = []
+            for _ in range(2):
+                kind, request_id, payload = await read_frame(reader)
+                assert kind == FRAME_KIND_JOB
+                jobs.append((request_id, codec.decode_job(payload)))
+            assert len({request_id for request_id, _ in jobs}) == 2
+            for request_id, job in reversed(jobs):
+                write_frame(writer, FRAME_KIND_OUTCOME,
+                            codec.encode_outcome(execute_job(handle, job)),
+                            request_id=request_id)
+            await writer.drain()
+            await reader.read(65536)
+
+        async def scenario():
+            server = await asyncio.start_server(
+                serve_reversed, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pool = RemoteWorkerPool(handle, [f"127.0.0.1:{port}"],
+                                    pipeline_depth=2)
+            pool.start()
+            try:
+                first, second = await asyncio.gather(
+                    pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"first",
+                        signers=tuple(handle.quorum()))),
+                    pool.run_job(PartialSignJob(
+                        shard_id=0, message=b"second",
+                        signers=tuple(handle.quorum()))))
+            finally:
+                await pool.aclose()
+                server.close()
+                await server.wait_closed()
+            return pool, first, second
+
+        pool, first, second = run(scenario())
+        for message, outcome in ((b"first", first), (b"second", second)):
+            signature = handle.scheme.combine(
+                handle.public_key, handle.verification_keys,
+                message, list(outcome.partials))
+            assert handle.verify(message, signature)
+        assert pool.stats.max_inflight == 2
+
+    def test_duplicate_request_id_refused_without_closing(self, handle):
+        """Two jobs under one id would let one outcome settle both
+        futures; the server refuses the duplicate with an E frame and
+        keeps both the stream and the original job alive."""
+        codec = WireCodec(handle.scheme.group)
+        request = codec.encode_job(SignRequestJob(
+            shard_id=0, message=b"dup", quorum=tuple(handle.quorum())))
+        hello = encode_hello(
+            handle.scheme.group.name,
+            service_context_digest(encode_service_context(handle)))
+
+        async def scenario():
+            # A long linger keeps the first request pending in the
+            # accumulator while the duplicate arrives.
+            server = await WorkerServer(handle, max_batch=16,
+                                        max_wait_ms=500.0).start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                write_frame(writer, FRAME_KIND_HELLO, hello)
+                await writer.drain()
+                kind, _, _ = await read_frame(reader)
+                assert kind == FRAME_KIND_HELLO
+                write_frame(writer, FRAME_KIND_JOB, request, request_id=9)
+                write_frame(writer, FRAME_KIND_JOB, request, request_id=9)
+                await writer.drain()
+                first = await read_frame(reader)
+                second = await read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+            return first, second
+
+        first, second = run(scenario())
+        kind, request_id, payload = first
+        assert kind == FRAME_KIND_ERROR
+        assert request_id == 9
+        assert b"duplicate" in payload
+        kind, request_id, payload = second
+        assert kind == FRAME_KIND_OUTCOME
+        assert request_id == 9
+        outcome = codec.decode_outcome(payload)
+        assert outcome.failure == ""
+        assert handle.verify(b"dup", outcome.signature)
+
+    def test_pipelined_service_accumulates_windows_worker_side(
+            self, handle):
+        """With pipeline_depth > 1 the shards ship single requests and
+        the worker re-batches across all of them: requests from four
+        one-deep shards land in shared windows on the worker."""
+        async def scenario():
+            server = await WorkerServer(handle, max_batch=8,
+                                        max_wait_ms=20.0).start()
+            config = ServiceConfig(
+                num_shards=4, max_batch=1, max_wait_ms=1.0,
+                remote_workers=[server.address], pipeline_depth=4)
+            try:
+                async with SigningService(handle, config) as service:
+                    results = await asyncio.gather(*(
+                        service.sign(b"pipelined %d" % i)
+                        for i in range(16)))
+                    verdicts = await asyncio.gather(*(
+                        service.verify(r.message, r.signature)
+                        for r in results))
+            finally:
+                await server.aclose()
+            return service, server, results, verdicts
+
+        service, server, results, verdicts = run(scenario())
+        assert all(handle.verify(r.message, r.signature)
+                   for r in results)
+        assert all(v.valid for v in verdicts)
+        stats = service.snapshot_stats()
+        assert stats.failed == 0
+        assert stats.workers.max_inflight >= 2
+        # 16 sign + 16 verify requests accumulated worker-side, into
+        # fewer windows than requests (the whole point of shipping
+        # requests instead of pre-built windows).
+        assert server.requests_accumulated == 32
+        assert server.windows_accumulated < server.requests_accumulated
+
+
+# ---------------------------------------------------------------------------
+# Pipelined crash recovery: every in-flight id settles exactly once
+# ---------------------------------------------------------------------------
+
+class TestPipelinedCrashRecovery:
+    def test_mid_stream_kill_resubmits_every_inflight_request(
+            self, handle, tmp_path):
+        """The acceptance scenario for the v2 framing: with several
+        request ids in flight on one connection, the worker dies hard;
+        the pool fails every pending id, resubmits each to the
+        surviving worker, and every request settles exactly once."""
+        context_path = tmp_path / "ctx.bin"
+        context_path.write_bytes(encode_service_context(handle))
+        sentinel = tmp_path / "crashed.sentinel"
+        crasher, crasher_address = start_worker_process(
+            context_path, crash_sentinel=sentinel)
+        survivor, survivor_address = start_worker_process(context_path)
+
+        async def scenario():
+            config = ServiceConfig(
+                num_shards=2, max_batch=1, max_wait_ms=1.0,
+                remote_workers=[crasher_address, survivor_address],
+                pipeline_depth=4)
+            async with SigningService(handle, config) as service:
+                results = await asyncio.gather(*(
+                    service.sign(b"pipelined crash %d" % i)
+                    for i in range(10)))
+            return service, results
+
+        try:
+            service, results = run(scenario())
+        finally:
+            crasher.wait(timeout=10)
+            survivor.terminate()
+            survivor.wait(timeout=10)
+        assert sentinel.exists()
+        # Exactly once: one result per message, every one valid.
+        assert sorted(r.message for r in results) == \
+            sorted(b"pipelined crash %d" % i for i in range(10))
+        for result in results:
+            assert handle.verify(result.message, result.signature)
+        stats = service.snapshot_stats()
+        assert stats.failed == 0
+        assert stats.workers.crashes >= 1
+        assert stats.workers.resubmissions >= 1

@@ -50,7 +50,15 @@ window) and asserts the service contract:
   SIGKILLing the gateway's host process with admitted-but-unanswered
   HTTP requests durable in the WAL leaves a log a restart settles
   **exactly once** with verifying signatures (artifacts in
-  ``.smoke-wal/http/``).
+  ``.smoke-wal/http/``);
+* the wire-v2 pipelined tier serves the same contract: with
+  ``pipeline_depth=4`` the shards ship individual requests over
+  loopback TCP (the remote workers accumulate their own windows) and a
+  worker killed with a full pipeline in flight (``os._exit`` on its
+  first partial) forces every in-flight request id to be resubmitted to
+  the surviving worker — each request settles **exactly once** with a
+  verifying signature for its own message, and the pool's high-water
+  in-flight mark proves the pipelining actually engaged.
 
 Exit-code contract (CI depends on it): **every** failure path exits
 nonzero — contract violations return 1 with a reason per line, and any
@@ -911,6 +919,86 @@ async def run_smoke(backend: str, requests: int, shards: int,
                   f"HTTP act: request {request_id} settled without a "
                   "verifying signature")
 
+    # -- act 9: wire-v2 pipelined request shipping ---------------------
+    # Depth-4 pipelining over loopback TCP: the shards ship individual
+    # requests (request shipping engages whenever pipeline_depth > 1)
+    # and the remote workers accumulate their own windows.  One worker
+    # is killed with a full pipeline in flight (it os._exits on its
+    # first partial while the sentinel file is absent); every in-flight
+    # request id must be resubmitted to the survivor and settle exactly
+    # once with a signature verifying for its own message.
+    pipe_requests = min(requests, 12)
+    with tempfile.TemporaryDirectory() as pipe_dir:
+        pipe_context = pathlib.Path(pipe_dir) / "ctx.bin"
+        pipe_context.write_bytes(encode_service_context(handle))
+        pipe_sentinel = pathlib.Path(pipe_dir) / "crashed.sentinel"
+        crasher, crasher_address = await loop.run_in_executor(
+            None, lambda: start_worker_process(
+                pipe_context, crash_sentinel=pipe_sentinel))
+        survivor, survivor_address = await loop.run_in_executor(
+            None, lambda: start_worker_process(pipe_context))
+        pipe_config = ServiceConfig(num_shards=2, max_batch=1,
+                                    max_wait_ms=1.0,
+                                    queue_depth=4 * requests,
+                                    remote_workers=[crasher_address,
+                                                    survivor_address],
+                                    pipeline_depth=4)
+        try:
+            async with SigningService(handle, pipe_config) as service:
+                pipe_signed = {}
+
+                async def pipe_sign(ordinal):
+                    result = await service.sign(
+                        b"pipelined doc %d" % ordinal)
+                    pipe_signed.setdefault(ordinal, []).append(result)
+                    return result
+
+                pipe_report = await LoadGenerator(pipe_sign).run_closed(
+                    pipe_requests, pipe_requests)
+                check(pipe_report.rejected == 0
+                      and pipe_report.failed == 0
+                      and pipe_report.completed == pipe_requests,
+                      f"wire-v2 act dropped requests "
+                      f"({pipe_report.completed}/{pipe_requests} "
+                      f"completed, {pipe_report.rejected} rejected, "
+                      f"{pipe_report.failed} failed)")
+        finally:
+            # terminate() is a no-op on the already-crashed worker but
+            # keeps a failure *before* the crash from hanging in wait().
+            crasher.terminate()
+            crasher.wait(timeout=10)
+            survivor.terminate()
+            survivor.wait(timeout=10)
+        pipe_stats = service.snapshot_stats()
+        pipe_workers = pipe_stats.workers
+        check(pipe_sentinel.exists(),
+              "wire-v2 act: the worker never crashed mid-pipeline")
+        check(sorted(pipe_signed) == list(range(pipe_requests)),
+              f"wire-v2 act: only {len(pipe_signed)}/{pipe_requests} "
+              "request ids settled")
+        for ordinal, results in pipe_signed.items():
+            check(len(results) == 1,
+                  f"wire-v2 act: request #{ordinal} settled "
+                  f"{len(results)} times (exactly-once violated)")
+            for result in results:
+                check(result.message == b"pipelined doc %d" % ordinal
+                      and handle.verify(result.message,
+                                        result.signature),
+                      f"wire-v2 act: request #{ordinal} settled "
+                      "without a verifying signature for its own "
+                      "message")
+        check(pipe_stats.failed == 0,
+              "wire-v2 act: the service counted failures")
+        check(pipe_workers is not None and pipe_workers.crashes >= 1,
+              "wire-v2 act: the mid-pipeline kill was not detected")
+        check(pipe_workers is not None
+              and pipe_workers.resubmissions >= 1,
+              "wire-v2 act: no in-flight request was resubmitted")
+        check(pipe_workers is not None
+              and pipe_workers.max_inflight >= 2,
+              f"wire-v2 act: pipelining never engaged (max in flight "
+              f"{pipe_workers.max_inflight if pipe_workers else 0})")
+
     if not failures:
         shutil.rmtree(wal_dir)
 
@@ -937,7 +1025,12 @@ async def run_smoke(backend: str, requests: int, shards: int,
           f"the wire ({beta_429} over-quota 429s at the edge, "
           f"{len(metrics)} metric samples reconciled) and settled "
           f"{hv_pending} admitted HTTP requests exactly once after a "
-          f"gateway SIGKILL")
+          f"gateway SIGKILL; wire-v2 act pipelined {pipe_requests} "
+          f"shipped requests at depth 4 through a mid-pipeline worker "
+          f"kill ({pipe_workers.crashes if pipe_workers else 0} crash, "
+          f"{pipe_workers.resubmissions if pipe_workers else 0} "
+          f"resubmissions, {pipe_workers.max_inflight if pipe_workers else 0} "
+          f"max in flight), each settled exactly once")
     if failures:
         print("serve-smoke FAILED:")
         for reason in failures:
