@@ -8,15 +8,17 @@ TEST_DEPS = -e . pytest
 LINT_DEPS = ruff
 
 .PHONY: test test-fast lint install-test install-lint bench \
-	bench-check serve-smoke docs-check smoke
+	bench-check serve-smoke sim-smoke docs-check smoke
 
-## Full tier-1 suite (both backends).
+## Full tier-1 suite (both backends, including the `sim`-marked
+## large-n discrete-event scenarios — minutes at n=1024).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Protocol-logic tests only (toy backend; seconds, not minutes).
+## Protocol-logic tests only (toy backend, no large-n simulations;
+## seconds, not minutes).
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not bn254"
+	$(PYTHON) -m pytest -x -q -m "not bn254 and not sim"
 
 ## Lint gate (the third fast CI gate).  Byte-compiles src/ and tools/
 ## unconditionally — a syntax error anywhere fails even without ruff —
@@ -80,11 +82,27 @@ bench-check:
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
 
+## Simulation determinism gate: run the fixed-seed CI scenario (n=64
+## WAN DKG under loss + a robust-combine run) twice in two separate
+## processes and byte-compare the event-trace digests.  Catches any
+## nondeterminism sneaking into the simulation stack — an unseeded
+## RNG, dict-order dependence, wall-clock reads — the moment it lands.
+## The rendered tables go to benchmarks/results/f7_sim_ci.txt.
+sim-smoke:
+	$(PYTHON) tools/sim_run.py --scenario ci --digest-file .sim-digest-a \
+		> /dev/null
+	$(PYTHON) tools/sim_run.py --scenario ci --digest-file .sim-digest-b \
+		> /dev/null
+	cmp .sim-digest-a .sim-digest-b
+	@cat .sim-digest-a
+	@rm -f .sim-digest-a .sim-digest-b
+
 ## Docs sanity: every internal link / anchor / code path reference in
 ## docs/*.md, README.md and benchmarks/README.md resolves.
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
 ## CI smoke target: tier-1 tests, the perf-regression gate, the
-## signing-service contract check and the docs sanity check.
-smoke: test bench-check serve-smoke docs-check
+## signing-service contract check, the simulation determinism gate and
+## the docs sanity check.
+smoke: test bench-check serve-smoke sim-smoke docs-check

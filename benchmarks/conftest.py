@@ -53,5 +53,13 @@ def bn254_group():
 
 
 @pytest.fixture
-def rng():
-    return random.Random(0xBEEF)
+def rng(session_seed):
+    """Per-test randomness; ``--seed N`` reseeds the benchmarks too."""
+    return random.Random(0xBEEF if session_seed is None else session_seed)
+
+
+@pytest.fixture(scope="session")
+def sim_seed(session_seed):
+    """Seed for the F7 simulation scenarios (``2026`` unless ``--seed``
+    is given); the committed tables are rendered with the default."""
+    return 2026 if session_seed is None else session_seed

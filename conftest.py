@@ -1,0 +1,56 @@
+"""Root pytest configuration: the session seed and the sim marker.
+
+Every randomized fixture and simulation scenario in the repo derives
+from one session-level seed so a failing run is reproducible verbatim:
+
+* ``--seed N`` overrides it (``pytest --seed 1234``); without the flag
+  each consumer keeps its historical default (``0xC0FFEE`` for the
+  tests' ``rng`` fixture, ``0xBEEF`` for the benchmarks', ``2026`` for
+  the simulation scenarios), so default runs are byte-for-byte the runs
+  CI has always gated.
+* On any failure the terminal summary prints the effective seed and the
+  exact flag to replay it — randomized failures are report-and-rerun,
+  never lost.
+
+``tools/sim_run.py`` and ``tools/serve_smoke.py`` accept the same
+``--seed`` flag with the same semantics for their own randomness.
+
+The ``sim`` marker tags discrete-event simulation scenarios at large n
+(``benchmarks/test_f7_sim.py``); ``make test-fast`` excludes them along
+with ``bn254``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed", type=int, default=None,
+        help="session seed for randomized fixtures and simulation "
+             "scenarios (default: each consumer's historical seed)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sim: discrete-event simulation at large n (slow; excluded from "
+        "test-fast, run by the full CI job)")
+
+
+@pytest.fixture(scope="session")
+def session_seed(request):
+    """The ``--seed`` value, or ``None`` when the run uses defaults."""
+    return request.config.getoption("--seed")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if exitstatus == 0:
+        return
+    seed = config.getoption("--seed")
+    if seed is None:
+        terminalreporter.write_line(
+            "session seed: defaults (rng=0xC0FFEE, bench=0xBEEF, "
+            "sim=2026); rerun a randomized failure with --seed N")
+    else:
+        terminalreporter.write_line(
+            f"session seed: {seed} (rerun with --seed {seed})")

@@ -111,6 +111,7 @@ class ResharePlayer(Player):
         self.complaints_against: Dict[int, set] = {}
         self.disqualified: set = set()
         self._result: Optional[ReshareResult] = None
+        self._column_cache: Dict[tuple, List[GroupElement]] = {}
 
     # -- round machine ---------------------------------------------------------
     def on_round(self, round_no: int,
@@ -341,15 +342,34 @@ class ResharePlayer(Player):
     def _vk_component(self, dealer_set, weights, k: int,
                       j: int) -> GroupElement:
         """``prod_{i in D} prod_l W_hat_ikl^{lambda_i * j^l}`` — the new
-        VK_j component, flattened into one (t'+1)*|D|-term multi-exp."""
-        order = self.group.order
-        powers = index_powers(order, j, self.new_t + 1)
-        bases: List[GroupElement] = []
-        scalars: List[int] = []
-        for dealer in dealer_set:
-            bases.extend(self.received_commitments[dealer][k])
-            scalars.extend(weights[dealer] * p % order for p in powers)
-        return self.group.multi_exp(bases, scalars)
+        VK_j component.
+
+        As in Dist-Keygen finalize, the scalar ``lambda_i * j^l``
+        factors, so the double product regroups around the weighted
+        column aggregates ``U_kl = prod_{i in D} W_hat_ikl^{lambda_i}``
+        (independent of j, cached): every new-committee VK_j is then a
+        (t'+1)-term multi-exp instead of a |D|*(t'+1)-term one.
+        """
+        powers = index_powers(self.group.order, j, self.new_t + 1)
+        return self.group.multi_exp(
+            self._weighted_columns(tuple(dealer_set), weights, k), powers)
+
+    def _weighted_columns(self, dealer_set: tuple, weights,
+                          k: int) -> List[GroupElement]:
+        """``[prod_{i in D} W_hat_ikl^{lambda_i} for l in 0..t']``."""
+        cached = self._column_cache.get((dealer_set, k))
+        if cached is not None:
+            return cached
+        scalars = [weights[dealer] for dealer in dealer_set]
+        columns = [
+            self.group.multi_exp(
+                [self.received_commitments[dealer][k][position]
+                 for dealer in dealer_set],
+                scalars)
+            for position in range(self.new_t + 1)
+        ]
+        self._column_cache[(dealer_set, k)] = columns
+        return columns
 
 
 def run_reshare(group: BilinearGroup, g_z: GroupElement,

@@ -372,6 +372,18 @@ def _packed(data: bytes) -> bytes:
     return _u32(len(data)) + data
 
 
+def _utf8(data: bytes) -> str:
+    """Decode a wire string; malformed UTF-8 is a typed rejection like
+    any other malformed field (the fuzz sweeps in
+    ``tests/test_fuzz_wire.py`` pin this — a flipped bit in a reason
+    string must never escape as :class:`UnicodeDecodeError`)."""
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(
+            f"invalid UTF-8 in wire string: {exc}") from exc
+
+
 class WireCodec:
     """Round-trippable codecs for one bilinear-group backend.
 
@@ -584,7 +596,7 @@ class WireCodec:
                 if status == b"\x00":
                     signatures.append(None)
                     failures.append(
-                        (position, reader.packed().decode("utf-8")))
+                        (position, _utf8(reader.packed())))
                 elif status == b"\x01":
                     signatures.append(self._read_signature(reader))
                 else:
@@ -623,7 +635,7 @@ class WireCodec:
             elif status == b"\x00":
                 outcome = SignRequestOutcome(
                     signature=None, flagged=flagged,
-                    failure=reader.packed().decode("utf-8"))
+                    failure=_utf8(reader.packed()))
             else:
                 raise SerializationError(
                     f"invalid sign-request status byte {status!r}")
@@ -671,7 +683,7 @@ class WireCodec:
             elif status == b"\x00":
                 record = WalDoneRecord(
                     request_id=request_id, signature=None,
-                    reason=reader.packed().decode("utf-8"))
+                    reason=_utf8(reader.packed()))
             else:
                 # Strict one-byte flags, like the sign-outcome codec:
                 # the encoding stays canonical.
@@ -681,6 +693,69 @@ class WireCodec:
             raise SerializationError(f"unknown WAL record kind {kind!r}")
         reader.done()
         return record
+
+    # -- size accounting ------------------------------------------------------
+    def encoded_size(self, value) -> int:
+        """Exact wire size in bytes of a codec-encodable value, without
+        building the encoding.
+
+        The simulation harness and capacity planning both need per-
+        message byte counts for traffic a node *would* send; computing
+        them from the format spec (fixed-width elements and scalars,
+        4-byte counts, length-prefixed strings) is O(1) in the payload
+        size.  ``tests/test_fuzz_wire.py`` pins this to
+        ``len(encode_*(value))`` for every wire type on both backends.
+        """
+        g1, g2 = self.group.g1_bytes, self.group.g2_bytes
+        if isinstance(value, PartialSignature):
+            return 4 + 2 * g1
+        if isinstance(value, Signature):
+            return 2 * g1
+        if isinstance(value, VerificationKey):
+            return 4 + 2 * g2
+        if isinstance(value, PrivateKeyShare):
+            return 4 + 4 * self.scalar_bytes
+        if isinstance(value, SignWindowJob):
+            return (13 + sum(4 + len(m) for m in value.messages)
+                    + 4 + 4 * len(value.quorum))
+        if isinstance(value, VerifyWindowJob):
+            return (13 + sum(4 + len(m) + 2 * g1 for m in value.messages))
+        if isinstance(value, PartialSignJob):
+            return 13 + len(value.message) + 4 + 4 * len(value.signers)
+        if isinstance(value, SignRequestJob):
+            return (13 + len(value.message) + 4 + 4 * len(value.quorum))
+        if isinstance(value, VerifyRequestJob):
+            return 13 + len(value.message) + 2 * g1
+        if isinstance(value, SignWindowOutcome):
+            failures = dict(value.failures)
+            per_slot = sum(
+                1 + (4 + len(failures[position].encode("utf-8"))
+                     if signature is None else 2 * g1)
+                for position, signature in enumerate(value.signatures))
+            return 5 + per_slot + 4 + 4 * len(value.flagged) + 4
+        if isinstance(value, VerifyWindowOutcome):
+            return 5 + len(value.verdicts)
+        if isinstance(value, PartialSignOutcome):
+            return 5 + (4 + 2 * g1) * len(value.partials)
+        if isinstance(value, SignRequestOutcome):
+            if value.signature is None:
+                return 3 + 4 + len(value.failure.encode("utf-8"))
+            return 3 + 2 * g1
+        if isinstance(value, VerifyRequestOutcome):
+            return 2
+        if isinstance(value, WalAdmitRecord):
+            return 13 + 4 + len(value.message)
+        if isinstance(value, WalDoneRecord):
+            if value.signature is None:
+                return 10 + 4 + len(value.reason.encode("utf-8"))
+            return 10 + 2 * g1
+        raise SerializationError(
+            f"cannot size unknown wire type {type(value).__name__}")
+
+    def framed_size(self, value) -> int:
+        """Wire bytes of ``value`` shipped as one TCP frame (header
+        included) — what the transport actually puts on the socket."""
+        return FRAME_HEADER_BYTES + self.encoded_size(value)
 
 
 def encode_service_context(handle) -> bytes:
@@ -731,10 +806,10 @@ def decode_service_context(blob: bytes):
     if reader.take(1) != KIND_CONTEXT:
         raise SerializationError("not a service-context blob")
     epoch = reader.u32()
-    group = get_group(reader.packed().decode("utf-8"))
+    group = get_group(_utf8(reader.packed()))
     codec = WireCodec(group)
     t, n = reader.u32(), reader.u32()
-    hash_domain = reader.packed().decode("utf-8")
+    hash_domain = _utf8(reader.packed())
     g_z = group.g2_from_bytes(reader.take(group.g2_bytes))
     g_r = group.g2_from_bytes(reader.take(group.g2_bytes))
     g_1 = group.g2_from_bytes(reader.take(group.g2_bytes))
@@ -912,7 +987,7 @@ def encode_hello(group_name: str, digest: bytes,
 def decode_hello(payload: bytes) -> Tuple[str, bytes, bytes]:
     """Parse a HELLO payload; returns ``(group_name, digest, mac)``."""
     reader = _Reader(payload)
-    group_name = reader.packed().decode("utf-8")
+    group_name = _utf8(reader.packed())
     digest = reader.packed()
     mac = reader.packed()
     reader.done()

@@ -1,0 +1,34 @@
+"""Discrete-event WAN simulation harness (see ``docs/SIMULATION.md``).
+
+Dependency-free simulation of the paper's protocols at large n: a
+seed-deterministic event kernel (:mod:`repro.sims.kernel`), per-link
+latency/bandwidth/loss models (:mod:`repro.sims.links`), a message
+fabric with authenticated senders (:mod:`repro.sims.net`), peers that
+run the *real* DKG / reshare / signing code over real wire frames
+(:mod:`repro.sims.peers`), and the scenario catalog
+(:mod:`repro.sims.scenarios`).
+"""
+
+from repro.sims.kernel import EventKernel, SimulationError
+from repro.sims.links import (
+    LAN_PROFILE, WAN_PROFILE, LinkModel, LinkProfile, assign_regions,
+    make_link_model,
+)
+from repro.sims.net import SimMessage, SimNet, SimPeer
+from repro.sims.peers import (
+    CombinerPeer, RoundDrivenPeer, RoundSchedule, SignerPeer,
+)
+from repro.sims.scenarios import (
+    SCENARIOS, run_churn_scenario, run_ci_scenario, run_dkg_scenario,
+    run_quorum_scenario, run_robust_scenario,
+)
+
+__all__ = [
+    "EventKernel", "SimulationError",
+    "LAN_PROFILE", "WAN_PROFILE", "LinkModel", "LinkProfile",
+    "assign_regions", "make_link_model",
+    "SimMessage", "SimNet", "SimPeer",
+    "CombinerPeer", "RoundDrivenPeer", "RoundSchedule", "SignerPeer",
+    "SCENARIOS", "run_churn_scenario", "run_ci_scenario",
+    "run_dkg_scenario", "run_quorum_scenario", "run_robust_scenario",
+]

@@ -1,0 +1,150 @@
+"""Per-link network models: latency distribution, bandwidth, loss.
+
+A :class:`LinkProfile` describes one class of link; :class:`LinkModel`
+applies it to every ordered peer pair, tracking per-peer uplink and
+downlink **busy-until** cursors so bandwidth behaves like a serial pipe:
+a broadcast to n-1 recipients pays n-1 back-to-back serializations
+through the sender's uplink — exactly the effect loopback benches can
+never see and the reason DKG time-to-completion grows with n even at
+fixed latency.
+
+Latency is ``base + Exp(jitter)`` per message (heavy-ish tail, cheap to
+sample deterministically from the kernel's ``random.Random``); the WAN
+model additionally places peers round-robin into three regions with a
+fixed one-way base-latency matrix.  Loss is i.i.d. per message with the
+profile's probability — a dropped message still consumes the sender's
+uplink (it was sent; the network ate it).
+
+All times are integer microseconds (see :mod:`repro.sims.kernel`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """One class of link, in integer µs / bits-per-second."""
+
+    latency_base_us: int
+    latency_jitter_us: int
+    uplink_bps: int
+    downlink_bps: int
+    loss: float = 0.0
+
+
+#: Same-rack datacenter links: used by the deterministic CI scenario
+#: where network variance is noise, not signal.
+LAN_PROFILE = LinkProfile(
+    latency_base_us=200, latency_jitter_us=50,
+    uplink_bps=10_000_000_000, downlink_bps=10_000_000_000)
+
+#: Commodity WAN: ~40 ms one-way base (overridden by the region matrix
+#: when regions are enabled), asymmetric bandwidth.
+WAN_PROFILE = LinkProfile(
+    latency_base_us=40_000, latency_jitter_us=12_000,
+    uplink_bps=200_000_000, downlink_bps=1_000_000_000)
+
+#: One-way base latency (µs) between the three WAN regions
+#: (us-east / eu-west / ap-south); diagonal = intra-region.
+WAN_REGION_LATENCY_US = (
+    (2_000, 42_000, 110_000),
+    (42_000, 2_000, 75_000),
+    (110_000, 75_000, 2_000),
+)
+WAN_REGIONS = len(WAN_REGION_LATENCY_US)
+
+
+class LinkModel:
+    """Latency/bandwidth/loss for every ordered pair of peers."""
+
+    def __init__(self, profile: LinkProfile, rng: random.Random,
+                 region_of: Optional[Dict[object, int]] = None,
+                 region_latency_us: Sequence[Sequence[int]] = None):
+        self.profile = profile
+        self.rng = rng
+        self.region_of = region_of or {}
+        self.region_latency_us = region_latency_us
+        #: Peers sharing a physical host share its bandwidth cursors
+        #: (e.g. a node's reshare-dealer role contends with its signer
+        #: role for the same uplink — "reshare under load").
+        self.host_of: Dict[object, object] = {}
+        self._uplink_free_us: Dict[object, int] = {}
+        self._downlink_free_us: Dict[object, int] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- latency ------------------------------------------------------------
+    def base_latency_us(self, src, dst) -> int:
+        if self.region_latency_us is not None:
+            return self.region_latency_us[
+                self.region_of.get(src, 0)][self.region_of.get(dst, 0)]
+        return self.profile.latency_base_us
+
+    def sample_latency_us(self, src, dst) -> int:
+        jitter = self.profile.latency_jitter_us
+        extra = int(self.rng.expovariate(1.0 / jitter)) if jitter > 0 else 0
+        return self.base_latency_us(src, dst) + extra
+
+    # -- the pipe -----------------------------------------------------------
+    @staticmethod
+    def _tx_us(size_bytes: int, bps: int) -> int:
+        # Integer ceiling of size*8 / bps in µs; keeps the clock integral.
+        return -(-size_bytes * 8_000_000 // bps)
+
+    def transfer(self, now_us: int, src, dst, size_bytes: int,
+                 lossless: bool = False) -> Optional[int]:
+        """Account one message through src's uplink and dst's downlink;
+        returns the delivery time in µs, or ``None`` if the message was
+        lost (uplink time is consumed either way).  ``lossless`` models
+        a reliable channel (the paper's broadcast assumption): it skips
+        the loss draw but still pays bandwidth and latency."""
+        src_host = self.host_of.get(src, src)
+        dst_host = self.host_of.get(dst, dst)
+        tx = self._tx_us(size_bytes, self.profile.uplink_bps)
+        start = max(now_us, self._uplink_free_us.get(src_host, 0))
+        self._uplink_free_us[src_host] = start + tx
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if (not lossless and self.profile.loss > 0
+                and self.rng.random() < self.profile.loss):
+            self.messages_dropped += 1
+            return None
+        arrival = start + tx + self.sample_latency_us(src, dst)
+        rx = self._tx_us(size_bytes, self.profile.downlink_bps)
+        done = max(arrival, self._downlink_free_us.get(dst_host, 0)) + rx
+        self._downlink_free_us[dst_host] = done
+        return done
+
+
+def assign_regions(peer_ids: Sequence,
+                   regions: int = WAN_REGIONS) -> Dict[object, int]:
+    """Round-robin peers into regions (deterministic in peer order)."""
+    return {peer: i % regions for i, peer in enumerate(peer_ids)}
+
+
+def make_link_model(profile_name: str, rng: random.Random,
+                    peer_ids: Sequence, loss: float = 0.0) -> LinkModel:
+    """A ready link model: ``"lan"`` (flat) or ``"wan"`` (3-region)."""
+    if profile_name == "lan":
+        profile = LAN_PROFILE
+    elif profile_name == "wan":
+        profile = WAN_PROFILE
+    else:
+        raise ValueError(f"unknown link profile {profile_name!r}")
+    if loss:
+        profile = LinkProfile(
+            latency_base_us=profile.latency_base_us,
+            latency_jitter_us=profile.latency_jitter_us,
+            uplink_bps=profile.uplink_bps,
+            downlink_bps=profile.downlink_bps,
+            loss=loss)
+    if profile_name == "wan":
+        return LinkModel(profile, rng,
+                         region_of=assign_regions(peer_ids),
+                         region_latency_us=WAN_REGION_LATENCY_US)
+    return LinkModel(profile, rng)

@@ -40,8 +40,16 @@ def bn254_group():
 
 
 @pytest.fixture
-def rng():
-    return random.Random(0xC0FFEE)
+def rng(session_seed):
+    """Per-test randomness; ``--seed N`` reseeds the whole suite (the
+    effective seed is printed in the terminal summary on failure)."""
+    return random.Random(0xC0FFEE if session_seed is None else session_seed)
+
+
+@pytest.fixture(scope="session")
+def sim_seed(session_seed):
+    """Seed for the simulation scenarios (``2026`` unless ``--seed``)."""
+    return 2026 if session_seed is None else session_seed
 
 
 @pytest.fixture

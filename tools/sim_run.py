@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Run discrete-event simulation scenarios and write the F7 tables.
+
+Drives the scenario catalog in :mod:`repro.sims.scenarios` from the
+command line, renders each scenario's metrics as an F-series table
+under ``benchmarks/results/f7_sim_<scenario>.txt`` (table text plus a
+``digest:`` trailer line — the kernel's SHA-256 event-trace digest),
+and optionally appends ``<scenario> <digest>`` lines to a digest file.
+
+Determinism contract (see ``docs/SIMULATION.md``): the tables and
+digests are pure functions of ``(scenario, seed, parameters)``.  The
+``make sim-smoke`` gate runs ``--scenario ci`` twice in separate
+processes and byte-compares the digest files.
+
+Usage::
+
+    python tools/sim_run.py --scenario ci
+    python tools/sim_run.py --scenario dkg --n 1024 --t 5
+    python tools/sim_run.py --scenario all --seed 7 --out /tmp/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.bench.tables import Table  # noqa: E402
+from repro.sims.scenarios import (  # noqa: E402
+    run_churn_scenario, run_ci_scenario, run_dkg_scenario,
+    run_quorum_scenario, run_robust_scenario,
+)
+
+#: Default seed for the deterministic CI tables (any other seed is just
+#: as valid — the point is that the same seed reproduces byte-for-byte).
+DEFAULT_SEED = 2026
+
+DKG_COLUMNS = ("n", "t", "loss", "deal_p50_ms", "deal_p95_ms",
+               "finalize_ms", "complaints", "qualified", "messages",
+               "drops", "mbytes")
+QUORUM_COLUMNS = ("n", "t", "loss", "quorum_p50_ms", "quorum_p95_ms",
+                  "signed_p50_ms", "signed_p95_ms", "messages", "drops")
+ROBUST_COLUMNS = ("n", "t", "loss", "stragglers", "forgers", "requests",
+                  "quorum_p50_ms", "signed_p50_ms", "signed_p95_ms",
+                  "flagged", "retries", "drops")
+CHURN_COLUMNS = ("n", "t", "requests", "reshare_ms", "epoch0_signed",
+                 "epoch1_signed", "remap_pct", "signed_p95_ms", "drops")
+
+
+def _subset(row, columns):
+    return {column: row[column] for column in columns}
+
+
+def dkg_table(rows) -> Table:
+    table = Table("F7a: simulated DKG time-to-completion (WAN)",
+                  DKG_COLUMNS)
+    for row in rows:
+        table.add_row(**_subset(row, DKG_COLUMNS))
+    return table
+
+
+def quorum_table(rows) -> Table:
+    table = Table("F7b: simulated time-to-quorum vs committee size",
+                  QUORUM_COLUMNS)
+    for row in rows:
+        table.add_row(**_subset(row, QUORUM_COLUMNS))
+    return table
+
+
+def robust_table(rows) -> Table:
+    table = Table("F7c: robust combine under loss/stragglers/forgers",
+                  ROBUST_COLUMNS)
+    for row in rows:
+        table.add_row(**_subset(row, ROBUST_COLUMNS))
+    return table
+
+
+def churn_table(rows) -> Table:
+    table = Table("F7d: reshare + ring churn under signing load",
+                  CHURN_COLUMNS)
+    for row in rows:
+        table.add_row(**_subset(row, CHURN_COLUMNS))
+    return table
+
+
+def _write(out_dir: pathlib.Path, name: str, tables, digest: str) -> str:
+    text = "\n\n".join(table.render() for table in tables)
+    text += f"\n\ndigest: {digest}\n"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"f7_sim_{name}.txt").write_text(text)
+    print(text)
+    return digest
+
+
+def run_scenario(name: str, seed: int, out_dir: pathlib.Path,
+                 overrides: dict) -> str:
+    """Run one scenario, write its table file, return its digest."""
+    if name == "ci":
+        result = run_ci_scenario(seed)
+        return _write(out_dir, "ci",
+                      [dkg_table([result["dkg"]]),
+                       robust_table([result["robust"]])],
+                      result["digest"])
+    if name == "dkg":
+        row = run_dkg_scenario(
+            seed, n=overrides.get("n") or 1024, t=overrides.get("t") or 5,
+            loss=overrides.get("loss") or 0.0)
+        return _write(out_dir, "dkg", [dkg_table([row])], row["digest"])
+    if name == "quorum":
+        result = run_quorum_scenario(seed)
+        return _write(out_dir, "quorum", [quorum_table(result["rows"])],
+                      result["digest"])
+    if name == "robust":
+        row = run_robust_scenario(seed)
+        return _write(out_dir, "robust", [robust_table([row])],
+                      row["digest"])
+    if name == "churn":
+        row = run_churn_scenario(seed)
+        return _write(out_dir, "churn", [churn_table([row])],
+                      row["digest"])
+    raise SystemExit(f"unknown scenario {name!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario", default="ci",
+        choices=("ci", "dkg", "quorum", "robust", "churn", "all"))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "benchmarks" / "results")
+    parser.add_argument(
+        "--digest-file", type=pathlib.Path, default=None,
+        help="write '<scenario> <digest>' lines here (the sim-smoke "
+             "determinism gate compares two of these)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="dkg: committee size (default 1024)")
+    parser.add_argument("--t", type=int, default=None,
+                        help="dkg: threshold (default 5)")
+    parser.add_argument("--loss", type=float, default=None,
+                        help="dkg: private-channel loss (default 0)")
+    args = parser.parse_args(argv)
+
+    names = (["ci", "dkg", "quorum", "robust", "churn"]
+             if args.scenario == "all" else [args.scenario])
+    overrides = {"n": args.n, "t": args.t, "loss": args.loss}
+    digests = []
+    for name in names:
+        digests.append((name, run_scenario(name, args.seed, args.out,
+                                           overrides)))
+    for name, digest in digests:
+        print(f"{name} {digest}")
+    if args.digest_file is not None:
+        args.digest_file.parent.mkdir(parents=True, exist_ok=True)
+        args.digest_file.write_text("".join(
+            f"{name} {digest}\n" for name, digest in digests))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
